@@ -1,0 +1,54 @@
+// Ablation (paper Sec. 4): the processor-affinity assignment.  The
+// paper's preemption bound 1 + min(E-1, P-E) per job *assumes* that "a
+// task scheduled in two consecutive quanta can be allowed to continue
+// executing on the same processor"; this harness measures how many
+// context switches and migrations that assignment rule actually saves
+// versus naive (arbitrary) processor assignment.
+//
+// Usage: ablation_affinity [horizon=10000] [sets=10] [seed=1]
+#include <cstdio>
+
+#include "bench/fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pfair;
+  using namespace pfair::bench;
+
+  const long long horizon = arg_or(argc, argv, 1, 10000);
+  const long long sets = arg_or(argc, argv, 2, 10);
+  const long long seed = arg_or(argc, argv, 3, 1);
+
+  std::printf("# Affinity assignment ablation (PD2, fully loaded systems)\n");
+  std::printf("# %5s %16s %16s %16s %16s\n", "m", "switches(aff)", "switches(naive)",
+              "migr(aff)", "migr(naive)");
+
+  Rng master(static_cast<std::uint64_t>(seed));
+  for (const int m : {2, 4, 8, 16}) {
+    RunningStats sw_aff, sw_naive, mig_aff, mig_naive;
+    for (long long s = 0; s < sets; ++s) {
+      Rng rng = master.fork(static_cast<std::uint64_t>(m) * 512 +
+                            static_cast<std::uint64_t>(s));
+      const TaskSet set =
+          generate_feasible_taskset(rng, m, static_cast<std::size_t>(4 * m), 16, true);
+      for (const bool affinity : {true, false}) {
+        SimConfig sc;
+        sc.processors = m;
+        sc.affinity = affinity;
+        PfairSimulator sim(sc);
+        for (const Task& t : set.tasks()) sim.add_task(t);
+        sim.run_until(horizon);
+        const double per_kiloslot =
+            1000.0 / static_cast<double>(horizon);
+        (affinity ? sw_aff : sw_naive)
+            .add(static_cast<double>(sim.metrics().context_switches) * per_kiloslot);
+        (affinity ? mig_aff : mig_naive)
+            .add(static_cast<double>(sim.metrics().migrations) * per_kiloslot);
+      }
+    }
+    std::printf("  %5d %16.1f %16.1f %16.1f %16.1f\n", m, sw_aff.mean(), sw_naive.mean(),
+                mig_aff.mean(), mig_naive.mean());
+  }
+  std::printf("# counts are per 1000 slots; affinity should reduce both columns,\n");
+  std::printf("# most dramatically migrations.\n");
+  return 0;
+}

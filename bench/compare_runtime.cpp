@@ -1,0 +1,73 @@
+// Runtime comparison: the experiment the paper argues about but never
+// plots — run the SAME workload through global PD2 and through a real
+// partitioned EDF-FF runtime and compare realised preemptions, context
+// switches and migrations.  This quantifies the paper's central
+// concession ("preemptions and migrations ... tend to occur frequently
+// under Pfair scheduling") with the affinity optimisation applied, next
+// to its rejoinder that the absolute costs are small.
+//
+// Usage: compare_runtime [processors=4] [horizon=20000] [sets=10] [seed=1]
+#include <cstdio>
+
+#include "bench/fig_common.h"
+#include "uniproc/partitioned_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace pfair;
+  using namespace pfair::bench;
+
+  const int m = static_cast<int>(arg_or(argc, argv, 1, 4));
+  const long long horizon = arg_or(argc, argv, 2, 20000);
+  const long long sets = arg_or(argc, argv, 3, 10);
+  const long long seed = arg_or(argc, argv, 4, 1);
+
+  std::printf("# PD2 vs EDF-FF runtime behaviour (%d processors, same workloads)\n", m);
+  std::printf("# counts per 1000 slots; both systems miss-free on these loads\n");
+  std::printf("# %6s | %10s %10s %10s | %10s %10s | %8s\n", "load", "pd2_preempt",
+              "pd2_switch", "pd2_migr", "ff_preempt", "ff_switch", "placed");
+
+  Rng master(static_cast<std::uint64_t>(seed));
+  for (const double load : {0.3, 0.5, 0.7, 0.85}) {
+    RunningStats pd2_pre, pd2_sw, pd2_mig, ff_pre, ff_sw;
+    int placed = 0;
+    for (long long s = 0; s < sets; ++s) {
+      Rng rng = master.fork(static_cast<std::uint64_t>(load * 100) * 4096 +
+                            static_cast<std::uint64_t>(s));
+      const std::vector<UniTask> uni =
+          generate_uni_tasks(rng, static_cast<std::size_t>(5 * m),
+                             load * static_cast<double>(m), 64);
+      // EDF-FF runtime, capped at the same m processors.
+      PartitionedConfig pc;
+      pc.max_processors = m;
+      PartitionedSimulator part(uni, pc);
+      if (!part.all_tasks_placed()) continue;  // FF fragmentation loss
+      ++placed;
+      part.run_until(horizon);
+      const UniMetrics fm = part.aggregate_metrics();
+      const double k = 1000.0 / static_cast<double>(horizon);
+      ff_pre.add(static_cast<double>(fm.preemptions) * k);
+      ff_sw.add(static_cast<double>(fm.context_switches) * k);
+      if (fm.deadline_misses != 0) std::printf("# unexpected EDF-FF miss (set %lld)\n", s);
+
+      // Global PD2 on the identical task parameters.
+      SimConfig sc;
+      sc.processors = m;
+      PfairSimulator sim(sc);
+      for (const UniTask& t : uni) sim.add_task(make_task(t.execution, t.period));
+      sim.run_until(horizon);
+      pd2_pre.add(static_cast<double>(sim.metrics().preemptions) * k);
+      pd2_sw.add(static_cast<double>(sim.metrics().context_switches) * k);
+      pd2_mig.add(static_cast<double>(sim.metrics().migrations) * k);
+      if (sim.metrics().deadline_misses != 0)
+        std::printf("# unexpected PD2 miss (set %lld)\n", s);
+    }
+    std::printf("  %6.2f | %10.1f %10.1f %10.1f | %10.1f %10.1f | %5d/%lld\n", load,
+                pd2_pre.mean(), pd2_sw.mean(), pd2_mig.mean(), ff_pre.mean(), ff_sw.mean(),
+                placed, sets);
+  }
+  std::printf("# expectations: PD2 preempts/migrates more (the paper's concession);\n");
+  std::printf("# the ratio shrinks with affinity and the per-event cost (Sec. 4) is\n");
+  std::printf("# what Figs. 3-4 charge against it.  EDF-FF's 'placed' column shows\n");
+  std::printf("# sets lost to bin-packing before any runtime cost is paid.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 3(a)-(d): minimum number of processors required to render a task
+// set schedulable under PD2 vs EDF-FF, with all Eq.-(3) overheads
+// applied (C = 5us, q = 1ms, D(T) in [0,100]us with mean 33.3us,
+// scheduling costs from the Fig.-2-calibrated tables).
+//
+// For each task count N in {50, 100, 250, 500}, total utilization sweeps
+// [N/30, N/3] (mean per-task utilization 1/30 .. 1/3).  Each point
+// averages `sets` random task sets; 99% CIs are printed.
+//
+// Usage: fig3_processors_required [sets=200] [seed=1] [only_N=0] [calibrate=0]
+//
+// With calibrate=1, the scheduling-cost tables are first measured on
+// this host (the paper's own Fig.-2 -> Fig.-3 pipeline) instead of
+// using the paper-magnitude defaults.
+//
+// Paper shape to check (Sec. 4): the two curves track closely at low
+// utilization; EDF-FF is slightly better in a middle band; PD2 wins at
+// high per-task utilizations where bin-packing fragmentation dominates.
+#include <cstdio>
+
+#include "bench/fig_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pfair;
+  using namespace pfair::bench;
+
+  const long long sets = arg_or(argc, argv, 1, 200);
+  const long long seed = arg_or(argc, argv, 2, 1);
+  const long long only_n = arg_or(argc, argv, 3, 0);
+  const bool calibrate = arg_or(argc, argv, 4, 0) != 0;
+
+  OverheadParams params;  // paper defaults: C=5us, q=1ms, Fig.-2 tables
+  if (calibrate) {
+    std::printf("# calibrating scheduling costs on this host...\n");
+    params.sched = calibrate_sched_costs();
+  }
+
+  Rng master(static_cast<std::uint64_t>(seed));
+  const char inset[] = {'a', 'b', 'c', 'd'};
+  int inset_idx = 0;
+  for (const int n : {50, 100, 250, 500}) {
+    const char label = inset[inset_idx++];
+    if (only_n != 0 && only_n != n) continue;
+    std::printf("# Fig 3(%c): processors required for %d tasks (%lld sets/point)\n",
+                label, n, sets);
+    std::printf("# %10s %10s %10s %12s %10s %10s\n", "U_total", "PD2", "PD2_ci",
+                "EDF-FF", "EDFFF_ci", "PD2-EDFFF");
+    constexpr int kPoints = 12;
+    for (int pt = 0; pt < kPoints; ++pt) {
+      const double u_lo = static_cast<double>(n) / 30.0;
+      const double u_hi = static_cast<double>(n) / 3.0;
+      const double u = u_lo + (u_hi - u_lo) * static_cast<double>(pt) /
+                                  static_cast<double>(kPoints - 1);
+      RunningStats pd2_m;
+      RunningStats ff_m;
+      for (long long s = 0; s < sets; ++s) {
+        Rng rng = master.fork(static_cast<std::uint64_t>(n) * 100000 +
+                              static_cast<std::uint64_t>(pt) * 1000 +
+                              static_cast<std::uint64_t>(s));
+        OhWorkloadConfig cfg;
+        cfg.n_tasks = static_cast<std::size_t>(n);
+        cfg.total_utilization = u;
+        const std::vector<OhTask> tasks = generate_oh_tasks(cfg, rng);
+        const auto m_pd2 = pd2_min_processors(tasks, params);
+        const EdfFfResult ff = edf_ff_partition(tasks, params);
+        if (m_pd2.has_value()) pd2_m.add(static_cast<double>(*m_pd2));
+        if (ff.feasible) ff_m.add(static_cast<double>(ff.processors));
+      }
+      std::printf("  %10.2f %10.3f %10.3f %12.3f %10.3f %+10.3f\n", u, pd2_m.mean(),
+                  pd2_m.ci99_halfwidth(), ff_m.mean(), ff_m.ci99_halfwidth(),
+                  pd2_m.mean() - ff_m.mean());
+    }
+    std::printf("\n");
+  }
+  std::printf("# negative PD2-EDFFF = PD2 needs fewer processors (PD2 wins).\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// One-stop include for the figure harnesses.
+#pragma once
+
+#include "bench/bench_util.h"
+#include "overhead/calibrate.h"
+#include "overhead/inflation.h"
+#include "overhead/params.h"
+#include "sim/pfair_sim.h"
+#include "uniproc/uni_sim.h"
+#include "util/stats.h"
+#include "workload/generator.h"

@@ -1,0 +1,63 @@
+// Ablation: closed-form group deadline vs the O(p) definitional scan.
+// Justifies using the closed form inside the scheduler's hot path.
+#include <benchmark/benchmark.h>
+
+#include "core/windows.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace pfair;
+
+struct Sample {
+  std::int64_t e, p, i;
+};
+
+std::vector<Sample> heavy_samples(std::size_t n) {
+  Rng rng(11);
+  std::vector<Sample> out;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::int64_t p = rng.uniform_int(4, 2000);
+    const std::int64_t e = rng.uniform_int((p + 1) / 2, p - 1 > 0 ? p - 1 : 1);
+    out.push_back({e, p, rng.uniform_int(1, 2 * e)});
+  }
+  return out;
+}
+
+void BM_GroupDeadline_ClosedForm(benchmark::State& state) {
+  const auto samples = heavy_samples(256);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const Sample& s = samples[k & 255];
+    benchmark::DoNotOptimize(group_deadline(s.e, s.p, s.i));
+    ++k;
+  }
+}
+BENCHMARK(BM_GroupDeadline_ClosedForm);
+
+void BM_GroupDeadline_ByDefinition(benchmark::State& state) {
+  const auto samples = heavy_samples(256);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const Sample& s = samples[k & 255];
+    benchmark::DoNotOptimize(group_deadline_by_definition(s.e, s.p, s.i));
+    ++k;
+  }
+}
+BENCHMARK(BM_GroupDeadline_ByDefinition);
+
+void BM_WindowTriple(benchmark::State& state) {
+  // r, d, b for one subtask (the light-task fast path).
+  const auto samples = heavy_samples(256);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const Sample& s = samples[k & 255];
+    benchmark::DoNotOptimize(subtask_release(s.e, s.p, s.i));
+    benchmark::DoNotOptimize(subtask_deadline(s.e, s.p, s.i));
+    benchmark::DoNotOptimize(b_bit(s.e, s.p, s.i));
+    ++k;
+  }
+}
+BENCHMARK(BM_WindowTriple);
+
+}  // namespace

@@ -1,0 +1,47 @@
+// Partitioning heuristic throughput and packing quality at the task
+// counts the Fig.-3 experiments use.  Relevant to the paper's point that
+// FF/BF are cheap enough for online admission while FFD-style re-sorts
+// are not free.
+#include <benchmark/benchmark.h>
+
+#include "partition/heuristics.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace pfair;
+
+std::vector<Rational> random_utils(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rational> u;
+  u.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::int64_t p = rng.uniform_int(3, 30);
+    u.emplace_back(rng.uniform_int(1, p), p);
+  }
+  return u;
+}
+
+void bm_partition(benchmark::State& state, Heuristic h) {
+  const auto u = random_utils(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition(u, 1 << 12, h));
+  }
+  // Also report packing quality (processors used) as a counter.
+  state.counters["procs"] =
+      static_cast<double>(partition(u, 1 << 12, h).processors_used);
+}
+
+void BM_FirstFit(benchmark::State& s) { bm_partition(s, Heuristic::kFirstFit); }
+void BM_BestFit(benchmark::State& s) { bm_partition(s, Heuristic::kBestFit); }
+void BM_WorstFit(benchmark::State& s) { bm_partition(s, Heuristic::kWorstFit); }
+void BM_FirstFitDecreasing(benchmark::State& s) {
+  bm_partition(s, Heuristic::kFirstFitDecreasing);
+}
+
+BENCHMARK(BM_FirstFit)->Arg(50)->Arg(250)->Arg(1000);
+BENCHMARK(BM_BestFit)->Arg(50)->Arg(250)->Arg(1000);
+BENCHMARK(BM_WorstFit)->Arg(50)->Arg(250)->Arg(1000);
+BENCHMARK(BM_FirstFitDecreasing)->Arg(50)->Arg(250)->Arg(1000);
+
+}  // namespace

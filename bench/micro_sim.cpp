@@ -1,0 +1,64 @@
+// End-to-end simulator throughput (slots/second) under each priority
+// rule — an ablation of the tie-break machinery on the full PD2 hot
+// path, plus the scaling with task and processor counts.
+#include <benchmark/benchmark.h>
+
+#include "sim/pfair_sim.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace pfair;
+
+void bm_sim(benchmark::State& state, Algorithm alg, int m) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + static_cast<std::uint64_t>(m));
+  const TaskSet set = generate_feasible_taskset(rng, m, n, 64, /*fill=*/true);
+  SimConfig cfg;
+  cfg.processors = m;
+  cfg.algorithm = alg;
+  PfairSimulator sim(cfg);
+  for (const Task& t : set.tasks()) sim.add_task(t);
+  Time horizon = 0;
+  for (auto _ : state) {
+    horizon += 256;
+    sim.run_until(horizon);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+  state.counters["misses"] = static_cast<double>(sim.metrics().deadline_misses);
+}
+
+void BM_Sim_PD2_1cpu(benchmark::State& s) { bm_sim(s, Algorithm::kPD2, 1); }
+void BM_Sim_PD2_4cpu(benchmark::State& s) { bm_sim(s, Algorithm::kPD2, 4); }
+void BM_Sim_PD2_16cpu(benchmark::State& s) { bm_sim(s, Algorithm::kPD2, 16); }
+void BM_Sim_PF_4cpu(benchmark::State& s) { bm_sim(s, Algorithm::kPF, 4); }
+void BM_Sim_PD_4cpu(benchmark::State& s) { bm_sim(s, Algorithm::kPD, 4); }
+void BM_Sim_EPDF_4cpu(benchmark::State& s) { bm_sim(s, Algorithm::kEPDF, 4); }
+
+BENCHMARK(BM_Sim_PD2_1cpu)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Sim_PD2_4cpu)->Arg(64)->Arg(256);
+BENCHMARK(BM_Sim_PD2_16cpu)->Arg(256)->Arg(1024);
+BENCHMARK(BM_Sim_PF_4cpu)->Arg(64)->Arg(256);
+BENCHMARK(BM_Sim_PD_4cpu)->Arg(64)->Arg(256);
+BENCHMARK(BM_Sim_EPDF_4cpu)->Arg(64)->Arg(256);
+
+void BM_Sim_Erfair(benchmark::State& state) {
+  // Early-release mode exercises the different eligibility path.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(99);
+  const TaskSet set =
+      generate_feasible_taskset(rng, 4, n, 64, true, TaskKind::kEarlyRelease);
+  SimConfig cfg;
+  cfg.processors = 4;
+  PfairSimulator sim(cfg);
+  for (const Task& t : set.tasks()) sim.add_task(t);
+  Time horizon = 0;
+  for (auto _ : state) {
+    horizon += 256;
+    sim.run_until(horizon);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_Sim_Erfair)->Arg(64)->Arg(256);
+
+}  // namespace

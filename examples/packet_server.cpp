@@ -1,0 +1,96 @@
+// Packet server: the intra-sporadic (IS) model on a network workload.
+//
+// The paper motivates IS tasks with packet processing: "Due to network
+// congestion and other factors, packets may arrive late or in bursts.
+// The IS model treats these possibilities as first-class concepts."
+//
+// This example schedules four packet-processing flows on two processors
+// under PD2.  Each flow's subtask i corresponds to processing packet i:
+//   - flows 1-2 are well-behaved (packets on time),
+//   - flow 3 suffers congestion (packets arrive with growing jitter:
+//     its windows shift right — an IS delay),
+//   - flow 4 is bursty (packets arrive early in clumps: subtasks become
+//     eligible before their Pfair releases, deadlines unchanged).
+//
+// Despite the arrival chaos, no shifted deadline is ever missed, and
+// each flow's long-run throughput matches its reserved rate.
+//
+// Build & run:  ./build/examples/packet_server
+#include <cstdio>
+#include <vector>
+
+#include "core/windows.h"
+#include "sim/pfair_sim.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace pfair;
+  Rng rng(2026);
+
+  constexpr Time kHorizon = 100000;
+
+  SimConfig cfg;
+  cfg.processors = 2;
+  PfairSimulator sim(cfg);
+
+  struct Flow {
+    const char* name;
+    std::int64_t e, p;
+    TaskId id;
+  };
+  std::vector<Flow> flows = {
+      {"flow-1 (steady, 1/4)", 1, 4, 0},
+      {"flow-2 (steady, 2/5)", 2, 5, 0},
+      {"flow-3 (congested, 1/3)", 1, 3, 0},
+      {"flow-4 (bursty, 3/10)", 3, 10, 0},
+  };
+
+  // Flows 1-2: on-time arrivals (empty arrival vector = periodic).
+  flows[0].id = sim.add_task(make_task(flows[0].e, flows[0].p, TaskKind::kIntraSporadic));
+  flows[1].id = sim.add_task(make_task(flows[1].e, flows[1].p, TaskKind::kIntraSporadic));
+
+  // Flow 3: congestion jitter — each packet up to 2 slots later than the
+  // previous one's schedule allows (cumulative lateness).
+  {
+    std::vector<Time> arrivals;
+    Time drift = 0;
+    for (SubtaskIndex i = 1; i <= kHorizon / flows[2].p + 1; ++i) {
+      if (rng.uniform01() < 0.3) drift += rng.uniform_int(1, 2);
+      arrivals.push_back(subtask_release(flows[2].e, flows[2].p, i) + drift);
+    }
+    flows[2].id =
+        sim.add_task(make_task(flows[2].e, flows[2].p, TaskKind::kIntraSporadic), arrivals);
+  }
+
+  // Flow 4: bursts — packets for a whole job arrive together at the
+  // job boundary (each subtask early within its job).
+  {
+    std::vector<Time> arrivals;
+    for (SubtaskIndex i = 1; i <= (kHorizon / flows[3].p + 1) * flows[3].e; ++i) {
+      const std::int64_t job = (i - 1) / flows[3].e;  // 0-based job index
+      arrivals.push_back(job * flows[3].p);           // whole burst at job start
+    }
+    flows[3].id =
+        sim.add_task(make_task(flows[3].e, flows[3].p, TaskKind::kIntraSporadic), arrivals);
+  }
+
+  sim.run_until(kHorizon);
+
+  std::printf("Packet server: 4 flows, 2 processors, %lld slots under PD2\n\n",
+              static_cast<long long>(kHorizon));
+  std::printf("  %-26s %10s %12s %10s\n", "flow", "reserved", "processed", "rate");
+  for (const Flow& f : flows) {
+    const double rate =
+        static_cast<double>(sim.allocated(f.id)) / static_cast<double>(kHorizon);
+    std::printf("  %-26s   %lld/%-5lld %10lld   %8.4f\n", f.name,
+                static_cast<long long>(f.e), static_cast<long long>(f.p),
+                static_cast<long long>(sim.allocated(f.id)), rate);
+  }
+  std::printf("\nshifted-deadline misses: %llu (IS guarantees hold despite jitter/bursts)\n",
+              static_cast<unsigned long long>(sim.metrics().deadline_misses));
+  std::printf("preemptions: %llu, migrations: %llu, context switches: %llu\n",
+              static_cast<unsigned long long>(sim.metrics().preemptions),
+              static_cast<unsigned long long>(sim.metrics().migrations),
+              static_cast<unsigned long long>(sim.metrics().context_switches));
+  return sim.metrics().deadline_misses == 0 ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Supertasks (paper Sec. 5.5 and Fig. 5).
+//
+// Reproduces Fig. 5: on two processors, normal tasks V = 1/2,
+// W = X = 1/3, Y = 2/9 run alongside supertask S = {T: 1/5, U: 1/45}
+// competing at its cumulative weight 2/9.  The Pfair server S receives
+// quanta in a pattern that leaves component T without a quantum in
+// [5, 10), so T misses its deadline at time 10 — even though the global
+// schedule itself is perfectly Pfair.
+//
+// The Holman-Anderson repair then reweights S by 1/p_min = 1/5
+// (competing weight 19/45) and the miss disappears.
+//
+// Build & run:  ./build/examples/supertask_demo
+#include <cstdio>
+
+#include "sim/pfair_sim.h"
+#include "workload/generator.h"
+
+using namespace pfair;
+
+namespace {
+
+void run(const SupertaskSpec& spec, const char* label, Time horizon) {
+  const Fig5System sys = fig5_system();
+  SimConfig cfg;
+  cfg.processors = 2;
+  cfg.record_trace = true;
+  PfairSimulator sim(cfg);
+  // Insertion order realises the paper's tie-break (S before Y).
+  sim.add_task(sys.normal_tasks[0]);
+  sim.add_task(sys.normal_tasks[1]);
+  sim.add_task(sys.normal_tasks[2]);
+  const TaskId s = sim.add_supertask(spec);
+  sim.add_task(sys.normal_tasks[3]);
+  sim.run_until(horizon);
+
+  std::printf("=== %s (S competes at %s) ===\n", label,
+              spec.competing_weight().to_string().c_str());
+  std::printf("schedule, slots 0..%lld:\n%s", static_cast<long long>(horizon - 1),
+              sim.trace().render(sim.task_names()).c_str());
+  std::printf("component T (1/5) deadline misses: %llu\n",
+              static_cast<unsigned long long>(sim.component_miss_count(s, 0)));
+  std::printf("component U (1/45) deadline misses: %llu\n",
+              static_cast<unsigned long long>(sim.component_miss_count(s, 1)));
+  if (sim.metrics().first_miss_time >= 0) {
+    std::printf("first miss at time %lld\n", static_cast<long long>(sim.metrics().first_miss_time));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const Fig5System sys = fig5_system();
+
+  // Fig. 5 as printed: S at its cumulative weight misses.
+  run(sys.supertask, "Fig. 5: unweighted supertask", 15);
+
+  // Holman-Anderson reweighting: inflate by 1/p_min.
+  const SupertaskSpec repaired = make_reweighted_supertask(sys.supertask.components, "S");
+  run(repaired, "Reweighted supertask (+1/p_min)", 45);
+
+  std::printf("The supertask approach binds component tasks to one processor (no\n"
+              "migration) while the server competes globally; the reweighting cost is\n"
+              "the price of that isolation (here %s extra weight).\n",
+              (repaired.competing_weight() - sys.supertask.competing_weight())
+                  .to_string()
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Lag bookkeeping (paper Sec. 2).
+//
+// lag(T, t) = wt(T) * t - (quanta allocated to T in [0, t)).  A schedule
+// is Pfair iff -1 < lag(T, t) < 1 for all T and t.  Exact rationals keep
+// the strict inequalities testable.
+#pragma once
+
+#include "util/rational.h"
+#include "util/types.h"
+
+namespace pfair {
+
+/// Exact lag of a task with weight e/p that has received `allocated`
+/// quanta by time `t` (synchronous start at time 0).
+[[nodiscard]] inline Rational lag(std::int64_t e, std::int64_t p, Time t,
+                                  std::int64_t allocated) noexcept {
+  return Rational(e, p) * Rational(t) - Rational(allocated);
+}
+
+/// True iff -1 < lag < 1 (the Pfair condition, Eq. (1)).
+[[nodiscard]] inline bool lag_within_pfair_bounds(std::int64_t e, std::int64_t p, Time t,
+                                                  std::int64_t allocated) noexcept {
+  const Rational l = lag(e, p, t, allocated);
+  return Rational(-1) < l && l < Rational(1);
+}
+
+/// ERfair only requires the upper bound (subtasks may run arbitrarily
+/// early, so lag may be any negative value, but must stay < 1).
+[[nodiscard]] inline bool lag_within_erfair_bounds(std::int64_t e, std::int64_t p, Time t,
+                                                   std::int64_t allocated) noexcept {
+  return lag(e, p, t, allocated) < Rational(1);
+}
+
+}  // namespace pfair

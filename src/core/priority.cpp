@@ -1,0 +1,85 @@
+#include "core/priority.h"
+
+namespace pfair {
+
+const char* algorithm_name(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kPD2:
+      return "PD2";
+    case Algorithm::kPF:
+      return "PF";
+    case Algorithm::kPD:
+      return "PD";
+    case Algorithm::kEPDF:
+      return "EPDF";
+    case Algorithm::kWRR:
+      return "WRR";
+  }
+  return "?";
+}
+
+SubtaskRef make_subtask_ref(TaskId task, std::int64_t e, std::int64_t p, SubtaskIndex i,
+                            Time offset) noexcept {
+  SubtaskRef s;
+  s.task = task;
+  s.index = i;
+  s.e = e;
+  s.p = p;
+  s.offset = offset;
+  s.release = offset + subtask_release(e, p, i);
+  s.deadline = offset + subtask_deadline(e, p, i);
+  s.b = b_bit(e, p, i);
+  s.group_dl = is_heavy(e, p) ? offset + group_deadline(e, p, i) : 0;
+  return s;
+}
+
+bool pd2_higher_priority(const SubtaskRef& a, const SubtaskRef& b) noexcept {
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  if (a.b != b.b) return a.b > b.b;
+  if (a.b == 1 && a.group_dl != b.group_dl) return a.group_dl > b.group_dl;
+  return a.task < b.task;
+}
+
+bool epdf_higher_priority(const SubtaskRef& a, const SubtaskRef& b) noexcept {
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.task < b.task;
+}
+
+bool pd_higher_priority(const SubtaskRef& a, const SubtaskRef& b) noexcept {
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  if (a.b != b.b) return a.b > b.b;
+  if (a.b == 1 && a.group_dl != b.group_dl) return a.group_dl > b.group_dl;
+  // PD's historical extra tie-breaks resolved weight comparisons in
+  // constant time; we keep the same effect: heavier task first (compare
+  // e_a/p_a vs e_b/p_b by cross multiplication), then stable id.
+  const std::int64_t lhs = a.e * b.p;
+  const std::int64_t rhs = b.e * a.p;
+  if (lhs != rhs) return lhs > rhs;
+  return a.task < b.task;
+}
+
+bool pf_higher_priority(const SubtaskRef& a, const SubtaskRef& b) noexcept {
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  if (a.b != b.b) return a.b > b.b;
+  if (a.b == 0) return a.task < b.task;  // both b = 0: genuine tie
+  // Both b = 1 with equal deadlines: compare successor chains
+  // lexicographically by (deadline, b-bit) until they diverge or a
+  // subtask with b = 0 is reached.  Chains of two tasks either diverge
+  // within lcm(p_a, p_b) slots or the tasks have equal weight and
+  // perpetually aligned windows (a true tie); capping at p_a + p_b
+  // steps is enough to distinguish all diverging cases because window
+  // patterns repeat with period e (one job) in subtask index.
+  const SubtaskIndex cap = a.e + b.e + 2;
+  for (SubtaskIndex k = 1; k <= cap; ++k) {
+    const Time da = a.offset + subtask_deadline(a.e, a.p, a.index + k);
+    const Time db = b.offset + subtask_deadline(b.e, b.p, b.index + k);
+    if (da != db) return da < db;
+    const int ba = b_bit(a.e, a.p, a.index + k);
+    const int bb = b_bit(b.e, b.p, b.index + k);
+    if (ba != bb) return ba > bb;
+    if (ba == 0) break;  // both chains end a cascade here: tie
+  }
+  return a.task < b.task;
+}
+
+}  // namespace pfair

@@ -1,0 +1,90 @@
+// Subtask priority rules: PD2, PF, PD (paper Sec. 2).
+//
+// All three optimal Pfair algorithms order subtasks earliest-pseudo-
+// deadline-first and differ only in tie-breaking:
+//
+//   PF  [Baruah et al. 96]: b-bit, then lexicographic comparison of the
+//        successor subtasks' (deadline, b-bit) chains.
+//   PD  [Baruah, Gehrke, Plaxton 95]: a constant-time refinement of PF.
+//        We implement it as PD2's rules plus further deterministic
+//        tie-breaks (heavier weight first, then task id).  Any
+//        refinement of PD2's rules is optimal, since PD2's rules alone
+//        are sufficient for optimality [Srinivasan & Anderson 02].
+//   PD2 [Anderson & Srinivasan 00]: b-bit, then *later* group deadline.
+#pragma once
+
+#include <cstdint>
+
+#include "core/windows.h"
+#include "util/types.h"
+
+namespace pfair {
+
+/// Which priority rule a scheduler uses.
+enum class Algorithm : std::uint8_t { kPD2, kPF, kPD, kEPDF, kWRR };
+
+[[nodiscard]] const char* algorithm_name(Algorithm a) noexcept;
+
+/// A schedulable subtask instance in the ready queue.  Carries the task
+/// parameters so comparators are self-contained (PF recursion needs
+/// them), plus cached absolute timing.
+struct SubtaskRef {
+  TaskId task = kNoTask;
+  SubtaskIndex index = 1;   ///< i (1-based within the task's subtask chain)
+  std::int64_t e = 1;       ///< task execution cost (quanta)
+  std::int64_t p = 1;       ///< task period (quanta)
+  Time offset = 0;          ///< absolute shift of this subtask's windows (IS θ)
+  Time release = 0;         ///< absolute pseudo-release offset + r(T_i)
+  Time deadline = 1;        ///< absolute pseudo-deadline offset + d(T_i)
+  int b = 0;                ///< b-bit
+  Time group_dl = 0;        ///< absolute group deadline (0 for light tasks)
+};
+
+/// Builds a SubtaskRef with all derived fields filled in.
+[[nodiscard]] SubtaskRef make_subtask_ref(TaskId task, std::int64_t e, std::int64_t p,
+                                          SubtaskIndex i, Time offset) noexcept;
+
+/// Strict "higher priority than" under PD2: earlier deadline; then b = 1
+/// beats b = 0; then (both b = 1) later group deadline; then task id.
+[[nodiscard]] bool pd2_higher_priority(const SubtaskRef& a, const SubtaskRef& b) noexcept;
+
+/// Strict "higher priority than" under PF (lexicographic successor
+/// comparison, capped — see .cpp).
+[[nodiscard]] bool pf_higher_priority(const SubtaskRef& a, const SubtaskRef& b) noexcept;
+
+/// Strict "higher priority than" under PD (PD2 rules + weight + id).
+[[nodiscard]] bool pd_higher_priority(const SubtaskRef& a, const SubtaskRef& b) noexcept;
+
+/// Earliest-pseudo-deadline-first with *no* tie-breaks beyond task id.
+/// Not optimal (used as an ablation baseline showing the tie-breaks
+/// matter).
+[[nodiscard]] bool epdf_higher_priority(const SubtaskRef& a, const SubtaskRef& b) noexcept;
+
+/// Comparator functor selecting one of the rules at construction; usable
+/// as the Less parameter of BinaryHeap.
+class SubtaskPriority {
+ public:
+  explicit SubtaskPriority(Algorithm alg = Algorithm::kPD2) noexcept : alg_(alg) {}
+
+  [[nodiscard]] bool operator()(const SubtaskRef& a, const SubtaskRef& b) const noexcept {
+    switch (alg_) {
+      case Algorithm::kPF:
+        return pf_higher_priority(a, b);
+      case Algorithm::kPD:
+        return pd_higher_priority(a, b);
+      case Algorithm::kEPDF:
+        return epdf_higher_priority(a, b);
+      case Algorithm::kWRR:  // WRR has no subtask priorities; fall through
+      case Algorithm::kPD2:
+        return pd2_higher_priority(a, b);
+    }
+    return pd2_higher_priority(a, b);
+  }
+
+  [[nodiscard]] Algorithm algorithm() const noexcept { return alg_; }
+
+ private:
+  Algorithm alg_;
+};
+
+}  // namespace pfair

@@ -1,0 +1,40 @@
+#include "core/supertask.h"
+
+#include <utility>
+
+namespace pfair {
+
+namespace {
+
+SupertaskSpec build(std::vector<Task> components, Rational weight, std::string name) {
+  assert(!components.empty());
+  assert(Rational(0) < weight && weight <= Rational(1));
+  SupertaskSpec s;
+  s.components = std::move(components);
+  s.execution = weight.num();
+  s.period = weight.den();
+  s.name = std::move(name);
+  return s;
+}
+
+}  // namespace
+
+SupertaskSpec make_supertask(std::vector<Task> components, std::string name) {
+  Rational w(0);
+  for (const Task& c : components) w += c.weight();
+  return build(std::move(components), w, std::move(name));
+}
+
+SupertaskSpec make_reweighted_supertask(std::vector<Task> components, std::string name) {
+  Rational w(0);
+  std::int64_t pmin = components.empty() ? 1 : components.front().period;
+  for (const Task& c : components) {
+    w += c.weight();
+    if (c.period < pmin) pmin = c.period;
+  }
+  w += Rational(1, pmin);
+  if (Rational(1) < w) w = Rational(1);
+  return build(std::move(components), w, std::move(name));
+}
+
+}  // namespace pfair

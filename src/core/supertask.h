@@ -1,0 +1,60 @@
+// Supertasks (paper Sec. 5.5, after Moir & Ramamurthy 1999 and
+// Holman & Anderson 2001).
+//
+// A supertask S replaces a set of component tasks that are statically
+// bound to one processor.  S competes in the global Pfair schedule with
+// (at least) the cumulative weight of its components; whenever S is
+// allocated a quantum, an internal uniprocessor scheduler (EDF here)
+// picks which component runs.  With weight exactly equal to the
+// cumulative component weight, components can miss deadlines under PF /
+// PD / PD2 (Fig. 5); Holman & Anderson showed that inflating S's weight
+// by 1/p_min (p_min = smallest component period) restores all component
+// deadlines when EDF is used internally.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "core/task.h"
+#include "util/rational.h"
+
+namespace pfair {
+
+/// Static description of a supertask: its component tasks plus the
+/// weight it competes with in the global schedule.
+struct SupertaskSpec {
+  std::vector<Task> components;
+  /// Weight S competes with, as a reduced fraction e/p.  Built by the
+  /// factories below.
+  std::int64_t execution = 0;
+  std::int64_t period = 1;
+  std::string name;
+
+  [[nodiscard]] Rational competing_weight() const noexcept {
+    return Rational(execution, period);
+  }
+  [[nodiscard]] Rational cumulative_component_weight() const noexcept {
+    Rational sum(0);
+    for (const Task& c : components) sum += c.weight();
+    return sum;
+  }
+  [[nodiscard]] std::int64_t min_component_period() const noexcept {
+    std::int64_t m = components.empty() ? 1 : components.front().period;
+    for (const Task& c : components)
+      if (c.period < m) m = c.period;
+    return m;
+  }
+};
+
+/// Supertask competing with exactly the cumulative component weight
+/// (the Moir–Ramamurthy construction that Fig. 5 shows can miss).
+[[nodiscard]] SupertaskSpec make_supertask(std::vector<Task> components, std::string name = {});
+
+/// Supertask with the Holman–Anderson reweighting: competing weight =
+/// cumulative weight + 1/p_min, capped at 1.  Sufficient for internal
+/// EDF to meet all component deadlines.
+[[nodiscard]] SupertaskSpec make_reweighted_supertask(std::vector<Task> components,
+                                                      std::string name = {});
+
+}  // namespace pfair

@@ -1,0 +1,70 @@
+#include "core/supertask_packing.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pfair {
+
+namespace {
+
+/// Competing weight of a component group under the given policy.
+Rational group_weight(const std::vector<Task>& components, bool reweight) {
+  Rational w(0);
+  std::int64_t pmin = 0;
+  for (const Task& c : components) {
+    w += c.weight();
+    if (pmin == 0 || c.period < pmin) pmin = c.period;
+  }
+  if (reweight && pmin > 0) w += Rational(1, pmin);
+  return w;
+}
+
+}  // namespace
+
+PackingResult pack_into_supertasks(const TaskSet& tasks, int groups, bool reweight) {
+  PackingResult res;
+  std::vector<std::vector<Task>> bins;
+
+  // First-fit decreasing by weight: heavy tasks seed groups, light
+  // tasks fill the gaps (and light tasks are also the ones whose
+  // context-switch savings motivate packing).
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[static_cast<TaskId>(b)].weight() < tasks[static_cast<TaskId>(a)].weight();
+  });
+
+  for (const std::size_t i : order) {
+    const Task& t = tasks[static_cast<TaskId>(i)];
+    bool placed = false;
+    for (auto& bin : bins) {
+      bin.push_back(t);
+      if (group_weight(bin, reweight) <= Rational(1)) {
+        placed = true;
+        break;
+      }
+      bin.pop_back();
+    }
+    if (!placed && static_cast<int>(bins.size()) < groups) {
+      bins.emplace_back();
+      bins.back().push_back(t);
+      if (group_weight(bins.back(), reweight) <= Rational(1)) {
+        placed = true;
+      } else {
+        bins.pop_back();  // task too heavy to host even alone (reweighted)
+      }
+    }
+    if (!placed) res.migratory.push_back(t);
+  }
+
+  for (auto& bin : bins) {
+    SupertaskSpec spec = reweight ? make_reweighted_supertask(std::move(bin))
+                                  : make_supertask(std::move(bin));
+    res.total_weight += spec.competing_weight();
+    res.supertasks.push_back(std::move(spec));
+  }
+  for (const Task& t : res.migratory) res.total_weight += t.weight();
+  return res;
+}
+
+}  // namespace pfair

@@ -1,0 +1,104 @@
+// Task model: periodic, sporadic, and intra-sporadic (IS) tasks.
+//
+// All timing parameters are integer quanta.  A task's rate is its weight
+// e/p; the IS generalisation allows per-subtask eligibility slack (late
+// "packet arrivals" shift the remaining window chain; early arrivals make
+// a subtask eligible before its Pfair release without moving its
+// deadline — paper Sec. 2, "Rate-based Pfair").
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/windows.h"
+#include "util/rational.h"
+#include "util/types.h"
+
+namespace pfair {
+
+/// How subtasks of a task become eligible.
+enum class TaskKind : std::uint8_t {
+  kPeriodic,       ///< subtask T_i eligible exactly at r(T_i)
+  kEarlyRelease,   ///< ERfair: eligible as soon as predecessor completes
+  kIntraSporadic,  ///< eligibility controlled by external arrivals
+};
+
+/// Static description of a task submitted to the scheduler.
+struct Task {
+  std::int64_t execution = 1;  ///< e: quanta per job
+  std::int64_t period = 1;     ///< p: quanta between ideal job releases
+  Time phase = 0;              ///< release offset of the first job
+                               ///< (asynchronous periodic systems, [4])
+  TaskKind kind = TaskKind::kPeriodic;
+  std::string name;  ///< optional label used in traces
+
+  [[nodiscard]] Rational weight() const noexcept { return Rational(execution, period); }
+  [[nodiscard]] bool heavy() const noexcept { return is_heavy(execution, period); }
+  [[nodiscard]] bool valid() const noexcept {
+    return execution > 0 && period > 0 && execution <= period && phase >= 0;
+  }
+};
+
+/// Convenience factory.
+[[nodiscard]] inline Task make_task(std::int64_t e, std::int64_t p,
+                                    TaskKind kind = TaskKind::kPeriodic,
+                                    std::string name = {}) {
+  Task t;
+  t.execution = e;
+  t.period = p;
+  t.kind = kind;
+  t.name = std::move(name);
+  assert(t.valid());
+  return t;
+}
+
+/// A set of tasks plus aggregate feasibility queries.
+class TaskSet {
+ public:
+  TaskSet() = default;
+  explicit TaskSet(std::vector<Task> tasks) : tasks_(std::move(tasks)) {}
+
+  TaskId add(Task t) {
+    assert(t.valid());
+    tasks_.push_back(std::move(t));
+    return static_cast<TaskId>(tasks_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] const Task& operator[](TaskId id) const noexcept { return tasks_[id]; }
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept { return tasks_; }
+
+  /// Exact total utilization sum(e_i / p_i).
+  [[nodiscard]] Rational total_weight() const noexcept {
+    Rational sum(0);
+    for (const Task& t : tasks_) sum += t.weight();
+    return sum;
+  }
+
+  /// Pfair feasibility on m processors (paper Eq. (2)): sum wt(T) <= m.
+  [[nodiscard]] bool feasible_on(int m) const noexcept {
+    return total_weight() <= Rational(m) &&
+           static_cast<std::size_t>(m) > 0;
+  }
+
+  /// Smallest m for which the set is Pfair-feasible.
+  [[nodiscard]] int min_processors() const noexcept {
+    return static_cast<int>(total_weight().ceil());
+  }
+
+  /// LCM of all periods (saturating); the schedule repeats with this
+  /// period for synchronous periodic systems.
+  [[nodiscard]] std::int64_t hyperperiod() const noexcept {
+    std::int64_t h = 1;
+    for (const Task& t : tasks_) h = saturating_lcm(h, t.period);
+    return h;
+  }
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace pfair

@@ -1,0 +1,44 @@
+#include "core/window_diagram.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/windows.h"
+
+namespace pfair {
+
+std::string render_window_diagram(std::int64_t e, std::int64_t p, SubtaskIndex first,
+                                  SubtaskIndex last, const std::vector<Time>& offsets) {
+  std::ostringstream os;
+  Time width = 0;
+  const auto offset_of = [&](SubtaskIndex i) -> Time {
+    const std::size_t k = static_cast<std::size_t>(i - first);
+    return k < offsets.size() ? offsets[k] : (offsets.empty() ? 0 : offsets.back());
+  };
+  for (SubtaskIndex i = first; i <= last; ++i) {
+    width = std::max(width, offset_of(i) + subtask_deadline(e, p, i));
+  }
+  for (SubtaskIndex i = last; i >= first; --i) {  // top row = latest, like Fig. 1
+    const Time off = offset_of(i);
+    const Time r = off + subtask_release(e, p, i);
+    const Time d = off + subtask_deadline(e, p, i);
+    os << "T" << i << (i < 10 ? "  |" : " |");
+    for (Time t = 0; t < width; ++t) {
+      if (t < r || t >= d) {
+        os << ' ';
+      } else if (t == r) {
+        os << '[';
+      } else {
+        os << '=';
+      }
+    }
+    os << "|\n";
+  }
+  os << "    +";
+  for (Time t = 0; t < width; ++t)
+    os << (t % 5 == 0 ? static_cast<char>('0' + (t / 5) % 10) : '-');
+  os << "+  (digit marks every 5 slots)\n";
+  return os.str();
+}
+
+}  // namespace pfair

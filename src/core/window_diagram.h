@@ -1,0 +1,24 @@
+// ASCII rendering of Pfair subtask windows, in the style of the paper's
+// Fig. 1: one row per subtask, a bar spanning [r(T_i), d(T_i)).
+//
+//   T3  |    [=====)      |
+//
+// Supports the intra-sporadic variant (per-subtask offsets) so both
+// Fig. 1(a) and Fig. 1(b) can be reproduced.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pfair {
+
+/// Renders the windows of subtasks first..last of a periodic task with
+/// weight e/p.  `offsets[i - first]` shifts subtask i (pass {} for a
+/// synchronous periodic task).  Columns cover [0, max deadline).
+[[nodiscard]] std::string render_window_diagram(std::int64_t e, std::int64_t p,
+                                                SubtaskIndex first, SubtaskIndex last,
+                                                const std::vector<Time>& offsets = {});
+
+}  // namespace pfair

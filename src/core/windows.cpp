@@ -1,0 +1,25 @@
+#include "core/windows.h"
+
+namespace pfair {
+
+Time group_deadline_by_definition(std::int64_t e, std::int64_t p, SubtaskIndex i) {
+  assert(e > 0 && e <= p && i >= 1);
+  if (!is_heavy(e, p)) return 0;
+  if (e == p) return subtask_deadline(e, p, i) + p;
+  const Time di = subtask_deadline(e, p, i);
+  // Scan candidate ending times t >= d(T_i).  Both conditions reference a
+  // subtask T_k with k >= i; deadlines advance by p every e subtasks, so
+  // scanning k in [i, i + e + 1] covers one full period past d(T_i),
+  // which must contain a cascade end (every job ends with b = 0).
+  Time best = -1;
+  for (SubtaskIndex k = i; k <= i + e + 1; ++k) {
+    const Time dk = subtask_deadline(e, p, k);
+    if (b_bit(e, p, k) == 0 && dk >= di && (best < 0 || dk < best)) best = dk;
+    if (window_length(e, p, k) == 3 && dk - 1 >= di && (best < 0 || dk - 1 < best))
+      best = dk - 1;
+  }
+  assert(best >= 0);
+  return best;
+}
+
+}  // namespace pfair

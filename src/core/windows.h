@@ -1,0 +1,88 @@
+// Pfair subtask window algebra (paper Sec. 2).
+//
+// A periodic task T with integer execution cost e and integer period p
+// (weight wt(T) = e/p, 0 < e <= p) is divided into quantum-length
+// subtasks T_1, T_2, ...  Subtask T_i must execute inside its window
+// [r(T_i), d(T_i)) or the Pfair lag bound (-1, 1) is violated:
+//
+//   r(T_i) = floor((i-1) / wt(T)) = floor((i-1) * p / e)
+//   d(T_i) = ceil(i / wt(T))      = ceil(i * p / e)
+//
+// All functions here are pure integer arithmetic on (e, p, i); absolute
+// times for later jobs / IS offsets are obtained by shifting.
+#pragma once
+
+#include "util/math.h"
+#include "util/types.h"
+
+namespace pfair {
+
+/// Pseudo-release of subtask i (1-based) of a task with weight e/p.
+[[nodiscard]] constexpr Time subtask_release(std::int64_t e, std::int64_t p,
+                                             SubtaskIndex i) noexcept {
+  assert(e > 0 && e <= p && i >= 1);
+  return floor_div(checked_mul(i - 1, p), e);
+}
+
+/// Pseudo-deadline of subtask i: the subtask must be scheduled in a slot
+/// strictly before this time.
+[[nodiscard]] constexpr Time subtask_deadline(std::int64_t e, std::int64_t p,
+                                              SubtaskIndex i) noexcept {
+  assert(e > 0 && e <= p && i >= 1);
+  return ceil_div(checked_mul(i, p), e);
+}
+
+/// Window length |w(T_i)| = d(T_i) - r(T_i).
+[[nodiscard]] constexpr Time window_length(std::int64_t e, std::int64_t p,
+                                           SubtaskIndex i) noexcept {
+  return subtask_deadline(e, p, i) - subtask_release(e, p, i);
+}
+
+/// PD2 b-bit: 1 iff w(T_i) overlaps w(T_{i+1}), i.e. r(T_{i+1}) = d(T_i)-1,
+/// which holds exactly when i*p is not a multiple of e.
+[[nodiscard]] constexpr int b_bit(std::int64_t e, std::int64_t p, SubtaskIndex i) noexcept {
+  assert(e > 0 && e <= p && i >= 1);
+  return checked_mul(i, p) % e != 0 ? 1 : 0;
+}
+
+/// True iff weight e/p is "heavy" (wt >= 1/2).  Heavy tasks are the only
+/// ones with length-2 windows, and the only ones with nonzero group
+/// deadlines.
+[[nodiscard]] constexpr bool is_heavy(std::int64_t e, std::int64_t p) noexcept {
+  return 2 * e >= p;
+}
+
+/// PD2 group deadline of subtask i (paper Sec. 2): the earliest time by
+/// which a cascade of forced length-2-window allocations starting at T_i
+/// must end.  Closed form for a heavy task of weight e/p < 1:
+///
+///   D(T_i) = ceil( ceil(d(T_i) * (p-e) / p) * p / (p-e) )
+///
+/// By convention D = 0 for light tasks (they have no length-2 windows)
+/// and for weight-1 tasks (every slot is a window; cascades never end,
+/// but such a task is always scheduled, so the tie-break is moot — we
+/// return a value larger than any deadline in the first job instead).
+[[nodiscard]] constexpr Time group_deadline(std::int64_t e, std::int64_t p,
+                                            SubtaskIndex i) noexcept {
+  assert(e > 0 && e <= p && i >= 1);
+  if (!is_heavy(e, p)) return 0;
+  if (e == p) return subtask_deadline(e, p, i) + p;  // weight 1: see doc block
+  const std::int64_t d = subtask_deadline(e, p, i);
+  const std::int64_t k = ceil_div(checked_mul(d, p - e), p);
+  return ceil_div(checked_mul(k, p), p - e);
+}
+
+/// Group deadline computed directly from the paper's definition (earliest
+/// t >= d(T_i) such that (t = d(T_k) && b(T_k) = 0) or (t + 1 = d(T_k) &&
+/// |w(T_k)| = 3) for some k >= i).  O(p) scan; used as the test oracle
+/// for the closed form above.
+[[nodiscard]] Time group_deadline_by_definition(std::int64_t e, std::int64_t p, SubtaskIndex i);
+
+/// Number of subtasks of a job: job k (1-based) of T consists of subtasks
+/// (k-1)*e + 1 ... k*e, and its windows satisfy
+/// r(T_{i+e}) = r(T_i) + p,  d(T_{i+e}) = d(T_i) + p.
+[[nodiscard]] constexpr SubtaskIndex job_first_subtask(std::int64_t e, std::int64_t k) noexcept {
+  return checked_mul(k - 1, e) + 1;
+}
+
+}  // namespace pfair

@@ -1,0 +1,75 @@
+#include "overhead/calibrate.h"
+
+#include "sim/pfair_sim.h"
+#include "uniproc/uni_sim.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace pfair {
+
+namespace {
+
+/// Integer task set shared by both measurement backends.
+std::vector<Task> calibration_taskset(Rng& rng, std::size_t n, double u_cap) {
+  const std::vector<UniTask> uni = generate_uni_tasks(rng, n, u_cap, 20000);
+  std::vector<Task> out;
+  out.reserve(uni.size());
+  for (const UniTask& t : uni) out.push_back(make_task(t.execution, t.period));
+  return out;
+}
+
+}  // namespace
+
+SchedCostModel calibrate_sched_costs(const CalibrationConfig& config) {
+  SchedCostModel model;  // overwritten entirely below
+  Rng master(config.seed);
+
+  std::array<double, 9> edf_row{};
+  std::array<std::array<double, 9>, 5> pd2_rows{};
+
+  for (std::size_t ni = 0; ni < SchedCostModel::kTaskCounts.size(); ++ni) {
+    const auto n = static_cast<std::size_t>(SchedCostModel::kTaskCounts[ni]);
+    double edf_sum = 0.0;
+    std::array<double, 5> pd2_sum{};
+    for (std::int64_t s = 0; s < config.sets; ++s) {
+      Rng rng = master.fork(static_cast<std::uint64_t>(ni) * 64 +
+                            static_cast<std::uint64_t>(s));
+      // EDF on one processor, util <= 1.
+      {
+        const std::vector<Task> tasks = calibration_taskset(rng, n, 0.98);
+        std::vector<UniTask> uni;
+        uni.reserve(tasks.size());
+        for (const Task& t : tasks) uni.push_back({t.execution, t.period});
+        UniSimConfig uc;
+        uc.algorithm = UniAlgorithm::kEDF;
+        uc.measure_overhead = true;
+        UniprocSimulator sim(std::move(uni), uc);
+        sim.run_until(config.horizon * 20);
+        edf_sum += sim.metrics().avg_sched_ns() / 1000.0;
+      }
+      // PD2 at each tabulated processor count, util <= 0.95 m.
+      for (std::size_t mi = 0; mi < SchedCostModel::kProcCounts.size(); ++mi) {
+        const int m = static_cast<int>(SchedCostModel::kProcCounts[mi]);
+        const std::vector<Task> tasks =
+            calibration_taskset(rng, n, 0.95 * static_cast<double>(m));
+        SimConfig sc;
+        sc.processors = m;
+        sc.measure_overhead = true;
+        PfairSimulator sim(sc);
+        for (const Task& t : tasks) sim.add_task(t);
+        sim.run_until(config.horizon);
+        pd2_sum[mi] += sim.metrics().avg_sched_ns() / 1000.0;
+      }
+    }
+    edf_row[ni] = edf_sum / static_cast<double>(config.sets);
+    for (std::size_t mi = 0; mi < pd2_rows.size(); ++mi)
+      pd2_rows[mi][ni] = pd2_sum[mi] / static_cast<double>(config.sets);
+  }
+
+  model.set_edf_table(edf_row);
+  for (std::size_t mi = 0; mi < pd2_rows.size(); ++mi)
+    model.set_pd2_table(mi, pd2_rows[mi]);
+  return model;
+}
+
+}  // namespace pfair

@@ -1,0 +1,30 @@
+// Host calibration of the scheduling-cost tables.
+//
+// The paper's Fig.-3/4 experiments used S_EDF and S_PD2 "chosen based on
+// the values obtained by us in the scheduling-overhead experiments"
+// (Fig. 2).  This module reproduces that pipeline: measure the
+// per-invocation cost of both schedulers on the build host across the
+// paper's (task count, processor count) grid and return a
+// SchedCostModel filled with the measurements, ready to drop into
+// OverheadParams.  The default paper-magnitude tables remain available
+// for reproducible offline runs.
+#pragma once
+
+#include <cstdint>
+
+#include "overhead/params.h"
+
+namespace pfair {
+
+struct CalibrationConfig {
+  std::int64_t horizon = 20000;  ///< slots simulated per grid point
+  std::int64_t sets = 3;         ///< task sets averaged per grid point
+  std::uint64_t seed = 1;
+};
+
+/// Measures EDF (1 processor) and PD2 (1..16 processors) invocation
+/// costs across the paper's task-count grid.  Takes a few seconds at
+/// the default settings.
+[[nodiscard]] SchedCostModel calibrate_sched_costs(const CalibrationConfig& config = {});
+
+}  // namespace pfair

@@ -1,0 +1,79 @@
+#include "overhead/params.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pfair {
+
+namespace {
+
+/// Piecewise-linear interpolation over a tabulated grid; clamped at the
+/// ends (costs outside the measured range are not extrapolated).
+template <std::size_t N>
+[[nodiscard]] double interp(const std::array<double, N>& xs, const std::array<double, N>& ys,
+                            double x) {
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  for (std::size_t i = 1; i < N; ++i) {
+    if (x <= xs[i]) {
+      const double f = (x - xs[i - 1]) / (xs[i] - xs[i - 1]);
+      return ys[i - 1] + f * (ys[i] - ys[i - 1]);
+    }
+  }
+  return ys.back();
+}
+
+}  // namespace
+
+SchedCostModel SchedCostModel::paper_defaults() {
+  SchedCostModel m;
+  // Magnitudes read off the paper's Fig. 2 (933 MHz platform):
+  // EDF stays ~2 us even at 1000 tasks; PD2 reaches ~7.5 us at 1000
+  // tasks on one processor and ~55 us at 1000 tasks on 16 processors.
+  m.edf_ = {0.5, 0.6, 0.7, 0.85, 1.0, 1.3, 1.6, 1.8, 2.0};
+  m.pd2_[0] = {0.8, 1.0, 1.3, 1.6, 2.0, 3.4, 5.0, 6.3, 7.5};    // m = 1
+  m.pd2_[1] = {1.1, 1.4, 1.9, 2.4, 2.9, 5.0, 7.4, 9.3, 11.0};   // m = 2
+  m.pd2_[2] = {1.6, 2.1, 2.8, 3.6, 4.4, 7.6, 11.2, 14.2, 17.0}; // m = 4
+  m.pd2_[3] = {2.6, 3.4, 4.6, 5.9, 7.2, 12.6, 18.7, 23.8, 28.5};// m = 8
+  m.pd2_[4] = {4.5, 6.0, 8.1, 10.4, 12.7, 22.5, 33.8, 43.5, 52.5};  // m = 16
+  return m;
+}
+
+double SchedCostModel::edf_us(double n) const {
+  return interp(kTaskCounts, edf_, n);
+}
+
+double SchedCostModel::pd2_us(double n, int m) const {
+  assert(m >= 1);
+  const double mf = static_cast<double>(m);
+  if (mf <= kProcCounts.front()) return interp(kTaskCounts, pd2_.front(), n);
+  if (mf >= kProcCounts.back()) {
+    // Beyond 16 processors the cost is clamped at the measured
+    // 16-processor row, exactly as task counts are clamped at 1000.
+    // (Linearly extrapolating the selection loop's m-dependence instead
+    // makes PD2's per-quantum overhead eat double-digit percentages of
+    // a 1 ms quantum around m ~ 100 and diverges the Fig.-3 search —
+    // behaviour absent from the paper's figures, which plot m <= ~70
+    // using measured costs only.)
+    return interp(kTaskCounts, pd2_.back(), n);
+  }
+  for (std::size_t i = 1; i < kProcCounts.size(); ++i) {
+    if (mf <= kProcCounts[i]) {
+      const double lo = interp(kTaskCounts, pd2_[i - 1], n);
+      const double hi = interp(kTaskCounts, pd2_[i], n);
+      const double f = (mf - kProcCounts[i - 1]) / (kProcCounts[i] - kProcCounts[i - 1]);
+      return lo + f * (hi - lo);
+    }
+  }
+  return interp(kTaskCounts, pd2_.back(), n);
+}
+
+void SchedCostModel::set_edf_table(const std::array<double, 9>& us) { edf_ = us; }
+
+void SchedCostModel::set_pd2_table(std::size_t proc_index, const std::array<double, 9>& us) {
+  assert(proc_index < pd2_.size());
+  pd2_[proc_index] = us;
+}
+
+}  // namespace pfair

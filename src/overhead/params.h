@@ -1,0 +1,58 @@
+// System-overhead parameters (paper Sec. 4).
+//
+// Three overheads are modelled, exactly as in the paper:
+//   - scheduling overhead S_A: time per invocation of scheduling
+//     algorithm A (a function of the task count, and for PD2 also of the
+//     processor count, since its decisions are made sequentially by one
+//     scheduler);
+//   - context-switch cost C (paper: 5 us; modern range 1-10 us);
+//   - cache-related preemption delay D(T) (paper: drawn uniformly from
+//     [0, 100] us, mean 33.3 us).
+//
+// The default scheduling-cost tables mirror the magnitudes of the
+// paper's Fig. 2 measurements; `from_measurement` lets benches replace
+// them with values measured on the host (bench/fig2*), which is what the
+// paper itself did.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace pfair {
+
+class SchedCostModel {
+ public:
+  /// Task counts at which costs are tabulated (the paper's N values).
+  static constexpr std::array<double, 9> kTaskCounts = {15,  30,  50,  75, 100,
+                                                        250, 500, 750, 1000};
+  /// Processor counts at which PD2 costs are tabulated.
+  static constexpr std::array<double, 5> kProcCounts = {1, 2, 4, 8, 16};
+
+  /// Paper-magnitude defaults (us per invocation).
+  [[nodiscard]] static SchedCostModel paper_defaults();
+
+  /// EDF cost per invocation with n tasks on one processor (us).
+  [[nodiscard]] double edf_us(double n) const;
+
+  /// PD2 cost per invocation with n tasks on m processors (us).
+  [[nodiscard]] double pd2_us(double n, int m) const;
+
+  /// Overrides one PD2 table row / the EDF table with measured values
+  /// (same layout as kTaskCounts).
+  void set_edf_table(const std::array<double, 9>& us);
+  void set_pd2_table(std::size_t proc_index, const std::array<double, 9>& us);
+
+ private:
+  std::array<double, 9> edf_{};
+  // pd2_[i][j]: cost at kProcCounts[i] processors, kTaskCounts[j] tasks.
+  std::array<std::array<double, 9>, 5> pd2_{};
+};
+
+/// All Eq.-(3) inputs bundled together.
+struct OverheadParams {
+  double context_switch_us = 5.0;  ///< C
+  double quantum_us = 1000.0;      ///< q (PD2 quantum, paper: 1 ms)
+  SchedCostModel sched = SchedCostModel::paper_defaults();
+};
+
+}  // namespace pfair

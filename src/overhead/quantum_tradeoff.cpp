@@ -1,0 +1,73 @@
+#include "overhead/quantum_tradeoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pfair {
+
+QuantumSweepPoint evaluate_quantum(const std::vector<OhTask>& tasks, OverheadParams params,
+                                   double quantum_us, int m_hint) {
+  QuantumSweepPoint pt;
+  pt.quantum_us = quantum_us;
+  params.quantum_us = quantum_us;
+
+  double raw = 0.0;
+  double rounded_only = 0.0;  // quantised but with zero overheads
+  double inflated = 0.0;
+  bool feasible = true;
+  for (const OhTask& t : tasks) {
+    raw += t.utilization();
+    const double pq = std::ceil(t.period_us / quantum_us - 1e-9);
+    const double eq = std::max(1.0, std::ceil(t.execution_us / quantum_us - 1e-9));
+    rounded_only += eq / pq;
+    const Pd2Inflation inf = inflate_pd2(t, params, tasks.size(), m_hint);
+    if (!inf.feasible) {
+      feasible = false;
+      break;
+    }
+    inflated += inf.weight();
+  }
+  if (!feasible) {
+    pt.processors = std::nullopt;
+    pt.inflated_utilization = 0.0;
+    return pt;
+  }
+  pt.inflated_utilization = inflated;
+  pt.rounding_loss = rounded_only - raw;
+  pt.overhead_loss = inflated - rounded_only;
+  pt.processors = pd2_min_processors(tasks, params);
+  return pt;
+}
+
+std::vector<QuantumSweepPoint> sweep_quantum_sizes(const std::vector<OhTask>& tasks,
+                                                   const OverheadParams& params,
+                                                   const std::vector<double>& quanta_us) {
+  double raw = 0.0;
+  for (const OhTask& t : tasks) raw += t.utilization();
+  const int m_hint = std::max(1, static_cast<int>(std::ceil(raw)));
+  std::vector<QuantumSweepPoint> out;
+  out.reserve(quanta_us.size());
+  for (const double q : quanta_us) out.push_back(evaluate_quantum(tasks, params, q, m_hint));
+  return out;
+}
+
+std::optional<double> best_quantum(const std::vector<OhTask>& tasks,
+                                   const OverheadParams& params,
+                                   const std::vector<double>& quanta_us) {
+  const auto points = sweep_quantum_sizes(tasks, params, quanta_us);
+  std::optional<double> best;
+  int best_m = 0;
+  double best_u = 0.0;
+  for (const QuantumSweepPoint& pt : points) {
+    if (!pt.processors.has_value()) continue;
+    if (!best.has_value() || *pt.processors < best_m ||
+        (*pt.processors == best_m && pt.inflated_utilization < best_u)) {
+      best = pt.quantum_us;
+      best_m = *pt.processors;
+      best_u = pt.inflated_utilization;
+    }
+  }
+  return best;
+}
+
+}  // namespace pfair

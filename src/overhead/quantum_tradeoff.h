@@ -1,0 +1,50 @@
+// Quantum-size tradeoff analysis (paper Sec. 4, "Challenges in Pfair
+// scheduling").
+//
+// PD2 requires execution costs to be rounded up to whole quanta, so a
+// *large* quantum wastes capacity to rounding ("if a task has a small
+// execution requirement epsilon, it must be increased to 1 [quantum]").
+// A *small* quantum reduces rounding loss but multiplies per-quantum
+// scheduling/context-switch overhead (Eq. (3)).  The paper poses the
+// resulting optimisation — "these trade-offs must be carefully analyzed
+// to determine an optimal quantum size" — and this module performs that
+// analysis for a concrete task set: sweep q, decompose the inflated
+// utilization into rounding loss and overhead loss, and report the
+// processor count at each q.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "overhead/inflation.h"
+
+namespace pfair {
+
+struct QuantumSweepPoint {
+  double quantum_us = 0.0;
+  std::optional<int> processors;   ///< PD2 minimum processors at this q
+  double inflated_utilization = 0.0;  ///< sum of quantised inflated weights
+  double rounding_loss = 0.0;   ///< utilization added by ceil() rounding only
+  double overhead_loss = 0.0;   ///< utilization added by Eq.(3) inflation only
+};
+
+/// Evaluates one quantum size.  `m_hint` is the processor count used
+/// for the (m-dependent) scheduling-cost lookup; pass the no-overhead
+/// minimum for a fair sweep.
+[[nodiscard]] QuantumSweepPoint evaluate_quantum(const std::vector<OhTask>& tasks,
+                                                 OverheadParams params, double quantum_us,
+                                                 int m_hint);
+
+/// Sweeps the given quantum sizes and returns one point per size.
+[[nodiscard]] std::vector<QuantumSweepPoint> sweep_quantum_sizes(
+    const std::vector<OhTask>& tasks, const OverheadParams& params,
+    const std::vector<double>& quanta_us);
+
+/// The q (among the given candidates) minimising the processor count,
+/// ties broken by lower inflated utilization.  nullopt if no candidate
+/// is feasible.
+[[nodiscard]] std::optional<double> best_quantum(const std::vector<OhTask>& tasks,
+                                                 const OverheadParams& params,
+                                                 const std::vector<double>& quanta_us);
+
+}  // namespace pfair

@@ -1,0 +1,45 @@
+// Partitioning over concrete task sets with per-processor uniprocessor
+// schedulability tests (paper Secs. 1 and 3).
+//
+// The generic heuristics in heuristics.h bin-pack pure utilizations
+// with the EDF test (load <= 1).  Real partitioned systems differ by
+// the *acceptance test*: RM-FF accepts a task on a processor only if
+// the processor's task set stays RM-schedulable — either by the
+// Liu-Layland bound (cheap, pessimistic; yields the 41%-ish
+// multiprocessor guarantees the paper cites from Oh & Baker) or by
+// exact response-time analysis (the "variable-sized bin" flavour the
+// paper notes makes the packing problem harder).
+#pragma once
+
+#include <vector>
+
+#include "partition/heuristics.h"
+#include "uniproc/uni_task.h"
+
+namespace pfair {
+
+enum class Acceptance : std::uint8_t {
+  kEdfUtilization,  ///< sum e/p <= 1 (exact for EDF)
+  kRmLiuLayland,    ///< U <= n(2^{1/n} - 1) (sufficient for RM)
+  kRmExact,         ///< response-time analysis (exact for RM)
+};
+
+[[nodiscard]] const char* acceptance_name(Acceptance a) noexcept;
+
+struct UniPartitionResult {
+  std::vector<int> assignment;  ///< per task (input order), -1 = unplaced
+  int processors_used = 0;
+  bool feasible = false;
+};
+
+/// Partitions `tasks` using heuristic `h` (first/best/worst fit and the
+/// decreasing variants) under acceptance test `acc`, opening at most
+/// `max_processors` processors.
+[[nodiscard]] UniPartitionResult partition_uni(const std::vector<UniTask>& tasks,
+                                               int max_processors, Heuristic h, Acceptance acc);
+
+/// Smallest processor count rendering `tasks` partitionable.
+[[nodiscard]] int min_processors_uni(const std::vector<UniTask>& tasks, Heuristic h,
+                                     Acceptance acc, int hard_cap = 1 << 12);
+
+}  // namespace pfair

@@ -1,0 +1,113 @@
+#include "sim/global_job_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace pfair {
+
+GlobalJobSimulator::GlobalJobSimulator(std::vector<UniTask> tasks, int processors,
+                                       UniAlgorithm algorithm)
+    : tasks_(std::move(tasks)),
+      processors_(processors),
+      algorithm_(algorithm),
+      next_release_(tasks_.size(), 0),
+      live_jobs_(tasks_.size(), 0) {
+  assert(processors_ >= 1);
+}
+
+bool GlobalJobSimulator::higher_priority(const Job& a, const Job& b) const {
+  if (algorithm_ == UniAlgorithm::kEDF) {
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  } else {
+    if (tasks_[a.task].period != tasks_[b.task].period)
+      return tasks_[a.task].period < tasks_[b.task].period;
+  }
+  return a.task < b.task;
+}
+
+void GlobalJobSimulator::release_jobs(Time t) {
+  for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
+    while (next_release_[i] <= t) {
+      if (live_jobs_[i] > 0) {
+        // Implicit deadline = next release: the live predecessor missed.
+        ++metrics_.deadline_misses;
+        if (metrics_.first_miss_time < 0) metrics_.first_miss_time = next_release_[i];
+      }
+      ready_.push_back(Job{i, next_release_[i] + tasks_[i].period, tasks_[i].execution,
+                           kNoProc, false});
+      next_release_[i] += tasks_[i].period;
+      ++metrics_.jobs_released;
+      ++live_jobs_[i];
+    }
+  }
+}
+
+Time GlobalJobSimulator::next_release_time() const {
+  Time best = std::numeric_limits<Time>::max();
+  for (const Time r : next_release_) best = std::min(best, r);
+  return best;
+}
+
+void GlobalJobSimulator::run_until(Time until) {
+  while (now_ < until) {
+    release_jobs(now_);
+
+    // Select the M highest-priority incomplete jobs.
+    std::vector<Job*> order;
+    order.reserve(ready_.size());
+    for (Job& j : ready_) order.push_back(&j);
+    std::sort(order.begin(), order.end(),
+              [&](const Job* a, const Job* b) { return higher_priority(*a, *b); });
+    const std::size_t running =
+        std::min<std::size_t>(order.size(), static_cast<std::size_t>(processors_));
+
+    // Preemption accounting: was running, still incomplete, now not.
+    for (std::size_t k = running; k < order.size(); ++k) {
+      if (order[k]->running_prev) ++metrics_.preemptions;
+      order[k]->running_prev = false;
+    }
+    // Processor assignment with affinity among the selected jobs.
+    std::vector<bool> proc_taken(static_cast<std::size_t>(processors_), false);
+    std::vector<Job*> needs_proc;
+    for (std::size_t k = 0; k < running; ++k) {
+      Job* j = order[k];
+      if (j->last_proc != kNoProc && !proc_taken[j->last_proc]) {
+        proc_taken[j->last_proc] = true;
+      } else {
+        needs_proc.push_back(j);
+      }
+    }
+    for (Job* j : needs_proc) {
+      ProcId p = 0;
+      while (proc_taken[p]) ++p;
+      proc_taken[p] = true;
+      if (j->last_proc != kNoProc && j->last_proc != p) ++metrics_.migrations;
+      j->last_proc = p;
+    }
+
+    // Advance to the next event: release or earliest completion.
+    Time advance_to = std::min(next_release_time(), until);
+    for (std::size_t k = 0; k < running; ++k)
+      advance_to = std::min(advance_to, now_ + order[k]->remaining);
+    if (advance_to <= now_) advance_to = now_ + 1;  // safety
+    const Time delta = advance_to - now_;
+
+    for (std::size_t k = 0; k < running; ++k) {
+      order[k]->remaining -= delta;
+      order[k]->running_prev = true;
+    }
+    now_ = advance_to;
+
+    // Retire completed jobs.
+    for (std::size_t i = ready_.size(); i-- > 0;) {
+      if (ready_[i].remaining == 0) {
+        ++metrics_.jobs_completed;
+        --live_jobs_[ready_[i].task];
+        ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+  }
+}
+
+}  // namespace pfair

@@ -1,0 +1,72 @@
+// Global job-level EDF / RM on M processors (paper Sec. 1).
+//
+// The paper motivates Pfair by the failure of the *other* global
+// approach: "Dhall and Liu have shown that global scheduling using
+// either EDF or RM can result in arbitrarily-low processor utilization
+// in multiprocessor systems."  This simulator implements exactly that
+// straw man — the M highest-priority *jobs* (not quantum-level
+// subtasks) run at each instant, preempting on releases — so the Dhall
+// effect can be demonstrated next to PD2 scheduling the same task set
+// without a miss.
+//
+// Continuous time (no quantisation); priorities change only at job
+// releases, so the event loop advances between releases and
+// completions.  Processor assignment uses the same affinity policy as
+// the Pfair simulator (keep a continuing job on its processor) so the
+// migration counts are comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "uniproc/uni_sim.h"  // UniAlgorithm, UniTask
+#include "util/types.h"
+
+namespace pfair {
+
+struct GlobalJobMetrics {
+  std::uint64_t jobs_released = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t migrations = 0;
+  Time first_miss_time = -1;
+};
+
+class GlobalJobSimulator {
+ public:
+  GlobalJobSimulator(std::vector<UniTask> tasks, int processors,
+                     UniAlgorithm algorithm = UniAlgorithm::kEDF);
+
+  GlobalJobSimulator(const GlobalJobSimulator&) = delete;
+  GlobalJobSimulator& operator=(const GlobalJobSimulator&) = delete;
+
+  void run_until(Time until);
+
+  [[nodiscard]] const GlobalJobMetrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+ private:
+  struct Job {
+    std::uint32_t task = 0;
+    Time deadline = 0;
+    std::int64_t remaining = 0;
+    ProcId last_proc = kNoProc;
+    bool running_prev = false;
+  };
+
+  void release_jobs(Time t);
+  [[nodiscard]] Time next_release_time() const;
+  [[nodiscard]] bool higher_priority(const Job& a, const Job& b) const;
+
+  std::vector<UniTask> tasks_;
+  int processors_;
+  UniAlgorithm algorithm_;
+  std::vector<Time> next_release_;
+  std::vector<std::int64_t> live_jobs_;
+  std::vector<Job> ready_;  ///< all incomplete jobs (small sets: scans)
+  Time now_ = 0;
+  GlobalJobMetrics metrics_;
+};
+
+}  // namespace pfair

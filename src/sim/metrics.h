@@ -1,0 +1,49 @@
+// Counters collected by the simulators.
+//
+// Definitions follow the paper's accounting (Sec. 4):
+//   - preemption: a task was scheduled in slot t-1, its current job is
+//     incomplete, and it is not scheduled in slot t (whether it resumes
+//     on the same or another processor — the cache analysis assumes a
+//     cold cache either way);
+//   - migration: a task runs in slot t on a different processor than its
+//     previous quantum;
+//   - context switch: a processor runs a different task in slot t than
+//     in slot t-1 (switch-in accounting).
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace pfair {
+
+struct SimMetrics {
+  std::uint64_t slots = 0;              ///< slots simulated
+  std::uint64_t busy_quanta = 0;        ///< processor-quanta allocated
+  std::uint64_t idle_quanta = 0;        ///< processor-quanta left idle
+  std::uint64_t jobs_completed = 0;     ///< per-job accounting (periodic)
+  std::uint64_t deadline_misses = 0;    ///< subtask deadline misses
+  std::uint64_t component_misses = 0;   ///< supertask component job misses
+  std::uint64_t preemptions = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t context_switches = 0;
+  std::uint64_t component_switches = 0;  ///< supertask-internal EDF switches
+  std::uint64_t scheduler_invocations = 0;
+  std::uint64_t lag_violations = 0;     ///< only when lag checking enabled
+  Time first_miss_time = -1;            ///< -1 if no miss observed
+  double sched_ns_total = 0.0;          ///< only when overhead timing enabled
+  RunningStats response_time;           ///< per-job response times (slots)
+
+  [[nodiscard]] double avg_sched_ns() const noexcept {
+    return scheduler_invocations > 0
+               ? sched_ns_total / static_cast<double>(scheduler_invocations)
+               : 0.0;
+  }
+  [[nodiscard]] double utilization() const noexcept {
+    const std::uint64_t cap = busy_quanta + idle_quanta;
+    return cap > 0 ? static_cast<double>(busy_quanta) / static_cast<double>(cap) : 0.0;
+  }
+};
+
+}  // namespace pfair

@@ -1,0 +1,556 @@
+#include "sim/pfair_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "core/lag.h"
+
+namespace pfair {
+
+PfairSimulator::PfairSimulator(SimConfig config)
+    : config_(config),
+      live_processors_(config.processors),
+      ready_(SubtaskPriority(config.algorithm)) {
+  assert(config_.processors >= 1);
+  prev_slot_tasks_.assign(static_cast<std::size_t>(live_processors_), kNoTask);
+}
+
+TaskId PfairSimulator::add_task(const Task& t, std::vector<Time> arrivals) {
+  assert(t.valid());
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  TaskRuntime rt;
+  rt.spec = t;
+  rt.active = true;
+  rt.offset = now_ + t.phase;  // asynchronous release: windows shift by the phase
+  rt.join_time = now_;
+  rt.arrivals = std::move(arrivals);
+  tasks_.push_back(std::move(rt));
+  enqueue_next_subtask(id, now_);
+  return id;
+}
+
+TaskId PfairSimulator::add_supertask(const SupertaskSpec& spec, ProcId bound_proc) {
+  Task server = make_task(spec.execution, spec.period, TaskKind::kPeriodic,
+                          spec.name.empty() ? "S" : spec.name);
+  const TaskId id = add_task(server);
+  tasks_[id].is_supertask = true;
+  tasks_[id].super_index = static_cast<std::int32_t>(supertasks_.size());
+  if (bound_proc != kNoProc) {
+    assert(bound_proc < static_cast<ProcId>(live_processors_));
+#ifndef NDEBUG
+    for (const TaskRuntime& other : tasks_)
+      assert(other.bound_proc != bound_proc || &other == &tasks_[id]);
+#endif
+    tasks_[id].bound_proc = bound_proc;
+  }
+  SupertaskRuntime srt;
+  for (const Task& c : spec.components) {
+    ComponentRuntime cr;
+    cr.e = c.execution;
+    cr.p = c.period;
+    cr.next_release = now_;
+    srt.components.push_back(cr);
+  }
+  supertasks_.push_back(std::move(srt));
+  return id;
+}
+
+void PfairSimulator::add_processor_event(ProcessorEvent ev) {
+  assert(ev.at >= now_ && ev.processors >= 0);
+  proc_events_.push_back(ev);
+  std::sort(proc_events_.begin() + static_cast<std::ptrdiff_t>(next_proc_event_),
+            proc_events_.end(),
+            [](const ProcessorEvent& a, const ProcessorEvent& b) { return a.at < b.at; });
+}
+
+std::optional<TaskId> PfairSimulator::join(const Task& t) {
+  // Departures whose rule time has arrived free their weight before the
+  // admission check (run_until(T) leaves departures at exactly T
+  // unprocessed, since slot T has not been simulated yet).
+  if (!pending_departures_.empty()) process_pending_departures(now_);
+  if (!may_join(active_weight(), t.weight(), live_processors_)) return std::nullopt;
+  return add_task(t);
+}
+
+Time PfairSimulator::earliest_leave(TaskId id) const {
+  const TaskRuntime& rt = tasks_[id];
+  if (rt.allocated == 0) return now_;
+  return earliest_leave_time(rt.spec.execution, rt.spec.period, rt.last_sched_index, rt.offset);
+}
+
+bool PfairSimulator::leave(TaskId id) {
+  if (!tasks_[id].active) return false;
+  if (earliest_leave(id) > now_) return false;
+  force_leave(id);
+  return true;
+}
+
+void PfairSimulator::force_leave(TaskId id) {
+  TaskRuntime& rt = tasks_[id];
+  if (!rt.active) return;
+  remove_from_queues(rt);
+  rt.active = false;
+  // Cancel any in-flight departure/reweight so the task cannot be
+  // resurrected when its switch-over time arrives.
+  rt.leave_at = -1;
+  rt.pending_e = 0;
+  rt.pending_p = 0;
+}
+
+Time PfairSimulator::request_leave(TaskId id) {
+  TaskRuntime& rt = tasks_[id];
+  if (!rt.active) return now_;
+  if (rt.leave_at >= 0) return rt.leave_at;  // already departing
+  const Time freed = std::max(now_, earliest_leave(id));
+  remove_from_queues(rt);  // stops executing immediately, freezing the rule
+  rt.leave_at = freed;
+  rt.pending_e = 0;
+  rt.pending_p = 0;
+  if (freed <= now_) {
+    rt.active = false;
+    rt.leave_at = -1;
+    return now_;
+  }
+  pending_departures_.push_back(id);
+  return freed;
+}
+
+std::optional<Time> PfairSimulator::request_reweight(TaskId id, std::int64_t new_e,
+                                                     std::int64_t new_p) {
+  TaskRuntime& rt = tasks_[id];
+  if (!rt.active || rt.leave_at >= 0) return std::nullopt;
+  const Rational new_w(new_e, new_p);
+  // The old weight stays accounted until the switch-over, at which
+  // instant it is exchanged for the new one; admission only needs the
+  // exchanged total to fit.
+  if (!may_join(active_weight() - rt.spec.weight(), new_w, live_processors_))
+    return std::nullopt;
+  const Time freed = std::max(now_, earliest_leave(id));
+  remove_from_queues(rt);
+  rt.leave_at = freed;
+  rt.pending_e = new_e;
+  rt.pending_p = new_p;
+  if (freed <= now_) {
+    process_pending_departures(now_);  // applies immediately
+    return now_;
+  }
+  pending_departures_.push_back(id);
+  return freed;
+}
+
+void PfairSimulator::process_pending_departures(Time t) {
+  // Rare path: only runs while some departure is pending.
+  for (std::size_t k = 0; k < pending_departures_.size();) {
+    TaskRuntime& rt = tasks_[pending_departures_[k]];
+    if (!rt.active) {  // force-left while departing: drop the stale entry
+      pending_departures_[k] = pending_departures_.back();
+      pending_departures_.pop_back();
+      continue;
+    }
+    if (rt.leave_at < 0 || rt.leave_at > t) {
+      ++k;
+      continue;
+    }
+    if (rt.pending_e > 0) {
+      // Reweight: restart with the new weight at the switch-over time.
+      rt.spec.execution = rt.pending_e;
+      rt.spec.period = rt.pending_p;
+      rt.next_index = 1;
+      rt.last_sched_index = 0;
+      rt.offset = t;
+      rt.allocated = 0;
+      rt.miss_counted = false;
+      rt.leave_at = -1;
+      rt.pending_e = 0;
+      rt.pending_p = 0;
+      enqueue_next_subtask(pending_departures_[k], t);
+    } else {
+      rt.active = false;
+      rt.leave_at = -1;
+    }
+    pending_departures_[k] = pending_departures_.back();
+    pending_departures_.pop_back();
+  }
+}
+
+bool PfairSimulator::reweight(TaskId id, std::int64_t new_e, std::int64_t new_p) {
+  TaskRuntime& rt = tasks_[id];
+  if (!rt.active) return false;
+  if (rt.allocated > 0 && earliest_leave(id) > now_) return false;
+  const Rational new_w(new_e, new_p);
+  if (!may_join(active_weight() - rt.spec.weight(), new_w, live_processors_)) return false;
+  remove_from_queues(rt);
+  rt.spec.execution = new_e;
+  rt.spec.period = new_p;
+  rt.next_index = 1;
+  rt.last_sched_index = 0;
+  rt.offset = now_;
+  rt.allocated = 0;
+  rt.miss_counted = false;
+  enqueue_next_subtask(id, now_);
+  return true;
+}
+
+Rational PfairSimulator::active_weight() const {
+  Rational sum(0);
+  for (const TaskRuntime& rt : tasks_)
+    if (rt.active) sum += rt.spec.weight();
+  return sum;
+}
+
+Rational PfairSimulator::task_lag(TaskId id) const {
+  const TaskRuntime& rt = tasks_[id];
+  return lag(rt.spec.execution, rt.spec.period, now_ - rt.offset, rt.allocated);
+}
+
+std::vector<std::string> PfairSimulator::task_names() const {
+  std::vector<std::string> names;
+  names.reserve(tasks_.size());
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    const std::string& n = tasks_[id].spec.name;
+    names.push_back(n.empty() ? "T" + std::to_string(id) : n);
+  }
+  return names;
+}
+
+std::uint64_t PfairSimulator::component_miss_count(TaskId id, std::size_t component) const {
+  const TaskRuntime& rt = tasks_[id];
+  assert(rt.is_supertask);
+  return supertasks_[static_cast<std::size_t>(rt.super_index)].components[component].misses;
+}
+
+Time PfairSimulator::eligibility_time(const TaskRuntime& rt, SubtaskIndex i,
+                                      Time prev_slot) const {
+  const Time earliest = prev_slot + 1;
+  const std::int64_t e = rt.spec.execution;
+  const std::int64_t p = rt.spec.period;
+  const Time release = rt.offset + subtask_release(e, p, i);
+  switch (rt.spec.kind) {
+    case TaskKind::kPeriodic:
+      return std::max(release, earliest);
+    case TaskKind::kEarlyRelease: {
+      // Early release applies within a job only; a job's first subtask
+      // still waits for the job release (= its Pfair release).
+      const bool first_of_job = (i - 1) % e == 0;
+      return first_of_job ? std::max(release, earliest) : earliest;
+    }
+    case TaskKind::kIntraSporadic: {
+      const std::size_t idx = static_cast<std::size_t>(i - 1);
+      if (idx < rt.arrivals.size()) {
+        const Time arrival = rt.arrivals[idx];
+        // Early arrival: eligible at arrival (deadline unchanged).
+        // Late arrival: the caller shifted offset so release == arrival.
+        return std::max(std::min(arrival, release), earliest);
+      }
+      return std::max(release, earliest);
+    }
+  }
+  return std::max(release, earliest);
+}
+
+void PfairSimulator::enqueue_next_subtask(TaskId id, Time earliest_slot) {
+  TaskRuntime& rt = tasks_[id];
+  const SubtaskIndex i = rt.next_index;
+  // IS late arrivals shift the remaining window chain: enlarge the offset
+  // so the subtask's Pfair release coincides with its arrival.
+  if (rt.spec.kind == TaskKind::kIntraSporadic) {
+    const std::size_t idx = static_cast<std::size_t>(i - 1);
+    if (idx < rt.arrivals.size()) {
+      const Time base_release =
+          rt.offset + subtask_release(rt.spec.execution, rt.spec.period, i);
+      if (rt.arrivals[idx] > base_release) rt.offset += rt.arrivals[idx] - base_release;
+    }
+  }
+  const Time eligible = eligibility_time(rt, i, earliest_slot - 1);
+  rt.miss_counted = false;
+  if (eligible <= now_) {
+    SubtaskRef ref = make_subtask_ref(id, rt.spec.execution, rt.spec.period, i, rt.offset);
+    rt.ready_handle = ready_.push(ref);
+  } else {
+    rt.calendar_handle = calendar_.push(CalendarEntry{eligible, id});
+  }
+}
+
+void PfairSimulator::remove_from_queues(TaskRuntime& rt) {
+  if (rt.ready_handle != kInvalidHandle && ready_.contains(rt.ready_handle)) {
+    ready_.erase(rt.ready_handle);
+  }
+  rt.ready_handle = kInvalidHandle;
+  if (rt.calendar_handle != kInvalidHandle && calendar_.contains(rt.calendar_handle)) {
+    calendar_.erase(rt.calendar_handle);
+  }
+  rt.calendar_handle = kInvalidHandle;
+}
+
+void PfairSimulator::release_eligible(Time t) {
+  while (!calendar_.empty() && calendar_.top().when <= t) {
+    const CalendarEntry entry = calendar_.pop();
+    TaskRuntime& rt = tasks_[entry.task];
+    rt.calendar_handle = kInvalidHandle;
+    if (!rt.active) continue;
+    SubtaskRef ref =
+        make_subtask_ref(entry.task, rt.spec.execution, rt.spec.period, rt.next_index, rt.offset);
+    rt.ready_handle = ready_.push(ref);
+  }
+}
+
+void PfairSimulator::detect_misses(Time t) {
+  // Entries with deadline <= t sit at the top of the queue (every
+  // priority rule orders by deadline first).  Pop them, count each miss
+  // once, and either drop the subtask or requeue it for late execution.
+  picked_.clear();  // reuse as scratch for requeue
+  while (!ready_.empty() && ready_.top().deadline <= t) {
+    SubtaskRef ref = ready_.pop();
+    TaskRuntime& rt = tasks_[ref.task];
+    rt.ready_handle = kInvalidHandle;
+    if (!rt.miss_counted) {
+      rt.miss_counted = true;
+      ++metrics_.deadline_misses;
+      if (metrics_.first_miss_time < 0) metrics_.first_miss_time = t;
+    }
+    if (config_.miss_policy == MissPolicy::kDrop) {
+      ++rt.next_index;
+      enqueue_next_subtask(ref.task, t);
+    } else {
+      picked_.push_back(ref);
+    }
+  }
+  for (const SubtaskRef& ref : picked_) {
+    tasks_[ref.task].ready_handle = ready_.push(ref);
+  }
+  picked_.clear();
+}
+
+void PfairSimulator::dispatch_supertask_quantum(TaskRuntime& rt, Time t) {
+  SupertaskRuntime& srt = supertasks_[static_cast<std::size_t>(rt.super_index)];
+  // Internal EDF over released, incomplete component jobs.
+  ComponentRuntime* best = nullptr;
+  Time best_deadline = 0;
+  for (ComponentRuntime& c : srt.components) {
+    for (const auto& job : c.jobs) {
+      if (job.second > 0) {
+        if (best == nullptr || job.first < best_deadline) {
+          best = &c;
+          best_deadline = job.first;
+        }
+        break;  // jobs are oldest-first; only the head matters for EDF
+      }
+    }
+  }
+  (void)t;
+  if (best == nullptr) return;  // no pending component work; quantum wasted
+  const auto chosen =
+      static_cast<std::int32_t>(best - srt.components.data());
+  if (srt.last_component >= 0 && srt.last_component != chosen)
+    ++metrics_.component_switches;
+  srt.last_component = chosen;
+  for (auto& job : best->jobs) {
+    if (job.second > 0) {
+      --job.second;
+      break;
+    }
+  }
+  // Drop fully executed leading jobs.
+  while (!best->jobs.empty() && best->jobs.front().second == 0) {
+    best->jobs.erase(best->jobs.begin());
+    best->miss_counted_for_head = false;
+  }
+}
+
+void PfairSimulator::check_lags(Time t_next) {
+  for (const TaskRuntime& rt : tasks_) {
+    if (!rt.active || rt.is_supertask) continue;
+    if (rt.offset != 0 || rt.spec.kind != TaskKind::kPeriodic) continue;
+    if (!lag_within_pfair_bounds(rt.spec.execution, rt.spec.period, t_next, rt.allocated)) {
+      ++metrics_.lag_violations;
+    }
+  }
+}
+
+void PfairSimulator::simulate_slot() {
+  const Time t = now_;
+
+  // 1. Processor events (faults / repairs).
+  while (next_proc_event_ < proc_events_.size() && proc_events_[next_proc_event_].at <= t) {
+    live_processors_ = proc_events_[next_proc_event_].processors;
+    ++next_proc_event_;
+  }
+
+  // 1b. Orderly departures / reweights whose capacity frees now.
+  if (!pending_departures_.empty()) process_pending_departures(t);
+
+  // 2. Releases, 2b. supertask component job releases + miss detection.
+  // Release processing is part of scheduling overhead in the paper's
+  // accounting ("moving a newly-arrived or preempted task to the ready
+  // queue"), so it is included in the measured time.
+  if (config_.measure_overhead) {
+    const auto r0 = std::chrono::steady_clock::now();
+    release_eligible(t);
+    const auto r1 = std::chrono::steady_clock::now();
+    metrics_.sched_ns_total += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(r1 - r0).count());
+  } else {
+    release_eligible(t);
+  }
+  for (SupertaskRuntime& srt : supertasks_) {
+    for (ComponentRuntime& c : srt.components) {
+      while (c.next_release <= t) {
+        c.jobs.emplace_back(c.next_release + c.p, c.e);
+        c.next_release += c.p;
+      }
+      for (auto& job : c.jobs) {
+        if (job.second > 0 && job.first <= t) {
+          // Count each job's miss once: mark by negating the deadline is
+          // too clever; use the head flag for the common head-job case
+          // and tolerate at-most-once-per-slot counting for others.
+          if (&job == &c.jobs.front()) {
+            if (!c.miss_counted_for_head) {
+              c.miss_counted_for_head = true;
+              ++c.misses;
+              ++metrics_.component_misses;
+              if (metrics_.first_miss_time < 0) metrics_.first_miss_time = t;
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // 3. Deadline misses among queued subtasks.
+  detect_misses(t);
+
+  // 4. Scheduler invocation: pop the M highest-priority subtasks and
+  //    advance each task to its next subtask.
+  const bool timing = config_.measure_overhead;
+  std::chrono::steady_clock::time_point t0;
+  if (timing) t0 = std::chrono::steady_clock::now();
+
+  picked_.clear();
+  const std::size_t want = static_cast<std::size_t>(std::max(live_processors_, 0));
+  while (picked_.size() < want && !ready_.empty()) {
+    SubtaskRef ref = ready_.pop();
+    tasks_[ref.task].ready_handle = kInvalidHandle;
+    picked_.push_back(ref);
+  }
+  for (const SubtaskRef& ref : picked_) {
+    TaskRuntime& rt = tasks_[ref.task];
+    rt.last_sched_index = ref.index;
+    ++rt.next_index;
+    ++rt.allocated;
+    enqueue_next_subtask(ref.task, t + 1);
+  }
+
+  if (timing) {
+    const auto t1 = std::chrono::steady_clock::now();
+    metrics_.sched_ns_total +=
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  }
+  ++metrics_.scheduler_invocations;
+
+  // 5. Processor assignment with affinity.
+  const std::size_t m = static_cast<std::size_t>(std::max(live_processors_, 0));
+  std::vector<TaskId> cur(m, kNoTask);
+  std::vector<bool> task_placed(picked_.size(), false);
+  // Pass 0: bound tasks (supertask binding) always take their fixed
+  // processor; at most one task binds to any processor, so no conflict.
+  for (std::size_t k = 0; k < picked_.size(); ++k) {
+    TaskRuntime& rt = tasks_[picked_[k].task];
+    if (rt.bound_proc != kNoProc && rt.bound_proc < m) {
+      assert(cur[rt.bound_proc] == kNoTask);
+      cur[rt.bound_proc] = picked_[k].task;
+      task_placed[k] = true;
+    }
+  }
+  if (config_.affinity) {
+    // Pass 1: tasks that ran in slot t-1 keep their processor.
+    for (std::size_t k = 0; k < picked_.size(); ++k) {
+      if (task_placed[k]) continue;
+      TaskRuntime& rt = tasks_[picked_[k].task];
+      if (rt.last_sched_slot == t - 1 && rt.last_proc != kNoProc && rt.last_proc < m &&
+          cur[rt.last_proc] == kNoTask) {
+        cur[rt.last_proc] = picked_[k].task;
+        task_placed[k] = true;
+      }
+    }
+    // Pass 2: idle-resuming tasks prefer their previous processor.
+    for (std::size_t k = 0; k < picked_.size(); ++k) {
+      if (task_placed[k]) continue;
+      TaskRuntime& rt = tasks_[picked_[k].task];
+      if (rt.last_proc != kNoProc && rt.last_proc < m && cur[rt.last_proc] == kNoTask) {
+        cur[rt.last_proc] = picked_[k].task;
+        task_placed[k] = true;
+      }
+    }
+  }
+  // Pass 3: everything else takes the first free processor.
+  {
+    std::size_t next_free = 0;
+    for (std::size_t k = 0; k < picked_.size(); ++k) {
+      if (task_placed[k]) continue;
+      while (next_free < m && cur[next_free] != kNoTask) ++next_free;
+      assert(next_free < m);
+      cur[next_free] = picked_[k].task;
+    }
+  }
+
+  // 6. Metrics + state updates.
+  if (config_.record_trace) trace_.begin_slot(m);
+  for (std::size_t proc = 0; proc < m; ++proc) {
+    const TaskId id = cur[proc];
+    if (id == kNoTask) continue;
+    TaskRuntime& rt = tasks_[id];
+    if (proc < prev_slot_tasks_.size() && prev_slot_tasks_[proc] != id) ++metrics_.context_switches;
+    if (rt.last_proc != kNoProc && rt.last_proc != static_cast<ProcId>(proc)) ++metrics_.migrations;
+    rt.last_proc = static_cast<ProcId>(proc);
+    if (config_.record_trace) trace_.record(static_cast<ProcId>(proc), id);
+    if (rt.is_supertask) dispatch_supertask_quantum(rt, t);
+    // Job completion bookkeeping (the job of subtask i ends when
+    // i % e == 0).
+    if (rt.last_sched_index % rt.spec.execution == 0) {
+      ++metrics_.jobs_completed;
+      // Response time of the completed job (the paper motivates ERfair
+      // with improved response times; measured here for the ablation).
+      const std::int64_t job = rt.last_sched_index / rt.spec.execution;  // 1-based
+      const Time release = rt.offset + (job - 1) * rt.spec.period;
+      metrics_.response_time.add(static_cast<double>(t + 1 - release));
+      if (rt.cur_job_preemptions > rt.max_job_preemptions)
+        rt.max_job_preemptions = rt.cur_job_preemptions;
+      rt.cur_job_preemptions = 0;
+    }
+  }
+  // Preemptions: ran in t-1, job incomplete, not running now.
+  for (const TaskId id : prev_slot_tasks_) {
+    if (id == kNoTask) continue;
+    TaskRuntime& rt = tasks_[id];
+    if (!rt.active) continue;
+    if (rt.last_sched_slot != t - 1) continue;  // stale entry
+    const bool runs_now =
+        std::find(cur.begin(), cur.end(), id) != cur.end();
+    const bool job_incomplete = rt.last_sched_index % rt.spec.execution != 0;
+    if (!runs_now && job_incomplete) {
+      ++metrics_.preemptions;
+      ++rt.cur_job_preemptions;
+    }
+  }
+  for (std::size_t proc = 0; proc < m; ++proc) {
+    if (cur[proc] != kNoTask) tasks_[cur[proc]].last_sched_slot = t;
+  }
+
+  metrics_.busy_quanta += picked_.size();
+  metrics_.idle_quanta += m - picked_.size();
+  ++metrics_.slots;
+  prev_slot_tasks_ = std::move(cur);
+
+  if (config_.check_lags) check_lags(t + 1);
+}
+
+void PfairSimulator::run_until(Time until) {
+  while (now_ < until) {
+    simulate_slot();
+    ++now_;
+  }
+}
+
+}  // namespace pfair

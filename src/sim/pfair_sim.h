@@ -1,0 +1,235 @@
+// Quantum-driven global multiprocessor simulator for Pfair scheduling.
+//
+// The simulator advances time slot by slot.  In each slot it
+//   1. applies pending fault-plan / join / leave events,
+//   2. moves newly eligible subtasks from the release calendar into the
+//      ready queue,
+//   3. detects subtasks whose pseudo-deadline has passed,
+//   4. invokes the scheduler: pop the M highest-priority subtasks
+//      (optionally timing the invocation for the Fig.-2 experiments),
+//   5. assigns processors with affinity (a task scheduled in consecutive
+//      quanta keeps its processor — the optimisation the paper uses to
+//      derive the 1 + min(E-1, P-E) context-switch bound),
+//   6. advances each scheduled task to its next subtask and updates
+//      preemption / migration / context-switch / lag accounting.
+//
+// Supertasks participate as ordinary Pfair servers; each quantum they
+// receive is passed to an internal EDF dispatcher over their component
+// tasks (Sec. 5.5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dynamics.h"
+#include "core/priority.h"
+#include "core/supertask.h"
+#include "core/task.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
+#include "util/binary_heap.h"
+#include "util/rational.h"
+#include "util/types.h"
+
+namespace pfair {
+
+/// What to do with a subtask that is still unscheduled at its deadline.
+enum class MissPolicy : std::uint8_t {
+  kScheduleLate,  ///< keep it in the queue; count the miss once (default)
+  kDrop,          ///< skip the subtask entirely (quantum is forfeited)
+};
+
+struct SimConfig {
+  int processors = 1;
+  Algorithm algorithm = Algorithm::kPD2;
+  MissPolicy miss_policy = MissPolicy::kScheduleLate;
+  bool record_trace = false;    ///< keep a full per-slot allocation trace
+  bool affinity = true;         ///< keep tasks on their processor when possible
+                                ///< (false = naive assignment; ablation)
+  bool check_lags = false;      ///< verify Pfair lag bounds every slot (slow; synchronous periodic systems only)
+  bool measure_overhead = false;  ///< steady_clock-time each scheduler invocation
+};
+
+/// Scheduled change of the number of live processors (fault injection /
+/// repair, Sec. 5.4).  Applied at the start of slot `at`.
+struct ProcessorEvent {
+  Time at = 0;
+  int processors = 1;
+};
+
+class PfairSimulator {
+ public:
+  explicit PfairSimulator(SimConfig config);
+
+  /// Adds a periodic / early-release / intra-sporadic task starting at
+  /// time 0 (or at the current time if the simulation already ran).
+  /// Returns its id.  For IS tasks, `arrivals[i-1]` is the absolute
+  /// arrival time of subtask i; arrivals beyond the vector are on time.
+  TaskId add_task(const Task& t, std::vector<Time> arrivals = {});
+
+  /// Adds a supertask competing with spec.competing_weight().  If
+  /// `bound_proc` is given, every quantum the supertask receives runs on
+  /// that processor (the Moir-Ramamurthy motivation: component tasks
+  /// must not migrate).  At most one bound task per processor.  If a
+  /// fault later removes the bound processor, the binding degrades
+  /// gracefully: the server migrates like a normal task until the
+  /// processor returns (deadline guarantees are unaffected — binding
+  /// only constrains placement).
+  TaskId add_supertask(const SupertaskSpec& spec, ProcId bound_proc = kNoProc);
+
+  /// Registers a processor-count change (must be issued before run()
+  /// reaches `at`).
+  void add_processor_event(ProcessorEvent ev);
+
+  /// Dynamic join at the current simulation time.  Returns the new id,
+  /// or std::nullopt if Eq. (2) would be violated.
+  std::optional<TaskId> join(const Task& t);
+
+  /// Earliest time `id` may legally leave (core/dynamics.h rules).
+  [[nodiscard]] Time earliest_leave(TaskId id) const;
+
+  /// Dynamic leave at the current simulation time.  Returns false (and
+  /// does nothing) if leaving now would violate the leave rules.
+  bool leave(TaskId id);
+
+  /// Initiates an orderly departure: the task stops executing now, its
+  /// weight stays accounted until the leave rules release it, and the
+  /// returned time is when the capacity frees.  (A continuously running
+  /// heavy task can never satisfy leave() directly — each new quantum
+  /// pushes its group deadline forward — so real departures go through
+  /// this protocol.)
+  Time request_leave(TaskId id);
+
+  /// Orderly reweighting (leave + rejoin with the new weight, Sec. 5.2):
+  /// the task stops executing now and resumes with weight new_e/new_p at
+  /// the time the leave rules free its old weight.  Fails (returning
+  /// nullopt) only if the new total would exceed capacity; otherwise
+  /// returns the switch-over time.
+  std::optional<Time> request_reweight(TaskId id, std::int64_t new_e, std::int64_t new_p);
+
+  /// Leaves unconditionally, ignoring the safety rules.  Exists so tests
+  /// can demonstrate that violating the rules can cause misses.
+  void force_leave(TaskId id);
+
+  /// Reweights a task (leave + join with the new weight, Sec. 5.2/5.4).
+  /// Returns false if the leave rules forbid it now or the new weight
+  /// does not fit.
+  bool reweight(TaskId id, std::int64_t new_e, std::int64_t new_p);
+
+  /// Runs the simulation up to (absolute) time `until`.  May be called
+  /// repeatedly with increasing horizons; joins/leaves can be interleaved.
+  void run_until(Time until);
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] const SimMetrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const ScheduleTrace& trace() const noexcept { return trace_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+  /// Total weight of currently active tasks.
+  [[nodiscard]] Rational active_weight() const;
+
+  /// Quanta allocated to `id` so far.
+  [[nodiscard]] std::int64_t allocated(TaskId id) const { return tasks_[id].allocated; }
+
+  /// Exact lag of `id` at the current time (synchronous periodic tasks).
+  [[nodiscard]] Rational task_lag(TaskId id) const;
+
+  /// Per-task maximum preemptions observed in any single job.
+  [[nodiscard]] std::int64_t max_job_preemptions(TaskId id) const {
+    return tasks_[id].max_job_preemptions;
+  }
+
+  /// Names of all tasks (index = TaskId), for trace rendering.
+  [[nodiscard]] std::vector<std::string> task_names() const;
+
+  /// Deadline-miss count of one supertask component (task `id` must be a
+  /// supertask; `component` indexes its spec.components).
+  [[nodiscard]] std::uint64_t component_miss_count(TaskId id, std::size_t component) const;
+
+ private:
+  struct ComponentRuntime {
+    std::int64_t e = 1;
+    std::int64_t p = 1;
+    Time next_release = 0;
+    // Outstanding jobs, oldest first: (absolute deadline, remaining quanta).
+    std::vector<std::pair<Time, std::int64_t>> jobs;
+    std::uint64_t misses = 0;
+    bool miss_counted_for_head = false;
+  };
+
+  struct SupertaskRuntime {
+    std::vector<ComponentRuntime> components;
+    std::int32_t last_component = -1;  ///< for component-switch accounting
+  };
+
+  struct TaskRuntime {
+    Task spec;
+    bool active = false;
+    bool is_supertask = false;
+    std::int32_t super_index = -1;     ///< into supertasks_ if is_supertask
+    ProcId bound_proc = kNoProc;       ///< fixed processor (supertask binding)
+    SubtaskIndex next_index = 1;       ///< next subtask to schedule
+    SubtaskIndex last_sched_index = 0; ///< 0 = never scheduled
+    Time offset = 0;                   ///< accumulated IS window shift
+    Time join_time = 0;
+    std::vector<Time> arrivals;        ///< IS arrival times (absolute)
+    std::int64_t allocated = 0;
+    ProcId last_proc = kNoProc;
+    Time last_sched_slot = -2;         ///< slot of most recent allocation
+    HeapHandle ready_handle = kInvalidHandle;
+    HeapHandle calendar_handle = kInvalidHandle;
+    Time leave_at = -1;          ///< pending departure (weight frees then)
+    std::int64_t pending_e = 0;  ///< pending reweight (0 = plain leave)
+    std::int64_t pending_p = 0;
+    bool miss_counted = false;         ///< current queued subtask already counted as missed
+    std::int64_t cur_job_preemptions = 0;
+    std::int64_t max_job_preemptions = 0;
+  };
+
+  struct CalendarEntry {
+    Time when = 0;
+    TaskId task = kNoTask;
+  };
+  struct CalendarLess {
+    bool operator()(const CalendarEntry& a, const CalendarEntry& b) const noexcept {
+      if (a.when != b.when) return a.when < b.when;
+      return a.task < b.task;
+    }
+  };
+
+  void simulate_slot();
+  void release_eligible(Time t);
+  void detect_misses(Time t);
+  /// Schedules the next subtask of `id`: inserts it into the ready queue
+  /// or the calendar depending on its eligibility time.
+  void enqueue_next_subtask(TaskId id, Time earliest);
+  /// Eligibility time of subtask `i` of task `id` given that its
+  /// predecessor completed at the end of slot `prev_slot` (-1 if none).
+  [[nodiscard]] Time eligibility_time(const TaskRuntime& rt, SubtaskIndex i,
+                                      Time prev_slot) const;
+  void dispatch_supertask_quantum(TaskRuntime& rt, Time t);
+  void remove_from_queues(TaskRuntime& rt);
+  void check_lags(Time t_next);
+  void process_pending_departures(Time t);
+
+  SimConfig config_;
+  Time now_ = 0;
+  int live_processors_ = 1;
+  std::vector<TaskRuntime> tasks_;
+  std::vector<SupertaskRuntime> supertasks_;
+  BinaryHeap<SubtaskRef, SubtaskPriority> ready_;
+  BinaryHeap<CalendarEntry, CalendarLess> calendar_;
+  std::vector<ProcessorEvent> proc_events_;  ///< sorted by time, applied in order
+  std::size_t next_proc_event_ = 0;
+  std::vector<TaskId> pending_departures_;   ///< tasks with leave_at set
+  SimMetrics metrics_;
+  ScheduleTrace trace_;
+  // Scratch buffers reused every slot (avoid per-slot allocation).
+  std::vector<SubtaskRef> picked_;
+  std::vector<TaskId> prev_slot_tasks_;      ///< proc -> task of previous slot
+};
+
+}  // namespace pfair

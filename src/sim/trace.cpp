@@ -1,0 +1,25 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pfair {
+
+std::string ScheduleTrace::render(const std::vector<std::string>& task_names) const {
+  std::ostringstream os;
+  std::size_t width = 0;
+  for (const auto& n : task_names) width = std::max(width, n.size());
+  for (TaskId id = 0; id < task_names.size(); ++id) {
+    os << task_names[id];
+    os << std::string(width - task_names[id].size() + 1, ' ') << "|";
+    for (std::size_t t = 0; t < slots_.size(); ++t) os << (scheduled(t, id) ? 'X' : '.');
+    os << "|\n";
+  }
+  os << std::string(width + 1, ' ') << "+";
+  for (std::size_t t = 0; t < slots_.size(); ++t)
+    os << (t % 5 == 0 ? static_cast<char>('0' + (t / 5) % 10) : '-');
+  os << "+ (slot ruler: digit every 5 slots)\n";
+  return os.str();
+}
+
+}  // namespace pfair

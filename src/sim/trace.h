@@ -1,0 +1,55 @@
+// Schedule traces: per-slot processor allocation records, plus an ASCII
+// renderer used to reproduce the paper's schedule figures (Figs. 1, 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pfair {
+
+/// One slot's allocation: entry per processor, kNoTask when idle.
+struct TraceSlot {
+  std::vector<TaskId> proc_to_task;
+};
+
+/// Dense record of an entire simulated schedule.  Only filled when
+/// tracing is enabled (memory: processors * horizon entries).
+class ScheduleTrace {
+ public:
+  void begin_slot(std::size_t processors) {
+    slots_.emplace_back();
+    slots_.back().proc_to_task.assign(processors, kNoTask);
+  }
+  void record(ProcId proc, TaskId task) {
+    slots_.back().proc_to_task[proc] = task;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] const TraceSlot& operator[](std::size_t t) const noexcept { return slots_[t]; }
+
+  /// True iff `task` holds some processor in slot t.
+  [[nodiscard]] bool scheduled(std::size_t t, TaskId task) const noexcept {
+    for (const TaskId id : slots_[t].proc_to_task)
+      if (id == task) return true;
+    return false;
+  }
+
+  /// Quanta allocated to `task` in [0, t_end).
+  [[nodiscard]] std::int64_t allocation(TaskId task, std::size_t t_end) const noexcept {
+    std::int64_t n = 0;
+    for (std::size_t t = 0; t < t_end && t < slots_.size(); ++t)
+      if (scheduled(t, task)) ++n;
+    return n;
+  }
+
+  /// Renders one row per task ("X" = scheduled, "." = not), in the style
+  /// of the paper's schedule figures.
+  [[nodiscard]] std::string render(const std::vector<std::string>& task_names) const;
+
+ private:
+  std::vector<TraceSlot> slots_;
+};
+
+}  // namespace pfair

@@ -1,0 +1,75 @@
+#include "sim/verifier.h"
+
+#include <sstream>
+
+#include "core/lag.h"
+#include "core/windows.h"
+
+namespace pfair {
+
+namespace {
+
+std::string describe(const char* what, std::size_t t, TaskId task) {
+  std::ostringstream os;
+  os << what << " (slot " << t << ", task " << task << ")";
+  return os.str();
+}
+
+}  // namespace
+
+VerifyResult verify_schedule(const ScheduleTrace& trace, const TaskSet& tasks,
+                             const VerifyOptions& options) {
+  VerifyResult res;
+  const std::size_t n = tasks.size();
+  std::vector<std::int64_t> allocated(n, 0);
+
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const TraceSlot& slot = trace[t];
+    if (slot.proc_to_task.size() > static_cast<std::size_t>(options.processors)) {
+      res.fail(describe("more processors used than configured", t, kNoTask));
+    }
+    // Structural: each task at most once per slot.
+    std::vector<int> seen(n, 0);
+    for (const TaskId id : slot.proc_to_task) {
+      if (id == kNoTask) continue;
+      if (id >= n) {
+        res.fail(describe("unknown task id in trace", t, id));
+        continue;
+      }
+      if (++seen[id] > 1) res.fail(describe("task on two processors in one slot", t, id));
+    }
+
+    // Window property: the k-th quantum of T must lie in w(T_k).
+    for (TaskId id = 0; id < n; ++id) {
+      if (seen[id] == 0) continue;
+      const Task& task = tasks[id];
+      const SubtaskIndex k = allocated[id] + 1;
+      if (options.check_windows) {
+        const Time r = subtask_release(task.execution, task.period, k);
+        const Time d = subtask_deadline(task.execution, task.period, k);
+        if (static_cast<Time>(t) < r)
+          res.fail(describe("subtask scheduled before its pseudo-release", t, id));
+        if (static_cast<Time>(t) >= d)
+          res.fail(describe("subtask scheduled at/after its pseudo-deadline", t, id));
+      }
+      ++allocated[id];
+    }
+
+    // Lag bounds at time t+1.
+    for (TaskId id = 0; id < n; ++id) {
+      const Task& task = tasks[id];
+      if (options.check_lags) {
+        if (!lag_within_pfair_bounds(task.execution, task.period, static_cast<Time>(t) + 1,
+                                     allocated[id]))
+          res.fail(describe("lag out of (-1, 1)", t, id));
+      } else if (options.check_upper_lag_only) {
+        if (!lag_within_erfair_bounds(task.execution, task.period, static_cast<Time>(t) + 1,
+                                      allocated[id]))
+          res.fail(describe("lag reached +1 (deadline miss)", t, id));
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace pfair

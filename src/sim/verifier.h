@@ -1,0 +1,51 @@
+// Independent schedule verification.
+//
+// The simulator asserts properties about its own bookkeeping; this
+// module re-derives everything from the raw allocation trace alone, so
+// simulator bugs cannot hide behind their own accounting.  For a
+// synchronous periodic task set it checks, slot by slot:
+//
+//   - structural sanity: no task on two processors in one slot, no
+//     more allocations than processors;
+//   - the Pfair window property: the k-th quantum received by task T
+//     lies inside [r(T_k), d(T_k)) — equivalent to all deadlines met
+//     AND no subtask running before its release;
+//   - the lag bounds -1 < lag(T, t) < 1 at every integer time
+//     (implied by the window property, but checked independently);
+//   - work conservation (optional, for ERfair traces): no processor
+//     idles while some task has unfinished-job work pending.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/task.h"
+#include "sim/trace.h"
+
+namespace pfair {
+
+struct VerifyOptions {
+  int processors = 1;
+  bool check_windows = true;   ///< Pfair windows (disable for ERfair traces)
+  bool check_lags = true;      ///< strict (-1, 1) lag bounds
+  bool check_upper_lag_only = false;  ///< ERfair: only lag < 1 (deadlines)
+};
+
+struct VerifyResult {
+  bool ok = true;
+  std::size_t violations = 0;
+  std::string first_violation;  ///< human-readable description
+
+  void fail(std::string what) {
+    ++violations;
+    if (ok) first_violation = std::move(what);
+    ok = false;
+  }
+};
+
+/// Verifies `trace` against `tasks` (task id i in the trace = tasks[i];
+/// all tasks synchronous at time 0).
+[[nodiscard]] VerifyResult verify_schedule(const ScheduleTrace& trace, const TaskSet& tasks,
+                                           const VerifyOptions& options);
+
+}  // namespace pfair

@@ -1,0 +1,60 @@
+// Weighted round-robin (WRR) baseline.
+//
+// The paper notes that "PD2 can be thought of as a deadline-based
+// variant of the weighted round-robin algorithm" (Sec. 4).  This module
+// provides the plain WRR that comparison refers to: time is divided
+// into fixed frames of F quanta; in each frame task T is budgeted
+// round(wt(T) * F) quanta; the M processors serve tasks in a fixed
+// cyclic order, draining budgets.  WRR preserves long-run rates but —
+// unlike PD2 — provides no per-subtask deadlines: its allocation error
+// (lag) grows with the frame length, which is exactly the gap the Pfair
+// window machinery closes.  Used by tests and the ablation bench to
+// quantify that gap.
+#pragma once
+
+#include <vector>
+
+#include "core/task.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
+
+namespace pfair {
+
+struct WrrConfig {
+  int processors = 1;
+  Time frame = 16;  ///< F: quanta per round-robin frame
+  bool record_trace = true;
+};
+
+class WrrSimulator {
+ public:
+  WrrSimulator(TaskSet tasks, WrrConfig config);
+
+  void run_until(Time until);
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] const ScheduleTrace& trace() const noexcept { return trace_; }
+  [[nodiscard]] std::int64_t allocated(TaskId id) const { return allocated_[id]; }
+
+  /// Largest |lag| observed over the run (exact rational).
+  [[nodiscard]] Rational max_abs_lag() const noexcept { return max_abs_lag_; }
+
+  /// Quanta in which some processor idled while budgets remained.
+  [[nodiscard]] std::uint64_t idle_quanta() const noexcept { return idle_quanta_; }
+
+ private:
+  void start_frame();
+
+  TaskSet tasks_;
+  WrrConfig config_;
+  Time now_ = 0;
+  std::vector<std::int64_t> allocated_;
+  std::vector<std::int64_t> budget_;  ///< remaining quanta this frame
+  std::vector<Rational> carry_;       ///< fractional credit across frames
+  std::size_t cursor_ = 0;            ///< cyclic service pointer
+  ScheduleTrace trace_;
+  Rational max_abs_lag_{0};
+  std::uint64_t idle_quanta_ = 0;
+};
+
+}  // namespace pfair

@@ -1,0 +1,29 @@
+#include "sync/quantum_lock.h"
+
+#include <algorithm>
+
+namespace pfair {
+
+CsAudit replay_quantum(const QuantumLockModel& model, const std::vector<CsRequest>& requests) {
+  CsAudit audit;
+  double cursor = 0.0;  // earliest time the next section may start
+  for (const CsRequest& req : requests) {
+    assert(req.offset_us >= 0.0 && req.offset_us <= model.quantum_us());
+    assert(req.length_us >= 0.0 && req.length_us <= model.max_cs_us());
+    const double start = std::max(cursor, req.offset_us);
+    if (!model.admissible(start, req.length_us)) {
+      ++audit.deferred;
+      audit.wasted_tail_us = std::max(audit.wasted_tail_us, model.quantum_us() - start);
+      // Everything after this point in the quantum is forfeited for
+      // locking purposes; remaining requests defer too.
+      cursor = model.quantum_us();
+      continue;
+    }
+    if (start + req.length_us > model.quantum_us()) audit.boundary_violation = true;
+    ++audit.executed;
+    cursor = start + req.length_us;
+  }
+  return audit;
+}
+
+}  // namespace pfair

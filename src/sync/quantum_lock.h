@@ -1,0 +1,96 @@
+// Synchronization under Pfair tight synchrony (paper Sec. 5.1).
+//
+// Because every subtask's execution is non-preemptive within its slot,
+// lock-based synchronization can avoid all preemption-related problems
+// by ensuring no lock is held across a quantum boundary: a critical
+// section that cannot complete before the boundary is *deferred* to the
+// task's next quantum.  This module provides
+//   - the admission rule and its analytic costs (worst-case deferral,
+//     worst-case blocking, execution-cost inflation), and
+//   - a small audit engine that replays a trace of critical-section
+//     requests and checks the no-lock-across-boundary invariant while
+//     computing the realised delays (used by tests and examples), and
+//   - the lock-free retry bound that tight synchrony yields (Sec. 5.1,
+//     in the spirit of Holman & Anderson [18]).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pfair {
+
+/// Analytic model of quantum-boundary locking.
+class QuantumLockModel {
+ public:
+  QuantumLockModel(double quantum_us, double max_critical_section_us)
+      : quantum_us_(quantum_us), max_cs_us_(max_critical_section_us) {
+    assert(quantum_us_ > 0.0);
+    assert(max_cs_us_ >= 0.0 && max_cs_us_ < quantum_us_);
+  }
+
+  /// May a critical section of length `cs_us` start at offset
+  /// `offset_us` within a quantum?  Only if it completes by the
+  /// boundary.
+  [[nodiscard]] bool admissible(double offset_us, double cs_us) const noexcept {
+    return offset_us + cs_us <= quantum_us_;
+  }
+
+  /// A deferred section wastes at most the refused tail of the quantum,
+  /// which is strictly less than the section length itself.
+  [[nodiscard]] double worst_case_deferral_us() const noexcept { return max_cs_us_; }
+
+  /// Blocking on a held lock is bounded by one critical-section length
+  /// of a task running in the same slot (locks never persist across
+  /// slots, so no remote/preempted holder can block longer).
+  [[nodiscard]] double worst_case_blocking_us() const noexcept { return max_cs_us_; }
+
+  /// Execution-cost inflation: each allocated quantum may forfeit up to
+  /// max_cs at its end, so budgeting e * q / (q - max_cs) preserves
+  /// guarantees.
+  [[nodiscard]] double inflation_factor() const noexcept {
+    return quantum_us_ / (quantum_us_ - max_cs_us_);
+  }
+
+  [[nodiscard]] double quantum_us() const noexcept { return quantum_us_; }
+  [[nodiscard]] double max_cs_us() const noexcept { return max_cs_us_; }
+
+ private:
+  double quantum_us_;
+  double max_cs_us_;
+};
+
+/// One critical-section request inside a task's allocated quantum.
+struct CsRequest {
+  double offset_us = 0.0;  ///< when within the quantum the task asks
+  double length_us = 0.0;
+};
+
+/// Result of replaying one quantum's worth of requests under the defer
+/// rule.
+struct CsAudit {
+  std::size_t executed = 0;   ///< sections run in this quantum
+  std::size_t deferred = 0;   ///< sections pushed to the next quantum
+  double wasted_tail_us = 0.0;  ///< quantum time forfeited by deferral
+  bool boundary_violation = false;  ///< should always stay false
+};
+
+/// Replays `requests` (sorted by offset) issued during one quantum and
+/// applies the defer rule.  Requests whose offset falls inside an
+/// earlier section are started back-to-back (the task executes them
+/// sequentially).
+[[nodiscard]] CsAudit replay_quantum(const QuantumLockModel& model,
+                                     const std::vector<CsRequest>& requests);
+
+/// Retry bound for lock-free operations under Pfair scheduling on `m`
+/// processors: within one quantum, an operation by one task can be
+/// interfered with only by operations of the at most m - 1 tasks
+/// scheduled concurrently, each completing at most
+/// `ops_per_quantum` operations, so
+///     attempts <= (m - 1) * ops_per_quantum + 1.
+[[nodiscard]] constexpr std::int64_t lock_free_attempt_bound(
+    int m, std::int64_t ops_per_quantum) noexcept {
+  return static_cast<std::int64_t>(m - 1) * ops_per_quantum + 1;
+}
+
+}  // namespace pfair

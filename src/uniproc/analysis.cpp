@@ -1,0 +1,55 @@
+#include "uniproc/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+#include "util/rational.h"
+
+namespace pfair {
+
+bool edf_schedulable(const std::vector<UniTask>& tasks) {
+  Rational u(0);
+  for (const UniTask& t : tasks) u += Rational(t.execution, t.period);
+  return u <= Rational(1);
+}
+
+double rm_utilization_bound(std::size_t n) {
+  if (n == 0) return 1.0;
+  const double nn = static_cast<double>(n);
+  return nn * (std::pow(2.0, 1.0 / nn) - 1.0);
+}
+
+bool rm_schedulable_ll(const std::vector<UniTask>& tasks) {
+  return total_utilization(tasks) <= rm_utilization_bound(tasks.size()) + 1e-12;
+}
+
+std::int64_t rm_response_time(const std::vector<UniTask>& tasks, std::size_t index) {
+  // Higher priority = shorter period (ties by position, i.e. earlier
+  // tasks win, which is the conventional deterministic tie-break).
+  const UniTask& self = tasks[index];
+  std::int64_t r = self.execution;
+  for (;;) {
+    std::int64_t next = self.execution;
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+      if (j == index) continue;
+      const bool higher =
+          tasks[j].period < self.period || (tasks[j].period == self.period && j < index);
+      if (!higher) continue;
+      next += ceil_div(r, tasks[j].period) * tasks[j].execution;
+    }
+    if (next == r) return r;
+    if (next > self.period) return -1;  // diverged past the deadline
+    r = next;
+  }
+}
+
+bool rm_schedulable_exact(const std::vector<UniTask>& tasks) {
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const std::int64_t r = rm_response_time(tasks, i);
+    if (r < 0 || r > tasks[i].period) return false;
+  }
+  return true;
+}
+
+}  // namespace pfair

@@ -1,0 +1,31 @@
+// Uniprocessor schedulability analysis (paper Secs. 1 and 3).
+#pragma once
+
+#include <vector>
+
+#include "uniproc/uni_task.h"
+
+namespace pfair {
+
+/// EDF exact test for implicit-deadline periodic tasks: U <= 1
+/// [Liu & Layland 73].  Uses exact integer arithmetic (no double
+/// round-off at the boundary).
+[[nodiscard]] bool edf_schedulable(const std::vector<UniTask>& tasks);
+
+/// Liu–Layland RM utilization bound n(2^{1/n} - 1); ~0.693 as n -> inf.
+[[nodiscard]] double rm_utilization_bound(std::size_t n);
+
+/// Sufficient RM test: U <= n(2^{1/n} - 1).
+[[nodiscard]] bool rm_schedulable_ll(const std::vector<UniTask>& tasks);
+
+/// Exact RM test via response-time analysis [Lehoczky, Sha & Ding 89 /
+/// Joseph & Pandya]: iterate R = e_i + sum_{j in hp(i)} ceil(R/p_j) e_j
+/// to a fixed point and compare against the deadline.
+[[nodiscard]] bool rm_schedulable_exact(const std::vector<UniTask>& tasks);
+
+/// Worst-case response time of `index` under RM, or -1 if it diverges
+/// past the deadline.
+[[nodiscard]] std::int64_t rm_response_time(const std::vector<UniTask>& tasks,
+                                            std::size_t index);
+
+}  // namespace pfair

@@ -1,0 +1,40 @@
+// Uniprocessor (partitioned) task model.
+//
+// Under partitioning each processor runs an independent uniprocessor
+// scheduler over jobs, not quanta: a periodic task releases a job of
+// `execution` time units every `period` units, due at the next release
+// (implicit deadlines).  Time units here are abstract (the benches use
+// microseconds); nothing is quantised.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pfair {
+
+struct UniTask {
+  std::int64_t execution = 1;  ///< worst-case execution time
+  std::int64_t period = 1;     ///< period == relative deadline
+
+  [[nodiscard]] double utilization() const noexcept {
+    return static_cast<double>(execution) / static_cast<double>(period);
+  }
+  [[nodiscard]] bool valid() const noexcept {
+    return execution > 0 && period > 0 && execution <= period;
+  }
+};
+
+[[nodiscard]] inline UniTask make_uni_task(std::int64_t e, std::int64_t p) noexcept {
+  UniTask t{e, p};
+  assert(t.valid());
+  return t;
+}
+
+[[nodiscard]] inline double total_utilization(const std::vector<UniTask>& ts) noexcept {
+  double u = 0.0;
+  for (const UniTask& t : ts) u += t.utilization();
+  return u;
+}
+
+}  // namespace pfair

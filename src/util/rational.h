@@ -1,0 +1,120 @@
+// Exact rational arithmetic for task weights and lags.
+//
+// Pfair correctness proofs are stated over exact rationals (weights
+// e/p, lag bounds strictly inside (-1, 1)); using doubles would make
+// lag-bound property tests flaky.  Values stay tiny (numerators bounded
+// by horizon * period), so a reduced int64/int64 pair suffices.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "util/math.h"
+
+namespace pfair {
+
+/// A reduced fraction num/den with den > 0.  Supports the small set of
+/// operations the scheduling core needs; all operations keep the value
+/// reduced so equality is structural.
+class Rational {
+ public:
+  constexpr Rational() noexcept = default;
+
+  /// Constructs num/den; den may be negative or the fraction unreduced.
+  constexpr Rational(std::int64_t num, std::int64_t den) noexcept : num_(num), den_(den) {
+    assert(den_ != 0);
+    reduce();
+  }
+
+  /// Implicit from integers, so `w <= 1` reads naturally.
+  constexpr Rational(std::int64_t value) noexcept : num_(value), den_(1) {}  // NOLINT
+
+  [[nodiscard]] constexpr std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const noexcept { return den_; }
+
+  [[nodiscard]] constexpr double to_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  [[nodiscard]] constexpr Rational operator-() const noexcept {
+    Rational r;
+    r.num_ = -num_;
+    r.den_ = den_;
+    return r;
+  }
+
+  constexpr Rational& operator+=(const Rational& o) noexcept {
+    const std::int64_t g = std::gcd(den_, o.den_);
+    const std::int64_t scale = o.den_ / g;
+    num_ = checked_mul(num_, scale) + checked_mul(o.num_, den_ / g);
+    den_ = checked_mul(den_, scale);
+    reduce();
+    return *this;
+  }
+  constexpr Rational& operator-=(const Rational& o) noexcept { return *this += -o; }
+  constexpr Rational& operator*=(const Rational& o) noexcept {
+    // Cross-reduce before multiplying to keep intermediates small.
+    const std::int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, o.den_);
+    const std::int64_t g2 = std::gcd(o.num_ < 0 ? -o.num_ : o.num_, den_);
+    num_ = checked_mul(num_ / g1, o.num_ / g2);
+    den_ = checked_mul(den_ / g2, o.den_ / g1);
+    reduce();
+    return *this;
+  }
+
+  [[nodiscard]] friend constexpr Rational operator+(Rational a, const Rational& b) noexcept {
+    return a += b;
+  }
+  [[nodiscard]] friend constexpr Rational operator-(Rational a, const Rational& b) noexcept {
+    return a -= b;
+  }
+  [[nodiscard]] friend constexpr Rational operator*(Rational a, const Rational& b) noexcept {
+    return a *= b;
+  }
+
+  [[nodiscard]] friend constexpr bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  [[nodiscard]] friend constexpr std::strong_ordering operator<=>(const Rational& a,
+                                                                  const Rational& b) noexcept {
+    // Compare a.num/a.den <=> b.num/b.den via cross-multiplication.
+    return checked_mul(a.num_, b.den_) <=> checked_mul(b.num_, a.den_);
+  }
+
+  /// ⌊*this⌋ as an integer.
+  [[nodiscard]] constexpr std::int64_t floor() const noexcept { return floor_div(num_, den_); }
+  /// ⌈*this⌉ as an integer.
+  [[nodiscard]] constexpr std::int64_t ceil() const noexcept { return ceil_div(num_, den_); }
+
+  [[nodiscard]] std::string to_string() const {
+    if (den_ == 1) return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& r) {
+    return os << r.to_string();
+  }
+
+ private:
+  constexpr void reduce() noexcept {
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace pfair

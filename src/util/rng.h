@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Experiments must be reproducible run-to-run and machine-to-machine, so
+// the library carries its own generator (xoshiro256**) instead of relying
+// on implementation-defined std::default_random_engine behaviour, and its
+// own distributions instead of the unspecified std::uniform_* algorithms.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pfair {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, adapted).  Fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  /// Seeds deterministically via splitmix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& s : state_) s = splitmix64(x);
+  }
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive (unbiased via rejection).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    assert(lo <= hi);
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+    std::uint64_t v = next();
+    while (v >= limit) v = next();
+    return lo + static_cast<std::int64_t>(v % range);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    assert(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent stream for a sub-experiment; deterministic in
+  /// (current seed material, `stream`).
+  [[nodiscard]] Rng fork(std::uint64_t stream) noexcept {
+    return Rng(next() ^ (stream * 0xbf58476d1ce4e5b9ull + 0x94d049bb133111ebull));
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  [[nodiscard]] static constexpr std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace pfair

@@ -1,0 +1,89 @@
+// Streaming statistics and confidence intervals for experiment reporting.
+//
+// The paper reports 99% confidence intervals for every plotted point; the
+// bench harnesses do the same via this accumulator.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+namespace pfair {
+
+/// Welford online accumulator: mean / variance / min / max in one pass,
+/// numerically stable for long runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Unbiased sample variance (0 for fewer than two samples).
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept {
+    return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+  /// Half-width of the 99% confidence interval for the mean.  Uses a
+  /// Student-t critical value for small n, converging to z = 2.576.
+  [[nodiscard]] double ci99_halfwidth() const noexcept { return t99(n_) * sem(); }
+
+  /// CI half-width relative to the mean (the paper's "relative error").
+  [[nodiscard]] double ci99_relative() const noexcept {
+    return mean_ != 0.0 ? ci99_halfwidth() / std::abs(mean_) : 0.0;
+  }
+
+  void merge(const RunningStats& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) * static_cast<double>(o.n_) / total;
+    mean_ += delta * static_cast<double>(o.n_) / total;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+    n_ += o.n_;
+  }
+
+ private:
+  /// Two-sided 99% Student-t critical values (df = n-1), tabulated for
+  /// small df, asymptotic beyond.
+  [[nodiscard]] static double t99(std::size_t n) noexcept {
+    static constexpr double kTable[] = {0.0,   63.657, 9.925, 5.841, 4.604, 4.032, 3.707,
+                                        3.499, 3.355,  3.250, 3.169, 3.106, 3.055, 3.012,
+                                        2.977, 2.947,  2.921, 2.898, 2.878, 2.861, 2.845};
+    if (n < 2) return 0.0;
+    const std::size_t df = n - 1;
+    if (df < sizeof(kTable) / sizeof(kTable[0])) return kTable[df];
+    if (df < 30) return 2.75;
+    if (df < 60) return 2.66;
+    if (df < 120) return 2.62;
+    return 2.576;
+  }
+
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pfair

@@ -1,0 +1,32 @@
+// Fundamental scalar types shared across the pfair library.
+//
+// All core scheduling arithmetic is exact integer arithmetic: time is a
+// count of quanta (slots), execution requirements and periods are quanta
+// counts, and rates are exact rationals.  Floating point appears only at
+// the edges (overhead models in microseconds, statistics).
+#pragma once
+
+#include <cstdint>
+
+namespace pfair {
+
+/// Discrete scheduling time, in quanta (slots).  Slot `t` is the real
+/// interval [t, t+1).  Signed so that differences and lags are natural.
+using Time = std::int64_t;
+
+/// Index of a subtask within a task (1-based, as in the paper).
+using SubtaskIndex = std::int64_t;
+
+/// Identifier of a task within a task system (dense, 0-based).
+using TaskId = std::uint32_t;
+
+/// Identifier of a processor (dense, 0-based).
+using ProcId = std::uint32_t;
+
+/// Sentinel meaning "not assigned to any processor".
+inline constexpr ProcId kNoProc = 0xffffffffu;
+
+/// Sentinel meaning "no task" in per-processor allocation tables.
+inline constexpr TaskId kNoTask = 0xffffffffu;
+
+}  // namespace pfair

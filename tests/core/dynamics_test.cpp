@@ -1,0 +1,47 @@
+#include "core/dynamics.h"
+
+#include <gtest/gtest.h>
+
+namespace pfair {
+namespace {
+
+TEST(MayJoin, ExactCapacityBoundary) {
+  EXPECT_TRUE(may_join(Rational(3, 2), Rational(1, 2), 2));   // exactly 2
+  EXPECT_FALSE(may_join(Rational(3, 2), Rational(2, 3), 2));  // 13/6 > 2
+  EXPECT_TRUE(may_join(Rational(0), Rational(1), 1));
+}
+
+TEST(EarliestLeave, NeverScheduledTaskLeavesImmediately) {
+  EXPECT_EQ(earliest_leave_time(1, 3, 0, 0), 0);
+}
+
+TEST(EarliestLeave, LightTaskUsesDeadlinePlusBBit) {
+  // weight 1/3, subtask 1: d = 3, b = 0 -> leave at 3.
+  EXPECT_EQ(earliest_leave_time(1, 3, 1, 0), 3);
+  // weight 2/5, subtask 1: d = ceil(5/2) = 3, b = 1 -> leave at 4.
+  EXPECT_EQ(earliest_leave_time(2, 5, 1, 0), 4);
+}
+
+TEST(EarliestLeave, HeavyTaskWaitsPastGroupDeadline) {
+  // weight 8/11, subtask 3: group deadline 8 -> leave at 9 ("after").
+  EXPECT_EQ(earliest_leave_time(8, 11, 3, 0), 9);
+}
+
+TEST(EarliestLeave, OffsetShiftsTheRule) {
+  EXPECT_EQ(earliest_leave_time(1, 3, 1, 100), 103);
+  EXPECT_EQ(earliest_leave_time(8, 11, 3, 50), 59);
+}
+
+TEST(EarliestLeave, LeaveTimeNeverBeforeSubtaskDeadline) {
+  for (std::int64_t p = 1; p <= 16; ++p) {
+    for (std::int64_t e = 1; e <= p; ++e) {
+      for (SubtaskIndex i = 1; i <= 2 * e; ++i) {
+        EXPECT_GE(earliest_leave_time(e, p, i, 0), subtask_deadline(e, p, i))
+            << e << "/" << p << " i=" << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,64 @@
+#include "core/lag.h"
+
+#include <gtest/gtest.h>
+
+#include "core/windows.h"
+
+namespace pfair {
+namespace {
+
+TEST(Lag, ZeroAtTimeZero) {
+  EXPECT_EQ(lag(2, 3, 0, 0), Rational(0));
+}
+
+TEST(Lag, FluidAllocationMinusActual) {
+  // weight 2/3, 4 slots elapsed, 2 quanta received: lag = 8/3 - 2 = 2/3.
+  EXPECT_EQ(lag(2, 3, 4, 2), Rational(2, 3));
+}
+
+TEST(Lag, NegativeWhenAhead) {
+  EXPECT_EQ(lag(1, 4, 1, 1), Rational(-3, 4));
+}
+
+TEST(Lag, PfairBoundsAreStrict) {
+  // lag exactly 1 or -1 violates the Pfair condition.
+  EXPECT_FALSE(lag_within_pfair_bounds(1, 2, 4, 1));   // lag = +1
+  EXPECT_FALSE(lag_within_pfair_bounds(1, 2, 2, 2));   // lag = -1
+  EXPECT_TRUE(lag_within_pfair_bounds(1, 2, 3, 1));    // lag = +1/2
+  EXPECT_TRUE(lag_within_pfair_bounds(1, 2, 1, 1));    // lag = -1/2
+}
+
+TEST(Lag, ErfairOnlyBoundsAbove) {
+  // Far ahead of the fluid schedule: fine under ERfair, not under Pfair.
+  EXPECT_TRUE(lag_within_erfair_bounds(1, 10, 1, 5));
+  EXPECT_FALSE(lag_within_pfair_bounds(1, 10, 1, 5));
+  // Behind by a full quantum: bad under both.
+  EXPECT_FALSE(lag_within_erfair_bounds(1, 2, 4, 1));
+}
+
+TEST(Lag, SchedulingEachSubtaskInItsWindowPreservesBounds) {
+  // For any weight, allocating subtask i anywhere in [r(T_i), d(T_i))
+  // keeps lag in (-1, 1) at every integer time.  Verify for the two
+  // extreme policies: always at release vs always at deadline - 1.
+  for (std::int64_t p = 1; p <= 12; ++p) {
+    for (std::int64_t e = 1; e <= p; ++e) {
+      for (const bool asap : {true, false}) {
+        std::int64_t allocated = 0;
+        SubtaskIndex next = 1;
+        for (Time t = 0; t <= 3 * p; ++t) {
+          const Time slot = asap ? subtask_release(e, p, next)
+                                 : subtask_deadline(e, p, next) - 1;
+          if (t == slot) {
+            ++allocated;
+            ++next;
+          }
+          EXPECT_TRUE(lag_within_pfair_bounds(e, p, t + 1, allocated))
+              << e << "/" << p << " t=" << t << " asap=" << asap;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,151 @@
+#include "core/supertask_packing.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/pfair_sim.h"
+#include "workload/generator.h"
+
+namespace pfair {
+namespace {
+
+TaskSet light_set() {
+  TaskSet set;
+  set.add(make_task(1, 10));
+  set.add(make_task(1, 10));
+  set.add(make_task(1, 20));
+  set.add(make_task(1, 20));
+  set.add(make_task(1, 5));
+  return set;  // total = 1/10*2 + 1/20*2 + 1/5 = 0.5
+}
+
+TEST(SupertaskPacking, SingleGroupSwallowsLightSet) {
+  const TaskSet set = light_set();
+  const PackingResult res = pack_into_supertasks(set, 1);
+  ASSERT_EQ(res.supertasks.size(), 1u);
+  EXPECT_TRUE(res.migratory.empty());
+  // Cumulative 1/2 + reweighting 1/p_min = 1/5 -> 7/10.
+  EXPECT_EQ(res.supertasks[0].competing_weight(), Rational(7, 10));
+  EXPECT_EQ(res.reweighting_overhead(set), Rational(1, 5));
+}
+
+TEST(SupertaskPacking, ZeroGroupsLeavesEverythingMigratory) {
+  const TaskSet set = light_set();
+  const PackingResult res = pack_into_supertasks(set, 0);
+  EXPECT_TRUE(res.supertasks.empty());
+  EXPECT_EQ(res.migratory.size(), set.size());
+  EXPECT_EQ(res.total_weight, set.total_weight());
+}
+
+TEST(SupertaskPacking, GroupWeightsNeverExceedOne) {
+  Rng rng(0x5afe2);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng trial_rng = rng.fork(static_cast<std::uint64_t>(trial));
+    const TaskSet set = generate_feasible_taskset(trial_rng, 4, 24, 20);
+    const PackingResult res = pack_into_supertasks(set, 4);
+    for (const SupertaskSpec& s : res.supertasks) {
+      EXPECT_LE(s.competing_weight(), Rational(1));
+      EXPECT_FALSE(s.components.empty());
+    }
+    // Nothing is lost: component + migratory count = original count.
+    std::size_t packed = res.migratory.size();
+    for (const SupertaskSpec& s : res.supertasks) packed += s.components.size();
+    EXPECT_EQ(packed, set.size());
+  }
+}
+
+TEST(SupertaskPacking, UnweightedPackingHasNoOverhead) {
+  const TaskSet set = light_set();
+  const PackingResult res = pack_into_supertasks(set, 1, /*reweight=*/false);
+  ASSERT_EQ(res.supertasks.size(), 1u);
+  EXPECT_EQ(res.total_weight, set.total_weight());
+}
+
+TEST(SupertaskPacking, PackedSystemMeetsAllComponentDeadlines) {
+  // End-to-end: pack a feasible set, run PD2 with bound supertasks, and
+  // confirm zero component misses (the Holman-Anderson guarantee).
+  Rng rng(0x9ac7);
+  for (int trial = 0; trial < 6; ++trial) {
+    Rng trial_rng = rng.fork(static_cast<std::uint64_t>(trial));
+    // Leave headroom for the reweighting overhead: ~60% load.
+    TaskSet set;
+    Rational total(0);
+    while (total < Rational(5, 4)) {
+      const Task t = random_pfair_task(trial_rng, 16);
+      if (Rational(1, 2) < t.weight()) continue;
+      total += t.weight();
+      set.add(t);
+    }
+    const PackingResult packed = pack_into_supertasks(set, 2);
+    if (Rational(2) < packed.total_weight) continue;  // reweighting overflow
+    SimConfig sc;
+    sc.processors = 2;
+    PfairSimulator sim(sc);
+    std::vector<TaskId> servers;
+    for (std::size_t g = 0; g < packed.supertasks.size(); ++g) {
+      servers.push_back(
+          sim.add_supertask(packed.supertasks[g], static_cast<ProcId>(g)));
+    }
+    for (const Task& t : packed.migratory) sim.add_task(t);
+    sim.run_until(2000);
+    EXPECT_EQ(sim.metrics().deadline_misses, 0u) << "trial " << trial;
+    for (std::size_t g = 0; g < servers.size(); ++g) {
+      for (std::size_t c = 0; c < packed.supertasks[g].components.size(); ++c) {
+        EXPECT_EQ(sim.component_miss_count(servers[g], c), 0u)
+            << "trial " << trial << " group " << g << " comp " << c;
+      }
+    }
+  }
+}
+
+TEST(SupertaskPacking, BoundServersNeverMigrate) {
+  const TaskSet set = light_set();
+  const PackingResult packed = pack_into_supertasks(set, 1);
+  SimConfig sc;
+  sc.processors = 2;
+  sc.record_trace = true;
+  PfairSimulator sim(sc);
+  const TaskId server = sim.add_supertask(packed.supertasks[0], /*bound_proc=*/1);
+  sim.add_task(make_task(1, 2));  // a migratory companion
+  sim.run_until(400);
+  // Every quantum of the server sits on processor 1.
+  const ScheduleTrace& tr = sim.trace();
+  for (std::size_t t = 0; t < tr.size(); ++t) {
+    EXPECT_NE(tr[t].proc_to_task[0], server) << "slot " << t;
+  }
+  EXPECT_EQ(sim.metrics().deadline_misses, 0u);
+}
+
+TEST(SupertaskPacking, PackingReducesContextSwitchesForLightTasks) {
+  // Under global PD2, each 3/16 task's job is three quanta spread
+  // across its period (preempted between them).  Packed into one heavy
+  // (13/16) supertask, the server runs long consecutive stretches and
+  // internal EDF completes each component job back-to-back — the
+  // paper's "the number of preemptions will approach that of an
+  // EDF-scheduled uniprocessor system".
+  TaskSet set;
+  for (int k = 0; k < 4; ++k) set.add(make_task(3, 16));  // 4 x 3/16
+  std::uint64_t plain_switches = 0;
+  std::uint64_t packed_switches = 0;
+  {
+    SimConfig sc;
+    sc.processors = 1;
+    PfairSimulator sim(sc);
+    for (const Task& t : set.tasks()) sim.add_task(t);
+    sim.run_until(1600);
+    plain_switches = sim.metrics().context_switches;
+  }
+  {
+    const PackingResult packed = pack_into_supertasks(set, 1);
+    ASSERT_EQ(packed.supertasks.size(), 1u);
+    SimConfig sc;
+    sc.processors = 1;
+    PfairSimulator sim(sc);
+    sim.add_supertask(packed.supertasks[0], 0);
+    sim.run_until(1600);
+    packed_switches = sim.metrics().context_switches + sim.metrics().component_switches;
+  }
+  EXPECT_LT(packed_switches, plain_switches);
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,43 @@
+#include "core/supertask.h"
+
+#include <gtest/gtest.h>
+
+namespace pfair {
+namespace {
+
+TEST(Supertask, Fig5WeightIsTwoNinths) {
+  // S contains T (1/5) and U (1/45): 1/5 + 1/45 = 10/45 = 2/9.
+  const SupertaskSpec s = make_supertask({make_task(1, 5), make_task(1, 45)});
+  EXPECT_EQ(s.competing_weight(), Rational(2, 9));
+  EXPECT_EQ(s.execution, 2);
+  EXPECT_EQ(s.period, 9);
+  EXPECT_EQ(s.cumulative_component_weight(), Rational(2, 9));
+}
+
+TEST(Supertask, ReweightingAddsOneOverMinPeriod) {
+  // Holman-Anderson: inflate by 1/p_min = 1/5: 2/9 + 1/5 = 19/45.
+  const SupertaskSpec s = make_reweighted_supertask({make_task(1, 5), make_task(1, 45)});
+  EXPECT_EQ(s.competing_weight(), Rational(19, 45));
+  EXPECT_EQ(s.min_component_period(), 5);
+}
+
+TEST(Supertask, ReweightingCapsAtOne) {
+  const SupertaskSpec s =
+      make_reweighted_supertask({make_task(2, 3), make_task(1, 3)});  // already weight 1
+  EXPECT_EQ(s.competing_weight(), Rational(1));
+}
+
+TEST(Supertask, SingleComponentKeepsItsWeight) {
+  const SupertaskSpec s = make_supertask({make_task(3, 7)});
+  EXPECT_EQ(s.competing_weight(), Rational(3, 7));
+}
+
+TEST(Supertask, CompetingWeightAlwaysAtLeastCumulative) {
+  const SupertaskSpec plain = make_supertask({make_task(1, 10), make_task(1, 20)});
+  const SupertaskSpec rew = make_reweighted_supertask({make_task(1, 10), make_task(1, 20)});
+  EXPECT_EQ(plain.competing_weight(), plain.cumulative_component_weight());
+  EXPECT_LT(plain.competing_weight(), rew.competing_weight());
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,69 @@
+#include "core/task.h"
+
+#include <gtest/gtest.h>
+
+namespace pfair {
+namespace {
+
+TEST(Task, WeightAndHeaviness) {
+  EXPECT_EQ(make_task(2, 3).weight(), Rational(2, 3));
+  EXPECT_TRUE(make_task(1, 2).heavy());
+  EXPECT_TRUE(make_task(2, 3).heavy());
+  EXPECT_FALSE(make_task(1, 3).heavy());
+  EXPECT_TRUE(make_task(5, 5).heavy());
+}
+
+TEST(Task, ValidityChecks) {
+  Task t;
+  t.execution = 0;
+  t.period = 4;
+  EXPECT_FALSE(t.valid());
+  t.execution = 5;
+  EXPECT_FALSE(t.valid());
+  t.execution = 4;
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(TaskSet, TotalWeightIsExact) {
+  TaskSet set;
+  set.add(make_task(1, 3));
+  set.add(make_task(1, 3));
+  set.add(make_task(1, 3));
+  EXPECT_EQ(set.total_weight(), Rational(1));
+}
+
+TEST(TaskSet, FeasibilityEquation2) {
+  // The paper's Sec.-1 example: three tasks of weight 2/3 are feasible
+  // on two processors under Pfair (but not under partitioning).
+  TaskSet set;
+  for (int i = 0; i < 3; ++i) set.add(make_task(2, 3));
+  EXPECT_TRUE(set.feasible_on(2));
+  EXPECT_FALSE(set.feasible_on(1));
+  EXPECT_EQ(set.min_processors(), 2);
+}
+
+TEST(TaskSet, MinProcessorsIsCeilingOfTotalWeight) {
+  TaskSet set;
+  set.add(make_task(1, 2));
+  set.add(make_task(1, 2));
+  set.add(make_task(1, 100));
+  EXPECT_EQ(set.min_processors(), 2);  // 1 + 1/100 -> 2
+}
+
+TEST(TaskSet, Hyperperiod) {
+  TaskSet set;
+  set.add(make_task(1, 4));
+  set.add(make_task(1, 6));
+  set.add(make_task(1, 10));
+  EXPECT_EQ(set.hyperperiod(), 60);
+}
+
+TEST(TaskSet, EmptySetProperties) {
+  TaskSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.total_weight(), Rational(0));
+  EXPECT_EQ(set.hyperperiod(), 1);
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,55 @@
+#include "core/window_diagram.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pfair {
+namespace {
+
+TEST(WindowDiagram, Fig1aFirstSubtaskBar) {
+  // T1 of weight 8/11: window [0, 2) -> "[=" at columns 0..1.
+  const std::string out = render_window_diagram(8, 11, 1, 1);
+  EXPECT_NE(out.find("T1  |[="), std::string::npos) << out;
+}
+
+TEST(WindowDiagram, Fig1aHasEightRowsAndRuler) {
+  const std::string out = render_window_diagram(8, 11, 1, 8);
+  std::size_t rows = 0;
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) ++rows;
+  EXPECT_EQ(rows, 9u);  // 8 subtasks + ruler
+  EXPECT_NE(out.find("(digit marks every 5 slots)"), std::string::npos);
+}
+
+TEST(WindowDiagram, RowWidthsMatchLatestDeadline) {
+  // All rows padded to the max deadline (11 for the first job of 8/11).
+  const std::string out = render_window_diagram(8, 11, 1, 8);
+  std::istringstream is(out);
+  std::string line;
+  std::getline(is, line);  // top row: T8
+  // "T8  |" + 11 columns + "|"
+  EXPECT_EQ(line.size(), 4u + 1u + 11u + 1u);
+}
+
+TEST(WindowDiagram, IsOffsetsShiftWindows) {
+  // Fig. 1(b): T5 released one slot late (offset 1); its bar starts one
+  // column later than the synchronous one.
+  const std::string sync = render_window_diagram(8, 11, 5, 5);
+  const std::string late = render_window_diagram(8, 11, 5, 5, {1});
+  const std::size_t sync_bracket = sync.find('[');
+  const std::size_t late_bracket = late.find('[');
+  ASSERT_NE(sync_bracket, std::string::npos);
+  ASSERT_NE(late_bracket, std::string::npos);
+  EXPECT_EQ(late_bracket, sync_bracket + 1);
+}
+
+TEST(WindowDiagram, UnitWeightWindowsAreSingleSlots) {
+  const std::string out = render_window_diagram(1, 1, 1, 3);
+  // Each window is "[", no "=" fill.
+  EXPECT_EQ(out.find('='), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,98 @@
+// Parameterized property sweep over the full weight lattice: every
+// reduced weight e/p with p <= kMaxPeriod is checked for the structural
+// invariants of Sec. 2.  Complements windows_test.cpp (specific paper
+// examples) with exhaustive coverage.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/lag.h"
+#include "core/windows.h"
+
+namespace pfair {
+namespace {
+
+struct WeightCase {
+  std::int64_t e;
+  std::int64_t p;
+};
+
+void PrintTo(const WeightCase& w, std::ostream* os) { *os << w.e << "_" << w.p; }
+
+class WindowPropertyTest : public ::testing::TestWithParam<WeightCase> {};
+
+TEST_P(WindowPropertyTest, WindowsPartitionThePeriodEvenly) {
+  const auto [e, p] = GetParam();
+  // Across one job, the e windows cover [0, p] with total "fluid mass"
+  // e: sum over slots of per-slot coverage is bounded by window counts.
+  // Check the exact identities the Pfair literature uses:
+  //   d(T_i) - r(T_i) in {ceil(p/e), ceil(p/e)+1}
+  //   d(T_e) = p, r(T_1) = 0.
+  EXPECT_EQ(subtask_release(e, p, 1), 0);
+  EXPECT_EQ(subtask_deadline(e, p, e), p);
+  const Time base = ceil_div(p, e);
+  for (SubtaskIndex i = 1; i <= e; ++i) {
+    const Time len = window_length(e, p, i);
+    EXPECT_TRUE(len == base || len == base + 1 || (e == p && len == 1))
+        << "i=" << i << " len=" << len;
+  }
+}
+
+TEST_P(WindowPropertyTest, LagStaysBoundedForEveryWithinWindowPolicy) {
+  const auto [e, p] = GetParam();
+  // Greedy-early and lazy-late were covered in lag_test; here check a
+  // mid-window policy: schedule subtask i at floor((r + d - 1) / 2).
+  std::int64_t allocated = 0;
+  SubtaskIndex next = 1;
+  for (Time t = 0; t <= 2 * p; ++t) {
+    const Time r = subtask_release(e, p, next);
+    const Time d = subtask_deadline(e, p, next);
+    if (t == (r + d - 1) / 2) {
+      ++allocated;
+      ++next;
+    }
+    EXPECT_TRUE(lag_within_pfair_bounds(e, p, t + 1, allocated))
+        << "t=" << t << " e/p=" << e << "/" << p;
+  }
+}
+
+TEST_P(WindowPropertyTest, BBitZeroExactlyAtJobAlignedBoundaries) {
+  const auto [e, p] = GetParam();
+  // b(T_i) = 0 iff the window boundary is "clean": d(T_i) = r(T_{i+1}).
+  for (SubtaskIndex i = 1; i <= 2 * e; ++i) {
+    const bool clean = subtask_release(e, p, i + 1) == subtask_deadline(e, p, i);
+    EXPECT_EQ(b_bit(e, p, i) == 0, clean) << "i=" << i;
+  }
+  // The last subtask of every job always has b = 0.
+  EXPECT_EQ(b_bit(e, p, e), 0);
+  EXPECT_EQ(b_bit(e, p, 2 * e), 0);
+}
+
+TEST_P(WindowPropertyTest, GroupDeadlinesAreMonotoneWithinACascade) {
+  const auto [e, p] = GetParam();
+  if (!is_heavy(e, p) || e == p) return;
+  for (SubtaskIndex i = 1; i < 2 * e; ++i) {
+    // Group deadlines never decrease with the subtask index.
+    EXPECT_LE(group_deadline(e, p, i), group_deadline(e, p, i + 1)) << "i=" << i;
+  }
+  // And shift by exactly p per job.
+  for (SubtaskIndex i = 1; i <= e; ++i) {
+    EXPECT_EQ(group_deadline(e, p, i + e), group_deadline(e, p, i) + p) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllReducedWeights, WindowPropertyTest, ::testing::ValuesIn([] {
+                           std::vector<WeightCase> cases;
+                           constexpr std::int64_t kMaxPeriod = 26;
+                           for (std::int64_t p = 1; p <= kMaxPeriod; ++p) {
+                             for (std::int64_t e = 1; e <= p; ++e) {
+                               if (std::gcd(e, p) != 1) continue;  // reduced only
+                               cases.push_back({e, p});
+                             }
+                           }
+                           return cases;
+                         }()),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,195 @@
+#include "overhead/inflation.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace pfair {
+namespace {
+
+OverheadParams zero_overhead() {
+  OverheadParams p;
+  p.context_switch_us = 0.0;
+  SchedCostModel m;
+  std::array<double, 9> zeros{};
+  m.set_edf_table(zeros);
+  for (std::size_t i = 0; i < SchedCostModel::kProcCounts.size(); ++i)
+    m.set_pd2_table(i, zeros);
+  p.sched = m;
+  return p;
+}
+
+TEST(SchedCostModel, InterpolatesBetweenTablePoints) {
+  const SchedCostModel m = SchedCostModel::paper_defaults();
+  // Monotone in task count and processor count.
+  EXPECT_LT(m.edf_us(15), m.edf_us(1000));
+  EXPECT_LT(m.pd2_us(100, 1), m.pd2_us(100, 16));
+  EXPECT_LT(m.pd2_us(100, 2), m.pd2_us(500, 2));
+  // Interpolation stays between neighbours.
+  const double mid = m.edf_us(62.5);  // halfway between 50 and 75
+  EXPECT_GT(mid, m.edf_us(50));
+  EXPECT_LT(mid, m.edf_us(75));
+  // Clamped outside the measured range.
+  EXPECT_DOUBLE_EQ(m.edf_us(5), m.edf_us(15));
+  EXPECT_DOUBLE_EQ(m.edf_us(5000), m.edf_us(1000));
+}
+
+TEST(SchedCostModel, PaperMagnitudes) {
+  const SchedCostModel m = SchedCostModel::paper_defaults();
+  // "the overhead is still less than 8us" (PD2, 1 proc, 1000 tasks);
+  // "when the number of tasks is at most 100, the overhead of PD2 is
+  // less than 3us"; "the scheduling cost for at most 200 tasks is still
+  // less than 20us, even for 16 processors".
+  EXPECT_LT(m.pd2_us(1000, 1), 8.0);
+  EXPECT_LE(m.pd2_us(100, 1), 3.0);
+  EXPECT_LE(m.pd2_us(200, 16), 20.0 + 1.5);  // read off the graph, small slack
+  EXPECT_LT(m.edf_us(1000), 3.0);
+}
+
+TEST(InflateEdf, Formula) {
+  OverheadParams p;  // defaults: C = 5, paper tables
+  const OhTask t{10000.0, 100000.0, 40.0};
+  const double s = p.sched.edf_us(50);
+  EXPECT_DOUBLE_EQ(inflate_edf_us(t, 70.0, p, 50), 10000.0 + 2 * (s + 5.0) + 70.0);
+}
+
+TEST(InflateEdf, ZeroOverheadIsIdentity) {
+  const OverheadParams p = zero_overhead();
+  const OhTask t{12345.0, 100000.0, 40.0};
+  EXPECT_DOUBLE_EQ(inflate_edf_us(t, 0.0, p, 100), 12345.0);
+}
+
+TEST(InflatePd2, ZeroOverheadQuantisesOnly) {
+  const OverheadParams p = zero_overhead();
+  const OhTask t{2500.0, 100000.0, 0.0};
+  const Pd2Inflation inf = inflate_pd2(t, p, 100, 4);
+  EXPECT_TRUE(inf.feasible);
+  EXPECT_EQ(inf.quanta, 3);  // ceil(2.5ms / 1ms)
+  EXPECT_EQ(inf.period_quanta, 100);
+  EXPECT_NEAR(inf.weight(), 0.03, 1e-12);
+}
+
+TEST(InflatePd2, FixedPointConvergesWithinFiveIterations) {
+  // The paper: "convergence usually occurs within five iterations".
+  OverheadParams p;
+  Rng rng(0x9);
+  OhWorkloadConfig cfg;
+  cfg.n_tasks = 50;
+  cfg.total_utilization = 10.0;
+  const std::vector<OhTask> tasks = generate_oh_tasks(cfg, rng);
+  for (const OhTask& t : tasks) {
+    const Pd2Inflation inf = inflate_pd2(t, p, tasks.size(), 16);
+    EXPECT_TRUE(inf.feasible);
+    EXPECT_LE(inf.iterations, 5) << "e=" << t.execution_us << " p=" << t.period_us;
+    EXPECT_GE(inf.execution_us, t.execution_us);
+  }
+}
+
+TEST(InflatePd2, PreemptionTermUsesMinRule) {
+  // A task spanning E quanta in a period of P quanta pays for
+  // min(E-1, P-E) preemptions.  With huge scheduling costs zeroed and
+  // C = 10, D = 0: e' = e + C + min(E-1, P-E)*C exactly (one switch-in
+  // plus per-preemption switches).
+  OverheadParams p = zero_overhead();
+  p.context_switch_us = 10.0;
+  // e = 8000us: the first pass sees E = 8 -> min(7, 2) = 2 preemptions
+  // (e' = 8030), which spills into a 9th quantum; the fixed point
+  // settles at E = 9 -> min(8, 1) = 1: e' = 8000 + 10 + 10 = 8020.
+  const OhTask dense{8000.0, 10000.0, 0.0};
+  EXPECT_NEAR(inflate_pd2(dense, p, 10, 2).execution_us, 8020.0, 1e-9);
+  // e = 2000us: first pass E = 2 -> min(1, 8) = 1 (e' = 2020), spilling
+  // into a 3rd quantum; fixed point at E = 3 -> min(2, 7) = 2:
+  // e' = 2000 + 10 + 20 = 2030.
+  const OhTask sparse{2000.0, 10000.0, 0.0};
+  EXPECT_NEAR(inflate_pd2(sparse, p, 10, 2).execution_us, 2030.0, 1e-9);
+}
+
+TEST(InflatePd2, InfeasibleWhenInflationExceedsPeriod) {
+  OverheadParams p;
+  // A 1-quantum period cannot absorb any inflation beyond e = q.
+  const OhTask t{999.0, 1000.0, 50.0};
+  const Pd2Inflation inf = inflate_pd2(t, p, 1000, 16);
+  EXPECT_FALSE(inf.feasible);
+  EXPECT_FALSE(pd2_min_processors({t}, p).has_value());
+}
+
+TEST(MinProcessors, Pd2MatchesExactCeilWithoutOverheads) {
+  const OverheadParams p = zero_overhead();
+  // Utilizations sum to 2.5 in whole quanta -> 3 processors.
+  std::vector<OhTask> tasks;
+  for (int i = 0; i < 5; ++i) tasks.push_back({5000.0, 10000.0, 0.0});
+  const auto m = pd2_min_processors(tasks, p);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, 3);
+}
+
+TEST(EdfFf, DecreasingPeriodOrderAndDelayTerm) {
+  OverheadParams p = zero_overhead();
+  p.context_switch_us = 0.0;
+  // Two tasks, the longer-period one has a large cache delay.  The
+  // short-period task placed on the same processor must absorb that
+  // delay in its inflated cost.
+  std::vector<OhTask> tasks;
+  tasks.push_back({10000.0, 100000.0, 5000.0});  // long period, D = 5ms
+  tasks.push_back({10000.0, 20000.0, 0.0});      // short period
+  const EdfFfResult r = edf_ff_partition(tasks, p);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_EQ(r.processors, 1);
+  // Short task: (10000 + 5000) / 20000 = 0.75; long: 0.1.
+  EXPECT_NEAR(r.inflated_util[1], 0.75, 1e-12);
+  EXPECT_NEAR(r.inflated_util[0], 0.1, 1e-12);
+  EXPECT_NEAR(r.total_inflated_utilization, 0.85, 1e-12);
+}
+
+TEST(EdfFf, SpillsToNewProcessorWhenDelayInflationOverflows) {
+  OverheadParams p = zero_overhead();
+  std::vector<OhTask> tasks;
+  tasks.push_back({60000.0, 100000.0, 30000.0});  // u = 0.6, huge delay
+  tasks.push_back({25000.0, 50000.0, 0.0});       // u = 0.5 raw
+  // Same processor would cost 0.6 + (25000+30000)/50000 = 1.7 > 1.
+  const EdfFfResult r = edf_ff_partition(tasks, p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.processors, 2);
+  EXPECT_NE(r.assignment[0], r.assignment[1]);
+}
+
+TEST(EdfFf, RespectsMaxProcessors) {
+  OverheadParams p = zero_overhead();
+  std::vector<OhTask> tasks(4, OhTask{600.0, 1000.0, 0.0});  // 4 x 0.6
+  EXPECT_FALSE(edf_ff_partition(tasks, p, 3).feasible);
+  EXPECT_TRUE(edf_ff_partition(tasks, p, 4).feasible);
+}
+
+TEST(LossBreakdown, ComponentsAreNonNegativeAndConsistent) {
+  OverheadParams p;
+  Rng rng(0x77);
+  OhWorkloadConfig cfg;
+  cfg.n_tasks = 50;
+  cfg.total_utilization = 8.0;
+  const std::vector<OhTask> tasks = generate_oh_tasks(cfg, rng);
+  const LossBreakdown lb = loss_breakdown(tasks, p);
+  ASSERT_TRUE(lb.valid);
+  EXPECT_NEAR(lb.raw_utilization, 8.0, 1e-6);
+  EXPECT_GE(lb.pd2_loss, 0.0);
+  EXPECT_GE(lb.edf_loss, 0.0);
+  EXPECT_GE(lb.ff_loss, 0.0);
+  EXPECT_LE(lb.pd2_loss, 1.0);
+  EXPECT_LE(lb.edf_loss + lb.ff_loss, 1.0);
+  EXPECT_GE(lb.pd2_processors, 8);
+  EXPECT_GE(lb.edfff_processors, 8);
+}
+
+TEST(LossBreakdown, ZeroOverheadGivesZeroEdfLoss) {
+  const OverheadParams p = zero_overhead();
+  std::vector<OhTask> tasks;
+  for (int i = 0; i < 8; ++i) tasks.push_back({10000.0, 40000.0, 0.0});  // 8 x 0.25
+  const LossBreakdown lb = loss_breakdown(tasks, p);
+  ASSERT_TRUE(lb.valid);
+  EXPECT_NEAR(lb.edf_loss, 0.0, 1e-12);
+  EXPECT_NEAR(lb.pd2_loss, 0.0, 1e-12);  // 10ms is a whole number of quanta
+  EXPECT_EQ(lb.edfff_processors, 2);
+  EXPECT_NEAR(lb.ff_loss, 0.0, 1e-12);  // 8 x 0.25 packs exactly
+}
+
+}  // namespace
+}  // namespace pfair

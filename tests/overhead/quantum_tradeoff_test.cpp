@@ -1,0 +1,89 @@
+#include "overhead/quantum_tradeoff.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace pfair {
+namespace {
+
+std::vector<OhTask> sample_tasks(double total_util, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  OhWorkloadConfig cfg;
+  cfg.n_tasks = n;
+  cfg.total_utilization = total_util;
+  return generate_oh_tasks(cfg, rng);
+}
+
+TEST(QuantumTradeoff, RoundingLossShrinksWithSmallerQuantum) {
+  const auto tasks = sample_tasks(5.0, 50, 1);
+  const OverheadParams params;
+  const auto points =
+      sweep_quantum_sizes(tasks, params, {250.0, 500.0, 1000.0, 2000.0, 4000.0});
+  for (std::size_t k = 1; k < points.size(); ++k) {
+    EXPECT_LE(points[k - 1].rounding_loss, points[k].rounding_loss + 1e-9)
+        << "q=" << points[k].quantum_us;
+  }
+}
+
+TEST(QuantumTradeoff, OverheadLossGrowsWithSmallerQuantum) {
+  const auto tasks = sample_tasks(5.0, 50, 2);
+  const OverheadParams params;
+  const auto points = sweep_quantum_sizes(tasks, params, {250.0, 1000.0, 4000.0});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_GT(points[0].overhead_loss, points[1].overhead_loss);
+  EXPECT_GT(points[1].overhead_loss, points[2].overhead_loss);
+}
+
+TEST(QuantumTradeoff, DecompositionSumsToInflatedUtilization) {
+  const auto tasks = sample_tasks(8.0, 100, 3);
+  const OverheadParams params;
+  double raw = 0.0;
+  for (const OhTask& t : tasks) raw += t.utilization();
+  for (const auto& pt : sweep_quantum_sizes(tasks, params, {500.0, 1000.0, 2000.0})) {
+    ASSERT_TRUE(pt.processors.has_value());
+    EXPECT_NEAR(raw + pt.rounding_loss + pt.overhead_loss, pt.inflated_utilization, 1e-9);
+    EXPECT_GE(pt.rounding_loss, -1e-9);
+    EXPECT_GE(pt.overhead_loss, 0.0);
+  }
+}
+
+TEST(QuantumTradeoff, ExtremeQuantaAreWorseThanModerate) {
+  // The paper's open problem implies an interior optimum: a huge
+  // quantum wastes capacity to rounding, a tiny one to overhead.
+  const auto tasks = sample_tasks(10.0, 100, 4);
+  const OverheadParams params;
+  const std::vector<double> candidates = {50.0,   100.0,  250.0,  500.0,
+                                          1000.0, 2000.0, 8000.0, 32000.0};
+  const auto best = best_quantum(tasks, params, candidates);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_GT(*best, candidates.front());
+  EXPECT_LT(*best, candidates.back());
+}
+
+TEST(QuantumTradeoff, InfeasibleQuantumReported) {
+  // A near-full-utilization task has no room for per-quantum overhead:
+  // the inflation pushes e' past the period and the fixed point reports
+  // infeasibility (the task's quantised weight would exceed 1).
+  std::vector<OhTask> tasks = {{990.0, 1000.0, 100.0}};
+  const OverheadParams params;
+  const auto pt = evaluate_quantum(tasks, params, 100.0, 1);
+  EXPECT_FALSE(pt.processors.has_value());
+}
+
+TEST(QuantumTradeoff, HugeQuantumRoundsTinyTasksToFullQuanta) {
+  // The paper's epsilon example: a tiny requirement rounds up to a full
+  // quantum, so with q larger than the period the task consumes an
+  // entire processor share it does not need.
+  std::vector<OhTask> tasks = {{10.0, 10000.0, 0.0}};  // u = 0.001
+  OverheadParams params;
+  const auto coarse = evaluate_quantum(tasks, params, 10000.0, 1);
+  ASSERT_TRUE(coarse.processors.has_value());
+  EXPECT_NEAR(coarse.rounding_loss, 0.999, 1e-9);  // 1 quantum / 1-quantum period
+  const auto fine = evaluate_quantum(tasks, params, 10.0, 1);
+  ASSERT_TRUE(fine.processors.has_value());
+  EXPECT_LT(fine.rounding_loss, 0.01);
+}
+
+}  // namespace
+}  // namespace pfair

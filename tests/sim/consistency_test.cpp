@@ -1,0 +1,146 @@
+// Simulator self-consistency properties: determinism, resumability, and
+// agreement between the trace and the aggregate counters.
+#include <gtest/gtest.h>
+
+#include "sim/pfair_sim.h"
+#include "workload/generator.h"
+
+namespace pfair {
+namespace {
+
+TaskSet sample_set(std::uint64_t seed, int m) {
+  Rng rng(seed);
+  return generate_feasible_taskset(rng, m, 14, 14, /*fill=*/true);
+}
+
+TEST(Consistency, IdenticalRunsProduceIdenticalMetrics) {
+  for (int trial = 0; trial < 4; ++trial) {
+    const TaskSet set = sample_set(100 + static_cast<std::uint64_t>(trial), 3);
+    SimMetrics first;
+    for (int run = 0; run < 2; ++run) {
+      SimConfig sc;
+      sc.processors = 3;
+      PfairSimulator sim(sc);
+      for (const Task& t : set.tasks()) sim.add_task(t);
+      sim.run_until(777);
+      if (run == 0) {
+        first = sim.metrics();
+      } else {
+        EXPECT_EQ(first.busy_quanta, sim.metrics().busy_quanta);
+        EXPECT_EQ(first.preemptions, sim.metrics().preemptions);
+        EXPECT_EQ(first.migrations, sim.metrics().migrations);
+        EXPECT_EQ(first.context_switches, sim.metrics().context_switches);
+        EXPECT_EQ(first.jobs_completed, sim.metrics().jobs_completed);
+      }
+    }
+  }
+}
+
+TEST(Consistency, SteppedRunEqualsOneShotRun) {
+  const TaskSet set = sample_set(55, 2);
+  SimConfig sc;
+  sc.processors = 2;
+  sc.record_trace = true;
+  PfairSimulator once(sc);
+  PfairSimulator stepped(sc);
+  for (const Task& t : set.tasks()) {
+    once.add_task(t);
+    stepped.add_task(t);
+  }
+  once.run_until(600);
+  Rng rng(9);
+  while (stepped.now() < 600)
+    stepped.run_until(std::min<Time>(600, stepped.now() + rng.uniform_int(1, 37)));
+  EXPECT_EQ(once.metrics().busy_quanta, stepped.metrics().busy_quanta);
+  EXPECT_EQ(once.metrics().context_switches, stepped.metrics().context_switches);
+  ASSERT_EQ(once.trace().size(), stepped.trace().size());
+  for (std::size_t t = 0; t < once.trace().size(); ++t) {
+    EXPECT_EQ(once.trace()[t].proc_to_task, stepped.trace()[t].proc_to_task)
+        << "slot " << t;
+  }
+}
+
+TEST(Consistency, TraceAgreesWithCounters) {
+  const TaskSet set = sample_set(77, 3);
+  SimConfig sc;
+  sc.processors = 3;
+  sc.record_trace = true;
+  PfairSimulator sim(sc);
+  std::vector<TaskId> ids;
+  for (const Task& t : set.tasks()) ids.push_back(sim.add_task(t));
+  sim.run_until(500);
+
+  const ScheduleTrace& tr = sim.trace();
+  // busy quanta
+  std::uint64_t busy = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t migrations = 0;
+  std::vector<TaskId> prev(3, kNoTask);
+  std::vector<ProcId> last_proc(ids.size(), kNoProc);
+  for (std::size_t t = 0; t < tr.size(); ++t) {
+    for (ProcId p = 0; p < 3; ++p) {
+      const TaskId id = tr[t].proc_to_task[p];
+      if (id == kNoTask) continue;
+      ++busy;
+      if (prev[p] != id) ++switches;
+      if (last_proc[id] != kNoProc && last_proc[id] != p) ++migrations;
+      last_proc[id] = p;
+    }
+    prev = tr[t].proc_to_task;
+  }
+  EXPECT_EQ(busy, sim.metrics().busy_quanta);
+  EXPECT_EQ(switches, sim.metrics().context_switches);
+  EXPECT_EQ(migrations, sim.metrics().migrations);
+  // per-task allocations
+  for (std::size_t k = 0; k < ids.size(); ++k)
+    EXPECT_EQ(tr.allocation(ids[k], 500), sim.allocated(ids[k]));
+}
+
+TEST(Consistency, FuzzedLegalOperationSequencesNeverMiss) {
+  // Random legal operations (joins within capacity, rule-abiding
+  // leaves/reweights, repairs that restore capacity before overload)
+  // must never produce a deadline miss.
+  Rng rng(0xf022);
+  for (int trial = 0; trial < 6; ++trial) {
+    Rng trial_rng = rng.fork(static_cast<std::uint64_t>(trial));
+    SimConfig sc;
+    sc.processors = 4;
+    PfairSimulator sim(sc);
+    std::vector<TaskId> live;
+    for (int step = 0; step < 30; ++step) {
+      sim.run_until(sim.now() + trial_rng.uniform_int(1, 20));
+      switch (trial_rng.uniform_int(0, 3)) {
+        case 0: {  // join
+          const Task t = random_pfair_task(trial_rng, 12);
+          const auto id = sim.join(t);
+          if (id.has_value()) live.push_back(*id);
+          break;
+        }
+        case 1: {  // orderly leave
+          if (live.empty()) break;
+          const std::size_t k = static_cast<std::size_t>(
+              trial_rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+          sim.request_leave(live[k]);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+          break;
+        }
+        case 2: {  // orderly reweight
+          if (live.empty()) break;
+          const std::size_t k = static_cast<std::size_t>(
+              trial_rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+          const std::int64_t p = trial_rng.uniform_int(1, 12);
+          (void)sim.request_reweight(live[k], trial_rng.uniform_int(1, p), p);
+          break;
+        }
+        case 3:  // nothing (just advance)
+          break;
+      }
+    }
+    sim.run_until(sim.now() + 200);
+    EXPECT_EQ(sim.metrics().deadline_misses, 0u) << "trial " << trial;
+    EXPECT_EQ(sim.metrics().lag_violations, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,110 @@
+// Fault tolerance and overload (Sec. 5.4): losing K of M processors is
+// transparent when total weight <= M - K; otherwise reweighting
+// non-critical tasks protects critical ones.
+#include <gtest/gtest.h>
+
+#include "sim/pfair_sim.h"
+#include "workload/generator.h"
+
+namespace pfair {
+namespace {
+
+TEST(Faults, ProcessorLossToleratedWhenSlackSuffices) {
+  // Total weight 17/12 <= 2: losing one of three processors at t = 50
+  // is transparent.
+  SimConfig sc;
+  sc.processors = 3;
+  PfairSimulator sim(sc);
+  sim.add_task(make_task(1, 2));
+  sim.add_task(make_task(1, 3));
+  sim.add_task(make_task(1, 4));
+  sim.add_task(make_task(1, 3));
+  sim.add_processor_event({50, 2});
+  sim.run_until(600);
+  EXPECT_EQ(sim.metrics().deadline_misses, 0u);
+}
+
+TEST(Faults, RandomisedKProcessorLossTransparency) {
+  Rng rng(0xfa01);
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng trial_rng = rng.fork(static_cast<std::uint64_t>(trial));
+    const int m = 4;
+    const int k = static_cast<int>(trial_rng.uniform_int(1, 2));
+    // Build a set feasible on m - k processors.
+    const TaskSet set = generate_feasible_taskset(trial_rng, m - k, 12, 12, /*fill=*/true);
+    SimConfig sc;
+    sc.processors = m;
+    PfairSimulator sim(sc);
+    for (const Task& t : set.tasks()) sim.add_task(t);
+    sim.add_processor_event({trial_rng.uniform_int(1, 100), m - k});
+    sim.run_until(1500);
+    EXPECT_EQ(sim.metrics().deadline_misses, 0u) << "trial " << trial << " k=" << k;
+  }
+}
+
+TEST(Faults, OverloadCausesMissesWithoutReweighting) {
+  // Weight 2 on 2 processors; one dies at t = 30 with no mitigation.
+  SimConfig sc;
+  sc.processors = 2;
+  PfairSimulator sim(sc);
+  sim.add_task(make_task(1, 1));
+  sim.add_task(make_task(1, 2));
+  sim.add_task(make_task(1, 2));
+  sim.add_processor_event({30, 1});
+  sim.run_until(200);
+  EXPECT_GT(sim.metrics().deadline_misses, 0u);
+  EXPECT_GE(sim.metrics().first_miss_time, 30);
+}
+
+TEST(Faults, ReweightingProtectsCriticalTaskThroughOverload) {
+  // Critical 1/2 task plus two non-critical 3/4 tasks on 2 processors.
+  // When one processor fails, reweight the non-critical tasks down to
+  // 1/4 each: the critical task keeps every deadline afterwards.
+  SimConfig sc;
+  sc.processors = 2;
+  PfairSimulator sim(sc);
+  const TaskId critical = sim.add_task(make_task(1, 2, TaskKind::kPeriodic, "crit"));
+  const TaskId nc1 = sim.add_task(make_task(3, 4));
+  const TaskId nc2 = sim.add_task(make_task(3, 4));
+  sim.run_until(40);
+  // Shed load via the orderly reweight protocol: the non-critical tasks
+  // stop executing now and resume at 1/4 when their group-deadline
+  // rules free the old weight.  Drop the processor once both switches
+  // completed.
+  const auto s1 = sim.request_reweight(nc1, 1, 4);
+  const auto s2 = sim.request_reweight(nc2, 1, 4);
+  ASSERT_TRUE(s1.has_value());
+  ASSERT_TRUE(s2.has_value());
+  const Time settled = std::max(*s1, *s2) + 1;
+  sim.add_processor_event({settled, 1});
+  sim.run_until(settled);
+  const std::uint64_t misses_before = sim.metrics().deadline_misses;
+  sim.run_until(settled + 400);
+  EXPECT_EQ(sim.metrics().deadline_misses, misses_before);
+  EXPECT_GT(sim.allocated(critical), 0);
+}
+
+TEST(Faults, RepairRestoresCapacity) {
+  // Two 3/4 tasks on 2 processors; losing one processor in [20, 40)
+  // overloads the system (1.5 > 1) and misses accumulate.  After the
+  // repair each task can run above its rate (up to weight 1), so the
+  // ScheduleLate backlog drains and the steady state is miss-free: no
+  // new misses between t = 150 and t = 200.
+  SimConfig sc;
+  sc.processors = 2;
+  PfairSimulator sim(sc);
+  sim.add_task(make_task(3, 4));
+  sim.add_task(make_task(3, 4));
+  sim.add_processor_event({20, 1});
+  sim.add_processor_event({40, 2});
+  sim.run_until(40);
+  const std::uint64_t misses_during_fault = sim.metrics().deadline_misses;
+  EXPECT_GT(misses_during_fault, 0u);
+  sim.run_until(150);
+  const std::uint64_t misses_at_150 = sim.metrics().deadline_misses;
+  sim.run_until(200);
+  EXPECT_EQ(sim.metrics().deadline_misses, misses_at_150);
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,52 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace pfair {
+namespace {
+
+ScheduleTrace two_slot_trace() {
+  ScheduleTrace tr;
+  tr.begin_slot(2);
+  tr.record(0, 0);
+  tr.record(1, 1);
+  tr.begin_slot(2);
+  tr.record(0, 1);  // task 1 migrates to proc 0; task 0 idle
+  return tr;
+}
+
+TEST(Trace, ScheduledAndAllocationQueries) {
+  const ScheduleTrace tr = two_slot_trace();
+  EXPECT_TRUE(tr.scheduled(0, 0));
+  EXPECT_TRUE(tr.scheduled(0, 1));
+  EXPECT_FALSE(tr.scheduled(1, 0));
+  EXPECT_TRUE(tr.scheduled(1, 1));
+  EXPECT_EQ(tr.allocation(0, 2), 1);
+  EXPECT_EQ(tr.allocation(1, 2), 2);
+  EXPECT_EQ(tr.allocation(1, 1), 1);
+}
+
+TEST(Trace, RenderShowsOneRowPerTask) {
+  const ScheduleTrace tr = two_slot_trace();
+  const std::string out = tr.render({"A", "B"});
+  EXPECT_NE(out.find("A |X.|"), std::string::npos) << out;
+  EXPECT_NE(out.find("B |XX|"), std::string::npos) << out;
+}
+
+TEST(Trace, RenderPadsUnevenNames) {
+  const ScheduleTrace tr = two_slot_trace();
+  const std::string out = tr.render({"long-name", "B"});
+  // Both rows align at the same '|' column.
+  const std::size_t bar1 = out.find('|');
+  const std::size_t newline = out.find('\n');
+  const std::size_t bar2 = out.find('|', newline);
+  EXPECT_EQ(bar1, bar2 - newline - 1);
+}
+
+TEST(Trace, AllocationClampsBeyondRecordedHorizon) {
+  const ScheduleTrace tr = two_slot_trace();
+  EXPECT_EQ(tr.allocation(1, 100), 2);  // only 2 slots recorded
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,137 @@
+#include "sim/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/pfair_sim.h"
+#include "workload/generator.h"
+
+namespace pfair {
+namespace {
+
+ScheduleTrace run_pd2(const TaskSet& set, int m, Time horizon,
+                      Algorithm alg = Algorithm::kPD2) {
+  SimConfig sc;
+  sc.processors = m;
+  sc.algorithm = alg;
+  sc.record_trace = true;
+  PfairSimulator sim(sc);
+  for (const Task& t : set.tasks()) sim.add_task(t);
+  sim.run_until(horizon);
+  return sim.trace();
+}
+
+TEST(Verifier, AcceptsValidPd2Schedules) {
+  Rng rng(0xbead);
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng trial_rng = rng.fork(static_cast<std::uint64_t>(trial));
+    const int m = 1 + trial % 4;
+    const TaskSet set = generate_feasible_taskset(trial_rng, m, 12, 12, /*fill=*/true);
+    const ScheduleTrace trace = run_pd2(set, m, 500);
+    VerifyOptions opt;
+    opt.processors = m;
+    const VerifyResult res = verify_schedule(trace, set, opt);
+    EXPECT_TRUE(res.ok) << "trial " << trial << ": " << res.first_violation;
+    EXPECT_EQ(res.violations, 0u);
+  }
+}
+
+TEST(Verifier, RejectsDoubleAllocationInOneSlot) {
+  TaskSet set;
+  set.add(make_task(1, 1));
+  ScheduleTrace trace;
+  trace.begin_slot(2);
+  trace.record(0, 0);
+  trace.record(1, 0);  // same task on both processors
+  VerifyOptions opt;
+  opt.processors = 2;
+  const VerifyResult res = verify_schedule(trace, set, opt);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.first_violation.find("two processors"), std::string::npos);
+}
+
+TEST(Verifier, RejectsEarlyExecution) {
+  // Task of weight 1/4: subtask 2 releases at 4; running it at slot 1
+  // violates the window property (and the lower lag bound).
+  TaskSet set;
+  set.add(make_task(1, 4));
+  ScheduleTrace trace;
+  for (int t = 0; t < 2; ++t) {
+    trace.begin_slot(1);
+    trace.record(0, 0);  // run in slots 0 and 1
+  }
+  VerifyOptions opt;
+  opt.processors = 1;
+  const VerifyResult res = verify_schedule(trace, set, opt);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.first_violation.find("before its pseudo-release"), std::string::npos);
+}
+
+TEST(Verifier, RejectsMissedDeadline) {
+  // Weight 1/2 task never scheduled: subtask 1's deadline (2) passes.
+  TaskSet set;
+  set.add(make_task(1, 2));
+  ScheduleTrace trace;
+  for (int t = 0; t < 3; ++t) trace.begin_slot(1);  // always idle
+  trace.begin_slot(1);
+  trace.record(0, 0);  // finally runs at slot 3 >= d = 2
+  VerifyOptions opt;
+  opt.processors = 1;
+  const VerifyResult res = verify_schedule(trace, set, opt);
+  EXPECT_FALSE(res.ok);
+  // Both the lag check (at t = 2) and the window check (slot 3) fire.
+  EXPECT_GE(res.violations, 2u);
+}
+
+TEST(Verifier, ErfairModeAllowsEarlyButNotLate) {
+  // ERfair trace: 2 quanta of a 2/8 task run back-to-back at time 0.
+  TaskSet set;
+  set.add(make_task(2, 8, TaskKind::kEarlyRelease));
+  ScheduleTrace trace;
+  for (int t = 0; t < 2; ++t) {
+    trace.begin_slot(1);
+    trace.record(0, 0);
+  }
+  VerifyOptions strict;
+  strict.processors = 1;
+  EXPECT_FALSE(verify_schedule(trace, set, strict).ok);  // Pfair rejects
+  VerifyOptions er;
+  er.processors = 1;
+  er.check_windows = false;
+  er.check_lags = false;
+  er.check_upper_lag_only = true;
+  EXPECT_TRUE(verify_schedule(trace, set, er).ok);  // ERfair accepts
+}
+
+TEST(Verifier, ErfairSimulatedTracesPassErfairCheck) {
+  Rng rng(0xeful);
+  for (int trial = 0; trial < 6; ++trial) {
+    Rng trial_rng = rng.fork(static_cast<std::uint64_t>(trial));
+    const int m = 1 + trial % 3;
+    const TaskSet set = generate_feasible_taskset(trial_rng, m, 10, 10, /*fill=*/true,
+                                                  TaskKind::kEarlyRelease);
+    const ScheduleTrace trace = run_pd2(set, m, 400);
+    VerifyOptions er;
+    er.processors = m;
+    er.check_windows = false;
+    er.check_lags = false;
+    er.check_upper_lag_only = true;
+    const VerifyResult res = verify_schedule(trace, set, er);
+    EXPECT_TRUE(res.ok) << "trial " << trial << ": " << res.first_violation;
+  }
+}
+
+TEST(Verifier, CountsEveryViolation) {
+  TaskSet set;
+  set.add(make_task(1, 2));
+  ScheduleTrace trace;
+  for (int t = 0; t < 8; ++t) trace.begin_slot(1);  // starve for 8 slots
+  VerifyOptions opt;
+  opt.processors = 1;
+  const VerifyResult res = verify_schedule(trace, set, opt);
+  EXPECT_FALSE(res.ok);
+  // Lag exceeds 1 from t = 2 on: violations at t = 2..8.
+  EXPECT_GE(res.violations, 6u);
+}
+
+}  // namespace
+}  // namespace pfair

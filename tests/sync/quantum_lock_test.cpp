@@ -1,0 +1,95 @@
+#include "sync/quantum_lock.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace pfair {
+namespace {
+
+TEST(QuantumLock, AdmissionRule) {
+  const QuantumLockModel m(1000.0, 50.0);
+  EXPECT_TRUE(m.admissible(0.0, 50.0));
+  EXPECT_TRUE(m.admissible(950.0, 50.0));
+  EXPECT_FALSE(m.admissible(951.0, 50.0));
+  EXPECT_TRUE(m.admissible(999.0, 0.0));
+}
+
+TEST(QuantumLock, AnalyticCosts) {
+  const QuantumLockModel m(1000.0, 40.0);
+  EXPECT_DOUBLE_EQ(m.worst_case_deferral_us(), 40.0);
+  EXPECT_DOUBLE_EQ(m.worst_case_blocking_us(), 40.0);
+  EXPECT_NEAR(m.inflation_factor(), 1000.0 / 960.0, 1e-12);
+  EXPECT_GT(m.inflation_factor(), 1.0);
+}
+
+TEST(QuantumLock, ReplayExecutesEarlyRequests) {
+  const QuantumLockModel m(1000.0, 50.0);
+  const CsAudit a = replay_quantum(m, {{10.0, 30.0}, {100.0, 50.0}, {900.0, 40.0}});
+  EXPECT_EQ(a.executed, 3u);
+  EXPECT_EQ(a.deferred, 0u);
+  EXPECT_FALSE(a.boundary_violation);
+}
+
+TEST(QuantumLock, ReplayDefersTailRequests) {
+  const QuantumLockModel m(1000.0, 50.0);
+  const CsAudit a = replay_quantum(m, {{980.0, 40.0}});
+  EXPECT_EQ(a.executed, 0u);
+  EXPECT_EQ(a.deferred, 1u);
+  EXPECT_LE(a.wasted_tail_us, m.worst_case_deferral_us());
+  EXPECT_FALSE(a.boundary_violation);
+}
+
+TEST(QuantumLock, BackToBackRequestsQueueWithinQuantum) {
+  const QuantumLockModel m(1000.0, 50.0);
+  // Both ask at offset 0; the second starts when the first ends.
+  const CsAudit a = replay_quantum(m, {{0.0, 50.0}, {0.0, 50.0}});
+  EXPECT_EQ(a.executed, 2u);
+  EXPECT_EQ(a.deferred, 0u);
+}
+
+TEST(QuantumLock, RandomisedInvariantNoLockAcrossBoundary) {
+  Rng rng(0x10c);
+  const QuantumLockModel m(1000.0, 80.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<CsRequest> reqs;
+    const int n = static_cast<int>(rng.uniform_int(0, 12));
+    for (int k = 0; k < n; ++k)
+      reqs.push_back({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 80.0)});
+    std::sort(reqs.begin(), reqs.end(),
+              [](const CsRequest& a, const CsRequest& b) { return a.offset_us < b.offset_us; });
+    const CsAudit a = replay_quantum(m, reqs);
+    EXPECT_FALSE(a.boundary_violation) << "trial " << trial;
+    EXPECT_EQ(a.executed + a.deferred, reqs.size());
+    EXPECT_LE(a.wasted_tail_us, m.quantum_us());
+  }
+}
+
+TEST(LockFree, AttemptBoundFormula) {
+  EXPECT_EQ(lock_free_attempt_bound(1, 10), 1);   // no interference alone
+  EXPECT_EQ(lock_free_attempt_bound(2, 10), 11);
+  EXPECT_EQ(lock_free_attempt_bound(4, 3), 10);
+}
+
+TEST(LockFree, SimulatedRetriesStayUnderBound) {
+  // Toy lock-free counter: in each "attempt window", each of the other
+  // m-1 concurrently scheduled tasks performs at most `ops` successful
+  // operations, each of which can invalidate one attempt.
+  Rng rng(0xf00);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(1, 8));
+    const std::int64_t ops = rng.uniform_int(1, 5);
+    std::int64_t attempts = 1;
+    std::int64_t interferences_left = (m - 1) * ops;
+    while (interferences_left > 0 && rng.uniform01() < 0.7) {
+      ++attempts;       // an interference forced a retry
+      --interferences_left;
+    }
+    EXPECT_LE(attempts, lock_free_attempt_bound(m, ops)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,66 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace pfair {
+namespace {
+
+TEST(FloorDiv, MatchesMathematicalFloorForAllSignCombos) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(6, 2), 3);
+  EXPECT_EQ(floor_div(-6, 2), -3);
+  EXPECT_EQ(floor_div(0, 5), 0);
+  EXPECT_EQ(floor_div(1, 1000000), 0);
+  EXPECT_EQ(floor_div(-1, 1000000), -1);
+}
+
+TEST(CeilDiv, MatchesMathematicalCeilForAllSignCombos) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(6, 2), 3);
+  EXPECT_EQ(ceil_div(-6, 2), -3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 1000000), 1);
+  EXPECT_EQ(ceil_div(-1, 1000000), 0);
+}
+
+TEST(FloorCeilDiv, FloorPlusOneEqualsCeilExactlyWhenNotDivisible) {
+  for (std::int64_t a = -50; a <= 50; ++a) {
+    for (std::int64_t b = 1; b <= 7; ++b) {
+      if (a % b == 0) {
+        EXPECT_EQ(floor_div(a, b), ceil_div(a, b));
+      } else {
+        EXPECT_EQ(floor_div(a, b) + 1, ceil_div(a, b));
+      }
+      // Defining property of floor: floor_div(a,b) <= a/b < floor+1.
+      const std::int64_t f = floor_div(a, b);
+      EXPECT_LE(f * b, a);
+      EXPECT_GT((f + 1) * b, a);
+    }
+  }
+}
+
+TEST(SaturatingLcm, ExactWhenSmall) {
+  EXPECT_EQ(saturating_lcm(4, 6), 12);
+  EXPECT_EQ(saturating_lcm(7, 13), 91);
+  EXPECT_EQ(saturating_lcm(10, 10), 10);
+  EXPECT_EQ(saturating_lcm(1, 999), 999);
+}
+
+TEST(SaturatingLcm, SaturatesInsteadOfOverflowing) {
+  const std::int64_t big = (std::int64_t{1} << 62) - 1;  // odd, huge
+  EXPECT_EQ(saturating_lcm(big, big - 2),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(CheckedMul, ProductsWithinRangeAreExact) {
+  EXPECT_EQ(checked_mul(1000000007, 998244353), 1000000007ll * 998244353ll);
+  EXPECT_EQ(checked_mul(-5, 7), -35);
+  EXPECT_EQ(checked_mul(0, 123456789), 0);
+}
+
+}  // namespace
+}  // namespace pfair

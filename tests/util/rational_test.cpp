@@ -1,0 +1,86 @@
+#include "util/rational.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace pfair {
+namespace {
+
+TEST(Rational, ReducesOnConstruction) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, NormalisesNegativeDenominator) {
+  const Rational r(3, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, ZeroHasCanonicalForm) {
+  const Rational r(0, 17);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_EQ(r, Rational(0));
+}
+
+TEST(Rational, ArithmeticIsExact) {
+  EXPECT_EQ(Rational(1, 3) + Rational(1, 6), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+}
+
+TEST(Rational, ThirdsSumToExactlyOne) {
+  // The classic double-precision trap: 1/3 + 1/3 + 1/3 == 1 must hold
+  // exactly for the partitioning acceptance tests.
+  Rational sum(0);
+  for (int i = 0; i < 3; ++i) sum += Rational(1, 3);
+  EXPECT_EQ(sum, Rational(1));
+  EXPECT_FALSE(Rational(1) < sum);
+}
+
+TEST(Rational, OrderingByCrossMultiplication) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LT(Rational(7, 8), Rational(8, 9));
+  EXPECT_EQ(Rational(2, 4) <=> Rational(1, 2), std::strong_ordering::equal);
+}
+
+TEST(Rational, FloorAndCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, ToStringFormats) {
+  EXPECT_EQ(Rational(1, 2).to_string(), "1/2");
+  EXPECT_EQ(Rational(4, 2).to_string(), "2");
+  EXPECT_EQ(Rational(-3, 9).to_string(), "-1/3");
+}
+
+TEST(Rational, RandomisedFieldAxioms) {
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const Rational a(rng.uniform_int(-50, 50), rng.uniform_int(1, 50));
+    const Rational b(rng.uniform_int(-50, 50), rng.uniform_int(1, 50));
+    const Rational c(rng.uniform_int(-50, 50), rng.uniform_int(1, 50));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational(0));
+  }
+}
+
+TEST(Rational, ToDoubleApproximates) {
+  EXPECT_NEAR(Rational(1, 3).to_double(), 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(Rational(-5, 8).to_double(), -0.625, 1e-15);
+}
+
+}  // namespace
+}  // namespace pfair

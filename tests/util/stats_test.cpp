@@ -1,0 +1,82 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace pfair {
+namespace {
+
+TEST(RunningStats, MeanAndVarianceOfKnownSample) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci99_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, CiShrinksWithSampleSize) {
+  Rng rng(5);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform01());
+  for (int i = 0; i < 10000; ++i) large.add(rng.uniform01());
+  EXPECT_GT(small.ci99_halfwidth(), large.ci99_halfwidth());
+}
+
+TEST(RunningStats, Ci99CoversTrueMeanMostOfTheTime) {
+  // 200 experiments, each estimating the mean of U(0,1); the 99% CI
+  // should cover 0.5 in the vast majority (allow a generous margin).
+  Rng rng(2024);
+  int covered = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    RunningStats s;
+    for (int i = 0; i < 50; ++i) s.add(rng.uniform01());
+    if (std::abs(s.mean() - 0.5) <= s.ci99_halfwidth()) ++covered;
+  }
+  EXPECT_GE(covered, 190);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(9);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace pfair
