@@ -5,7 +5,7 @@
 // context switches and migrations that assignment rule actually saves
 // versus naive (arbitrary) processor assignment.
 //
-// Usage: ablation_affinity [horizon=10000] [sets=10] [seed=1]
+// Usage: ablation_affinity [--horizon=10000] [--trials=10] [--seed=1] [--json]
 #include <cstdio>
 
 #include "bench/fig_common.h"
@@ -14,15 +14,15 @@ int main(int argc, char** argv) {
   using namespace pfair;
   using namespace pfair::bench;
 
-  const long long horizon = arg_or(argc, argv, 1, 10000);
-  const long long sets = arg_or(argc, argv, 2, 10);
-  const long long seed = arg_or(argc, argv, 3, 1);
+  engine::ExperimentHarness h("ablation_affinity", argc, argv);
+  const long long horizon = h.horizon(10000);
+  const long long sets = h.trials(10);
 
   std::printf("# Affinity assignment ablation (PD2, fully loaded systems)\n");
   std::printf("# %5s %16s %16s %16s %16s\n", "m", "switches(aff)", "switches(naive)",
               "migr(aff)", "migr(naive)");
 
-  Rng master(static_cast<std::uint64_t>(seed));
+  Rng master(h.seed(1));
   for (const int m : {2, 4, 8, 16}) {
     RunningStats sw_aff, sw_naive, mig_aff, mig_naive;
     for (long long s = 0; s < sets; ++s) {
@@ -47,8 +47,14 @@ int main(int argc, char** argv) {
     }
     std::printf("  %5d %16.1f %16.1f %16.1f %16.1f\n", m, sw_aff.mean(), sw_naive.mean(),
                 mig_aff.mean(), mig_naive.mean());
+    h.add_row()
+        .set("processors", static_cast<long long>(m))
+        .set("switches_affinity", sw_aff)
+        .set("switches_naive", sw_naive)
+        .set("migrations_affinity", mig_aff)
+        .set("migrations_naive", mig_naive);
   }
   std::printf("# counts are per 1000 slots; affinity should reduce both columns,\n");
   std::printf("# most dramatically migrations.\n");
-  return 0;
+  return h.finish();
 }

@@ -4,7 +4,8 @@
 // mean and max job response time under periodic Pfair vs ERfair (early
 // release) across system loads.
 //
-// Usage: ablation_erfair [processors=4] [horizon=20000] [sets=10] [seed=1]
+// Usage: ablation_erfair [--processors=4] [--horizon=20000] [--trials=10]
+//                        [--seed=1] [--json]
 #include <cstdio>
 
 #include "bench/fig_common.h"
@@ -13,15 +14,15 @@ int main(int argc, char** argv) {
   using namespace pfair;
   using namespace pfair::bench;
 
-  const int m = static_cast<int>(arg_or(argc, argv, 1, 4));
-  const long long horizon = arg_or(argc, argv, 2, 20000);
-  const long long sets = arg_or(argc, argv, 3, 10);
-  const long long seed = arg_or(argc, argv, 4, 1);
+  engine::ExperimentHarness h("ablation_erfair", argc, argv);
+  const int m = static_cast<int>(h.flag("processors", 4));
+  const long long horizon = h.horizon(20000);
+  const long long sets = h.trials(10);
 
   std::printf("# Pfair vs ERfair job response times (%d processors)\n", m);
   std::printf("# %8s %14s %14s %12s\n", "load", "pfair_mean", "erfair_mean", "speedup");
 
-  Rng master(static_cast<std::uint64_t>(seed));
+  Rng master(h.seed(1));
   for (const double load : {0.25, 0.5, 0.75, 1.0}) {
     RunningStats pfair_mean;
     RunningStats er_mean;
@@ -53,8 +54,13 @@ int main(int argc, char** argv) {
     }
     std::printf("  %8.2f %14.2f %14.2f %11.2fx\n", load, pfair_mean.mean(),
                 er_mean.mean(), pfair_mean.mean() / er_mean.mean());
+    h.add_row()
+        .set("load", load)
+        .set("pfair_mean", pfair_mean)
+        .set("erfair_mean", er_mean)
+        .set("speedup", pfair_mean.mean() / er_mean.mean());
   }
   std::printf("# speedup should be largest at low load (paper Sec. 2) and shrink\n");
   std::printf("# toward 1x as the system approaches full utilization.\n");
-  return 0;
+  return h.finish();
 }

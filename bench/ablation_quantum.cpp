@@ -4,7 +4,8 @@
 // Eq.-(3) overhead loss (worse for small quanta), reporting the
 // processor count at each point and the best quantum.
 //
-// Usage: ablation_quantum [n_tasks=100] [total_util=10] [sets=20] [seed=1]
+// Usage: ablation_quantum [--tasks=100] [--total_util=10] [--trials=20]
+//                         [--seed=1] [--json]
 #include <cstdio>
 
 #include "bench/fig_common.h"
@@ -14,10 +15,10 @@ int main(int argc, char** argv) {
   using namespace pfair;
   using namespace pfair::bench;
 
-  const long long n = arg_or(argc, argv, 1, 100);
-  const double total_util = static_cast<double>(arg_or(argc, argv, 2, 10));
-  const long long sets = arg_or(argc, argv, 3, 20);
-  const long long seed = arg_or(argc, argv, 4, 1);
+  engine::ExperimentHarness h("ablation_quantum", argc, argv);
+  const long long n = h.flag("tasks", 100);
+  const double total_util = h.flag_double("total_util", 10.0);
+  const long long sets = h.trials(20);
 
   const std::vector<double> quanta = {100.0,  250.0,  500.0,  1000.0,
                                       2000.0, 4000.0, 8000.0, 16000.0};
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
   std::printf("# %10s %12s %14s %14s %10s\n", "quantum_us", "processors",
               "rounding_loss", "overhead_loss", "infeasible");
 
-  Rng master(static_cast<std::uint64_t>(seed));
+  Rng master(h.seed(1));
   std::vector<RunningStats> procs(quanta.size());
   std::vector<RunningStats> rounding(quanta.size());
   std::vector<RunningStats> overhead(quanta.size());
@@ -58,9 +59,16 @@ int main(int argc, char** argv) {
   for (std::size_t k = 0; k < quanta.size(); ++k) {
     std::printf("  %10.0f %12.3f %14.4f %14.4f %10d\n", quanta[k], procs[k].mean(),
                 rounding[k].mean(), overhead[k].mean(), infeasible[k]);
+    h.add_row()
+        .set("quantum_us", quanta[k])
+        .set("processors", procs[k])
+        .set("rounding_loss", rounding[k])
+        .set("overhead_loss", overhead[k])
+        .set("infeasible", static_cast<long long>(infeasible[k]));
   }
   std::printf("# mean best quantum: %.0f us (the interior optimum the paper's open\n",
               best_q.mean());
   std::printf("# problem asks for; 1 ms is near-optimal for this workload class)\n");
-  return 0;
+  h.add_row().set("best_quantum_us", best_q);
+  return h.finish();
 }

@@ -5,7 +5,8 @@
 // EDF-like consecutive execution) at the price of the Holman-Anderson
 // reweighting capacity overhead.
 //
-// Usage: ablation_supertask [processors=4] [horizon=20000] [sets=10] [seed=1]
+// Usage: ablation_supertask [--processors=4] [--horizon=20000] [--trials=10]
+//                           [--seed=1] [--json]
 #include <cstdio>
 
 #include "bench/fig_common.h"
@@ -15,17 +16,17 @@ int main(int argc, char** argv) {
   using namespace pfair;
   using namespace pfair::bench;
 
-  const int m = static_cast<int>(arg_or(argc, argv, 1, 4));
-  const long long horizon = arg_or(argc, argv, 2, 20000);
-  const long long sets = arg_or(argc, argv, 3, 10);
-  const long long seed = arg_or(argc, argv, 4, 1);
+  engine::ExperimentHarness h("ablation_supertask", argc, argv);
+  const int m = static_cast<int>(h.flag("processors", 4));
+  const long long horizon = h.horizon(20000);
+  const long long sets = h.trials(10);
 
   std::printf("# Supertask packing spectrum (%d processors, ~55%% raw load)\n", m);
   std::printf("# switches = context + component switches per 1000 slots\n");
   std::printf("# %8s %12s %12s %14s %14s %10s\n", "groups", "switches", "migrations",
               "packed_weight", "overhead", "misses");
 
-  Rng master(static_cast<std::uint64_t>(seed));
+  Rng master(h.seed(1));
   for (int groups = 0; groups <= m; ++groups) {
     RunningStats switches;
     RunningStats migrations;
@@ -67,8 +68,15 @@ int main(int argc, char** argv) {
     std::printf("  %8d %12.1f %12.1f %14.3f %14.3f %10llu\n", groups, switches.mean(),
                 migrations.mean(), weight.mean(), overhead.mean(),
                 static_cast<unsigned long long>(misses));
+    h.add_row()
+        .set("groups", static_cast<long long>(groups))
+        .set("switches", switches)
+        .set("migrations", migrations)
+        .set("packed_weight", weight)
+        .set("reweighting_overhead", overhead)
+        .set("misses", static_cast<long long>(misses));
   }
   std::printf("# expectations: switches and migrations fall as groups grow; the\n");
   std::printf("# packed weight column shows the reweighting price; misses stay 0.\n");
-  return 0;
+  return h.finish();
 }

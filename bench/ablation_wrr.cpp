@@ -4,7 +4,8 @@
 // but its allocation error (max |lag|) grows linearly with the frame
 // length, while PD2 keeps it strictly below one quantum at any scale.
 //
-// Usage: ablation_wrr [processors=4] [horizon=20000] [sets=10] [seed=1]
+// Usage: ablation_wrr [--processors=4] [--horizon=20000] [--trials=10]
+//                     [--seed=1] [--json]
 #include <cstdio>
 
 #include "bench/fig_common.h"
@@ -15,10 +16,10 @@ int main(int argc, char** argv) {
   using namespace pfair;
   using namespace pfair::bench;
 
-  const int m = static_cast<int>(arg_or(argc, argv, 1, 4));
-  const long long horizon = arg_or(argc, argv, 2, 20000);
-  const long long sets = arg_or(argc, argv, 3, 10);
-  const long long seed = arg_or(argc, argv, 4, 1);
+  engine::ExperimentHarness h("ablation_wrr", argc, argv);
+  const int m = static_cast<int>(h.flag("processors", 4));
+  const long long horizon = h.horizon(20000);
+  const long long sets = h.trials(10);
 
   std::printf("# WRR vs PD2: allocation error vs frame length (%d processors)\n", m);
   std::printf("# 75%%-load column: WRR error grows with the frame; full-load column:\n");
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
   std::printf("# %8s %18s %18s %14s\n", "frame", "max|lag|@75%load", "max|lag|@full",
               "valid@75%");
 
-  Rng master(static_cast<std::uint64_t>(seed));
+  Rng master(h.seed(1));
   const auto partial_set = [&](Rng& rng) {
     TaskSet set;
     Rational total(0);
@@ -74,6 +75,11 @@ int main(int argc, char** argv) {
     }
     std::printf("  %8lld %18.3f %18.3f %11d/%lld\n", static_cast<long long>(frame),
                 partial_lag.mean(), full_lag.mean(), valid, sets);
+    h.add_row()
+        .set("frame", static_cast<long long>(frame))
+        .set("lag_partial", partial_lag)
+        .set("lag_full", full_lag)
+        .set("valid_partial", static_cast<long long>(valid));
   }
 
   // PD2 reference on the same workload class.
@@ -99,5 +105,6 @@ int main(int argc, char** argv) {
   }
   std::printf("# PD2 reference: max|lag| %.3f (provably < 1 at every time)\n",
               pd2_lag.mean());
-  return 0;
+  h.add_row().set("pd2_reference_lag", pd2_lag);
+  return h.finish();
 }

@@ -1,9 +1,8 @@
-// Shared helpers for the figure-regeneration harnesses.
+// Shared workload helpers for the figure-regeneration harnesses.
+// Flag parsing / JSON reporting live in engine/harness.h; scheduler
+// comparison loops in engine/compare.h.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
-#include <string>
 #include <vector>
 
 #include "core/task.h"
@@ -12,14 +11,6 @@
 #include "workload/generator.h"
 
 namespace pfair::bench {
-
-/// argv[k] as long long, or `fallback` when absent/invalid.
-inline long long arg_or(int argc, char** argv, int k, long long fallback) {
-  if (argc <= k) return fallback;
-  char* end = nullptr;
-  const long long v = std::strtoll(argv[k], &end, 10);
-  return (end && *end == '\0') ? v : fallback;
-}
 
 /// Integer-quanta task set with total weight <= u_cap (shared by the
 /// Fig.-2 measurements so EDF and PD2 see the *same* workload, as in the

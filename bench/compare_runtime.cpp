@@ -6,27 +6,35 @@
 // under Pfair scheduling") with the affinity optimisation applied, next
 // to its rejoinder that the absolute costs are small.
 //
-// Usage: compare_runtime [processors=4] [horizon=20000] [sets=10] [seed=1]
+// Built on engine::compare_schedulers: one workload, one spec list, one
+// unified metrics read-out per scheduler.
+//
+// Usage: compare_runtime [--processors=4] [--horizon=20000] [--trials=10]
+//                        [--seed=1] [--json]
 #include <cstdio>
 
 #include "bench/fig_common.h"
-#include "uniproc/partitioned_sim.h"
 
 int main(int argc, char** argv) {
   using namespace pfair;
   using namespace pfair::bench;
 
-  const int m = static_cast<int>(arg_or(argc, argv, 1, 4));
-  const long long horizon = arg_or(argc, argv, 2, 20000);
-  const long long sets = arg_or(argc, argv, 3, 10);
-  const long long seed = arg_or(argc, argv, 4, 1);
+  engine::ExperimentHarness h("compare_runtime", argc, argv);
+  const int m = static_cast<int>(h.flag("processors", 4));
+  const long long horizon = h.horizon(20000);
+  const long long sets = h.trials(10);
 
   std::printf("# PD2 vs EDF-FF runtime behaviour (%d processors, same workloads)\n", m);
   std::printf("# counts per 1000 slots; both systems miss-free on these loads\n");
   std::printf("# %6s | %10s %10s %10s | %10s %10s | %8s\n", "load", "pd2_preempt",
               "pd2_switch", "pd2_migr", "ff_preempt", "ff_switch", "placed");
 
-  Rng master(static_cast<std::uint64_t>(seed));
+  PartitionedConfig pc;
+  pc.max_processors = m;
+  const std::vector<engine::SchedulerSpec> specs = {
+      engine::pd2_spec(m), engine::partitioned_spec("EDF-FF", pc)};
+
+  Rng master(h.seed(1));
   for (const double load : {0.3, 0.5, 0.7, 0.85}) {
     RunningStats pd2_pre, pd2_sw, pd2_mig, ff_pre, ff_sw;
     int placed = 0;
@@ -36,38 +44,37 @@ int main(int argc, char** argv) {
       const std::vector<UniTask> uni =
           generate_uni_tasks(rng, static_cast<std::size_t>(5 * m),
                              load * static_cast<double>(m), 64);
-      // EDF-FF runtime, capped at the same m processors.
-      PartitionedConfig pc;
-      pc.max_processors = m;
-      PartitionedSimulator part(uni, pc);
-      if (!part.all_tasks_placed()) continue;  // FF fragmentation loss
+      const auto results = engine::compare_schedulers(uni, specs, horizon);
+      const engine::CompareResult& pd2 = results[0];
+      const engine::CompareResult& ff = results[1];
+      if (!ff.feasible) continue;  // FF fragmentation loss
       ++placed;
-      part.run_until(horizon);
-      const UniMetrics fm = part.aggregate_metrics();
       const double k = 1000.0 / static_cast<double>(horizon);
-      ff_pre.add(static_cast<double>(fm.preemptions) * k);
-      ff_sw.add(static_cast<double>(fm.context_switches) * k);
-      if (fm.deadline_misses != 0) std::printf("# unexpected EDF-FF miss (set %lld)\n", s);
-
-      // Global PD2 on the identical task parameters.
-      SimConfig sc;
-      sc.processors = m;
-      PfairSimulator sim(sc);
-      for (const UniTask& t : uni) sim.add_task(make_task(t.execution, t.period));
-      sim.run_until(horizon);
-      pd2_pre.add(static_cast<double>(sim.metrics().preemptions) * k);
-      pd2_sw.add(static_cast<double>(sim.metrics().context_switches) * k);
-      pd2_mig.add(static_cast<double>(sim.metrics().migrations) * k);
-      if (sim.metrics().deadline_misses != 0)
+      ff_pre.add(static_cast<double>(ff.metrics.preemptions) * k);
+      ff_sw.add(static_cast<double>(ff.metrics.context_switches) * k);
+      if (ff.metrics.deadline_misses != 0)
+        std::printf("# unexpected EDF-FF miss (set %lld)\n", s);
+      pd2_pre.add(static_cast<double>(pd2.metrics.preemptions) * k);
+      pd2_sw.add(static_cast<double>(pd2.metrics.context_switches) * k);
+      pd2_mig.add(static_cast<double>(pd2.metrics.migrations) * k);
+      if (pd2.metrics.deadline_misses != 0)
         std::printf("# unexpected PD2 miss (set %lld)\n", s);
     }
     std::printf("  %6.2f | %10.1f %10.1f %10.1f | %10.1f %10.1f | %5d/%lld\n", load,
                 pd2_pre.mean(), pd2_sw.mean(), pd2_mig.mean(), ff_pre.mean(), ff_sw.mean(),
                 placed, sets);
+    h.add_row()
+        .set("load", load)
+        .set("pd2_preemptions", pd2_pre)
+        .set("pd2_switches", pd2_sw)
+        .set("pd2_migrations", pd2_mig)
+        .set("ff_preemptions", ff_pre)
+        .set("ff_switches", ff_sw)
+        .set("placed", static_cast<long long>(placed));
   }
   std::printf("# expectations: PD2 preempts/migrates more (the paper's concession);\n");
   std::printf("# the ratio shrinks with affinity and the per-event cost (Sec. 4) is\n");
   std::printf("# what Figs. 3-4 charge against it.  EDF-FF's 'placed' column shows\n");
   std::printf("# sets lost to bin-packing before any runtime cost is paid.\n");
-  return 0;
+  return h.finish();
 }

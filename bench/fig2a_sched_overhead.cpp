@@ -7,7 +7,7 @@
 // heap ready queues), and report the mean cost of one scheduler
 // invocation with a 99% confidence interval.
 //
-// Usage: fig2a_sched_overhead [horizon_slots=50000] [sets_per_N=12] [seed=1]
+// Usage: fig2a_sched_overhead [--horizon=50000] [--trials=12] [--seed=1] [--json]
 //
 // Absolute microseconds depend on the host CPU (the paper used a
 // 933 MHz machine); the claims to check are shape claims: both curves
@@ -21,9 +21,9 @@ int main(int argc, char** argv) {
   using namespace pfair;
   using namespace pfair::bench;
 
-  const long long horizon = arg_or(argc, argv, 1, 50000);
-  const long long sets = arg_or(argc, argv, 2, 12);
-  const long long seed = arg_or(argc, argv, 3, 1);
+  engine::ExperimentHarness h("fig2a_sched_overhead", argc, argv);
+  const long long horizon = h.horizon(50000);
+  const long long sets = h.trials(12);
 
   std::printf("# Fig 2(a): scheduling overhead of EDF and PD2 on one processor\n");
   std::printf("# horizon=%lld slots, %lld task sets per point, total util <= 1\n",
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   std::printf("# %6s %14s %12s %14s %12s %10s\n", "tasks", "edf_us", "edf_ci99",
               "pd2_us", "pd2_ci99", "ratio");
 
-  Rng master(static_cast<std::uint64_t>(seed));
+  Rng master(h.seed(1));
   for (const int n : {15, 30, 50, 75, 100, 250, 500, 750, 1000}) {
     RunningStats edf_us;
     RunningStats pd2_us;
@@ -62,11 +62,16 @@ int main(int argc, char** argv) {
         pd2_us.add(psim.metrics().avg_sched_ns() / 1000.0);
       }
     }
+    const double ratio = edf_us.mean() > 0.0 ? pd2_us.mean() / edf_us.mean() : 0.0;
     std::printf("  %6d %14.3f %12.3f %14.3f %12.3f %10.2f\n", n, edf_us.mean(),
-                edf_us.ci99_halfwidth(), pd2_us.mean(), pd2_us.ci99_halfwidth(),
-                pd2_us.mean() / edf_us.mean());
+                edf_us.ci99_halfwidth(), pd2_us.mean(), pd2_us.ci99_halfwidth(), ratio);
+    h.add_row()
+        .set("tasks", static_cast<long long>(n))
+        .set("edf_us", edf_us)
+        .set("pd2_us", pd2_us)
+        .set("ratio", ratio);
   }
   std::printf("# paper shape: both increase with N; PD2 < 8us at N=1000 (933MHz),\n");
   std::printf("# PD2 comparable to EDF for N <= 100.\n");
-  return 0;
+  return h.finish();
 }

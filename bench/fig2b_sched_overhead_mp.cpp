@@ -7,7 +7,7 @@
 // schedules independently.  Total task-set utilization scales with M
 // (util <= 0.95 * M) as in the paper's setup.
 //
-// Usage: fig2b_sched_overhead_mp [horizon_slots=30000] [sets_per_N=8] [seed=1]
+// Usage: fig2b_sched_overhead_mp [--horizon=30000] [--trials=8] [--seed=1] [--json]
 #include <cstdio>
 
 #include "bench/fig_common.h"
@@ -16,9 +16,9 @@ int main(int argc, char** argv) {
   using namespace pfair;
   using namespace pfair::bench;
 
-  const long long horizon = arg_or(argc, argv, 1, 30000);
-  const long long sets = arg_or(argc, argv, 2, 8);
-  const long long seed = arg_or(argc, argv, 3, 1);
+  engine::ExperimentHarness h("fig2b_sched_overhead_mp", argc, argv);
+  const long long horizon = h.horizon(30000);
+  const long long sets = h.trials(8);
 
   std::printf("# Fig 2(b): scheduling overhead of PD2 for 2, 4, 8, 16 processors\n");
   std::printf("# horizon=%lld slots, %lld task sets per point\n", horizon, sets);
@@ -26,9 +26,11 @@ int main(int argc, char** argv) {
   for (const int m : {2, 4, 8, 16}) std::printf(" %9s_us %8s_ci", std::to_string(m).c_str(), "99");
   std::printf("\n");
 
-  Rng master(static_cast<std::uint64_t>(seed));
+  Rng master(h.seed(1));
   for (const int n : {15, 30, 50, 75, 100, 250, 500, 750, 1000}) {
     std::printf("  %6d", n);
+    auto& row = h.add_row();
+    row.set("tasks", static_cast<long long>(n));
     for (const int m : {2, 4, 8, 16}) {
       RunningStats pd2_us;
       for (long long s = 0; s < sets; ++s) {
@@ -47,10 +49,11 @@ int main(int argc, char** argv) {
         pd2_us.add(psim.metrics().avg_sched_ns() / 1000.0);
       }
       std::printf(" %12.3f %11.3f", pd2_us.mean(), pd2_us.ci99_halfwidth());
+      row.set("m" + std::to_string(m) + "_us", pd2_us);
     }
     std::printf("\n");
   }
   std::printf("# paper shape: overhead increases with tasks and processors;\n");
   std::printf("# <= ~20us for 200 tasks even on 16 processors (933MHz).\n");
-  return 0;
+  return h.finish();
 }

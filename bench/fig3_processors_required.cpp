@@ -5,11 +5,12 @@
 //
 // For each task count N in {50, 100, 250, 500}, total utilization sweeps
 // [N/30, N/3] (mean per-task utilization 1/30 .. 1/3).  Each point
-// averages `sets` random task sets; 99% CIs are printed.
+// averages `--trials` random task sets; 99% CIs are printed.
 //
-// Usage: fig3_processors_required [sets=200] [seed=1] [only_N=0] [calibrate=0]
+// Usage: fig3_processors_required [--trials=200] [--seed=1] [--only_n=0]
+//                                 [--calibrate=0] [--json]
 //
-// With calibrate=1, the scheduling-cost tables are first measured on
+// With --calibrate=1, the scheduling-cost tables are first measured on
 // this host (the paper's own Fig.-2 -> Fig.-3 pipeline) instead of
 // using the paper-magnitude defaults.
 //
@@ -24,10 +25,11 @@ int main(int argc, char** argv) {
   using namespace pfair;
   using namespace pfair::bench;
 
-  const long long sets = arg_or(argc, argv, 1, 200);
-  const long long seed = arg_or(argc, argv, 2, 1);
-  const long long only_n = arg_or(argc, argv, 3, 0);
-  const bool calibrate = arg_or(argc, argv, 4, 0) != 0;
+  engine::ExperimentHarness h("fig3_processors_required", argc, argv);
+  const long long sets = h.trials(200);
+  const std::uint64_t seed = h.seed(1);
+  const long long only_n = h.flag("only_n", 0);
+  const bool calibrate = h.flag("calibrate", 0) != 0;
 
   OverheadParams params;  // paper defaults: C=5us, q=1ms, Fig.-2 tables
   if (calibrate) {
@@ -35,7 +37,7 @@ int main(int argc, char** argv) {
     params.sched = calibrate_sched_costs();
   }
 
-  Rng master(static_cast<std::uint64_t>(seed));
+  Rng master(seed);
   const char inset[] = {'a', 'b', 'c', 'd'};
   int inset_idx = 0;
   for (const int n : {50, 100, 250, 500}) {
@@ -69,9 +71,15 @@ int main(int argc, char** argv) {
       std::printf("  %10.2f %10.3f %10.3f %12.3f %10.3f %+10.3f\n", u, pd2_m.mean(),
                   pd2_m.ci99_halfwidth(), ff_m.mean(), ff_m.ci99_halfwidth(),
                   pd2_m.mean() - ff_m.mean());
+      h.add_row()
+          .set("tasks", static_cast<long long>(n))
+          .set("u_total", u)
+          .set("pd2_procs", pd2_m)
+          .set("edfff_procs", ff_m)
+          .set("pd2_minus_edfff", pd2_m.mean() - ff_m.mean());
     }
     std::printf("\n");
   }
   std::printf("# negative PD2-EDFFF = PD2 needs fewer processors (PD2 wins).\n");
-  return 0;
+  return h.finish();
 }

@@ -9,7 +9,7 @@
 //   EDF  loss  = (U'_EDF - U)   / m_EDF-FF
 //   FF   loss  = (m_EDF-FF - U'_EDF) / m_EDF-FF
 //
-// Usage: fig4_schedulability_loss [sets=100] [seed=1]
+// Usage: fig4_schedulability_loss [--trials=200] [--seed=1] [--json]
 //
 // Paper shape to check: EDF overhead stays low and flat; Pfair loss is
 // moderate (quantisation-dominated); FF loss grows with mean utilization
@@ -23,12 +23,12 @@ int main(int argc, char** argv) {
   using namespace pfair;
   using namespace pfair::bench;
 
-  const long long sets = arg_or(argc, argv, 1, 200);
-  const long long seed = arg_or(argc, argv, 2, 1);
+  engine::ExperimentHarness h("fig4_schedulability_loss", argc, argv);
+  const long long sets = h.trials(200);
 
   const OverheadParams params;
 
-  Rng master(static_cast<std::uint64_t>(seed));
+  Rng master(h.seed(1));
   const char inset[] = {'a', 'b'};
   int inset_idx = 0;
   for (const int n : {50, 100}) {
@@ -60,10 +60,16 @@ int main(int argc, char** argv) {
       }
       std::printf("  %10.4f %12.5f %12.5f %12.5f\n", mean_u, pfair_loss.mean(),
                   edf_loss.mean(), ff_loss.mean());
+      h.add_row()
+          .set("tasks", static_cast<long long>(n))
+          .set("mean_util", mean_u)
+          .set("pfair_loss", pfair_loss)
+          .set("edf_loss", edf_loss)
+          .set("ff_loss", ff_loss);
     }
     std::printf("\n");
   }
   std::printf("# paper shape: EDF loss low/flat; FF loss grows with utilization and\n");
   std::printf("# overtakes the others; Pfair loss moderate (quantum rounding).\n");
-  return 0;
+  return h.finish();
 }

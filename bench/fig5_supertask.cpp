@@ -9,7 +9,7 @@
 //   - component T misses its deadline at time 10;
 //   - the Holman-Anderson reweighting (+1/p_min) removes the miss.
 //
-// Usage: fig5_supertask [horizon=45]
+// Usage: fig5_supertask [--horizon=45] [--json]
 #include <cstdio>
 
 #include "bench/fig_common.h"
@@ -18,12 +18,14 @@ int main(int argc, char** argv) {
   using namespace pfair;
   using namespace pfair::bench;
 
-  const long long horizon = arg_or(argc, argv, 1, 45);
+  engine::ExperimentHarness h("fig5_supertask", argc, argv);
+  const long long horizon = h.horizon(45);
   const Fig5System sys = fig5_system();
 
   int failures = 0;
   const auto check = [&](bool ok, const char* what) {
     std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+    h.add_row().set("check", std::string(what)).set("ok", static_cast<long long>(ok));
     if (!ok) ++failures;
   };
 
@@ -63,5 +65,5 @@ int main(int argc, char** argv) {
     check(sim.component_miss_count(s, 0) == 0 && sim.component_miss_count(s, 1) == 0,
           "reweighted supertask (+1/p_min): no component miss over a long run");
   }
-  return failures;
+  return h.finish(failures);
 }

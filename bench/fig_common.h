@@ -2,6 +2,8 @@
 #pragma once
 
 #include "bench/bench_util.h"
+#include "engine/compare.h"
+#include "engine/harness.h"
 #include "overhead/calibrate.h"
 #include "overhead/inflation.h"
 #include "overhead/params.h"

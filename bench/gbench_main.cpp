@@ -1,0 +1,58 @@
+// Shared main() for the google-benchmark micro benches.
+//
+// Replaces benchmark::benchmark_main so the micro_* binaries sit on the
+// same engine::ExperimentHarness as the figure benches: every reported
+// run becomes a harness row, and --json writes BENCH_<binary>.json
+// alongside google-benchmark's normal console output.  Harness flags
+// and --benchmark_* flags coexist: the harness ignores flags it is
+// never asked for, and benchmark::Initialize leaves non-benchmark flags
+// alone.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/harness.h"
+
+namespace {
+
+std::string binary_name(const char* argv0) {
+  std::string s = argv0 != nullptr ? argv0 : "micro_bench";
+  const std::size_t slash = s.find_last_of("/\\");
+  if (slash != std::string::npos) s = s.substr(slash + 1);
+  return s.empty() ? "micro_bench" : s;
+}
+
+// Tees every reported run into the harness, then defers to the normal
+// console output.
+class HarnessReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit HarnessReporter(pfair::engine::ExperimentHarness& h) : harness_(h) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      harness_.add_row()
+          .set("name", run.benchmark_name())
+          .set("real_time", run.GetAdjustedRealTime())
+          .set("cpu_time", run.GetAdjustedCPUTime())
+          .set("time_unit", std::string(benchmark::GetTimeUnitString(run.time_unit)))
+          .set("iterations", static_cast<long long>(run.iterations));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  pfair::engine::ExperimentHarness& harness_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pfair::engine::ExperimentHarness h(binary_name(argc > 0 ? argv[0] : nullptr), argc,
+                                     argv);
+  benchmark::Initialize(&argc, argv);
+  HarnessReporter reporter(h);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return h.finish();
+}

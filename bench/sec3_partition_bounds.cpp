@@ -10,7 +10,7 @@
 // the smallest at which it failed ("breakdown band"), alongside the
 // bounds.
 //
-// Usage: sec3_partition_bounds [sets=200] [seed=1]
+// Usage: sec3_partition_bounds [--trials=200] [--seed=1] [--json]
 #include <algorithm>
 #include <cstdio>
 
@@ -21,15 +21,15 @@ int main(int argc, char** argv) {
   using namespace pfair;
   using namespace pfair::bench;
 
-  const long long sets = arg_or(argc, argv, 1, 200);
-  const long long seed = arg_or(argc, argv, 2, 1);
+  engine::ExperimentHarness h("sec3_partition_bounds", argc, argv);
+  const long long sets = h.trials(200);
 
   std::printf("# Partitioning bounds vs empirical first-fit breakdown\n");
   std::printf("# u_max <= 0.5 random tasks; bounds: worst=(m+1)/2, Lopez(beta=2)\n");
   std::printf("# %4s %10s %10s %14s %14s %14s\n", "m", "worst", "lopez",
               "EDF-FF_fail_min", "RM-LL_fail_min", "RM-ex_fail_min");
 
-  Rng master(static_cast<std::uint64_t>(seed));
+  Rng master(h.seed(1));
   for (const int m : {2, 4, 8, 16}) {
     // For each acceptance test, track the smallest total utilization of
     // a task set that failed to partition onto m processors.
@@ -63,10 +63,17 @@ int main(int argc, char** argv) {
     std::printf("  %4d %10.2f %10.2f %14.2f %14.2f %14.2f\n", m,
                 partitioning_worst_case_utilization(m), lopez_bound(m, 0.5), fail_min_edf,
                 fail_min_rmll, fail_min_rmex);
+    h.add_row()
+        .set("processors", static_cast<long long>(m))
+        .set("worst_case_bound", partitioning_worst_case_utilization(m))
+        .set("lopez_bound", lopez_bound(m, 0.5))
+        .set("edfff_fail_min", fail_min_edf)
+        .set("rmll_fail_min", fail_min_rmll)
+        .set("rmexact_fail_min", fail_min_rmex);
   }
   std::printf("# expectations: EDF-FF never fails below the Lopez bound; RM-LL fails\n");
   std::printf("# earliest (its guarantee degrades toward ~0.41*m); RM-exact sits\n");
   std::printf("# between RM-LL and EDF.  Adversarial sets can push every heuristic\n");
   std::printf("# down to (m+1)/2 (see partition tests).\n");
-  return 0;
+  return h.finish();
 }

@@ -1,0 +1,80 @@
+#include "engine/compare.h"
+
+#include <utility>
+
+#include "sim/global_job_sim.h"
+
+namespace pfair::engine {
+
+std::vector<CompareResult> compare_schedulers(const std::vector<UniTask>& workload,
+                                              const std::vector<SchedulerSpec>& specs,
+                                              Time horizon) {
+  std::vector<CompareResult> out;
+  out.reserve(specs.size());
+  for (const SchedulerSpec& spec : specs) {
+    CompareResult r;
+    r.name = spec.name;
+    if (std::unique_ptr<Simulator> sim = spec.make(workload)) {
+      sim->run_until(horizon);
+      r.feasible = true;
+      r.metrics = sim->metrics();
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+SchedulerSpec pfair_spec(std::string name, SimConfig config) {
+  return {std::move(name),
+          [config](const std::vector<UniTask>& workload) -> std::unique_ptr<Simulator> {
+            auto sim = std::make_unique<PfairSimulator>(config);
+            for (const UniTask& t : workload) {
+              if (!sim->admit(t.execution, t.period)) return nullptr;
+            }
+            return sim;
+          }};
+}
+
+SchedulerSpec pd2_spec(int processors) {
+  SimConfig config;
+  config.processors = processors;
+  config.algorithm = Algorithm::kPD2;
+  return pfair_spec("PD2", config);
+}
+
+SchedulerSpec partitioned_spec(std::string name, PartitionedConfig config) {
+  return {std::move(name),
+          [config](const std::vector<UniTask>& workload) -> std::unique_ptr<Simulator> {
+            auto sim = std::make_unique<PartitionedSimulator>(workload, config);
+            if (!sim->all_tasks_placed()) return nullptr;  // bin-packing failure
+            return sim;
+          }};
+}
+
+SchedulerSpec global_job_spec(int processors, UniAlgorithm algorithm) {
+  return {algorithm == UniAlgorithm::kEDF ? "global-EDF" : "global-RM",
+          [processors, algorithm](const std::vector<UniTask>& workload)
+              -> std::unique_ptr<Simulator> {
+            return std::make_unique<GlobalJobSimulator>(workload, processors, algorithm);
+          }};
+}
+
+SchedulerSpec uniproc_spec(std::string name, UniSimConfig config) {
+  return {std::move(name),
+          [config](const std::vector<UniTask>& workload) -> std::unique_ptr<Simulator> {
+            return std::make_unique<UniprocSimulator>(workload, config);
+          }};
+}
+
+SchedulerSpec wrr_spec(WrrConfig config) {
+  return {"WRR",
+          [config](const std::vector<UniTask>& workload) -> std::unique_ptr<Simulator> {
+            auto sim = std::make_unique<WrrSimulator>(TaskSet{}, config);
+            for (const UniTask& t : workload) {
+              if (!sim->admit(t.execution, t.period)) return nullptr;
+            }
+            return sim;
+          }};
+}
+
+}  // namespace pfair::engine

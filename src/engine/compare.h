@@ -1,0 +1,63 @@
+// Scheduler-agnostic comparison driver.
+//
+// The paper's comparisons (Dhall effect, PD2 vs EDF-FF runtime
+// behaviour) all have the same shape: build one workload, run it
+// through several schedulers, read one set of counters.  A
+// SchedulerSpec names a scheduler and knows how to build its simulator
+// for a given synchronous periodic workload; compare_schedulers() runs
+// the workload through every spec and returns the unified metrics, so
+// benches and tests no longer hand-roll a loop per scheduler pair.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/metrics.h"
+#include "engine/simulator.h"
+#include "sim/pfair_sim.h"
+#include "sim/wrr_sim.h"
+#include "uniproc/partitioned_sim.h"
+#include "uniproc/uni_sim.h"
+#include "uniproc/uni_task.h"
+
+namespace pfair::engine {
+
+struct SchedulerSpec {
+  std::string name;
+  /// Builds a simulator loaded with `workload`, or nullptr when the
+  /// scheduler cannot accept it (e.g. bin-packing failure under
+  /// partitioning) — reported as feasible = false.
+  std::function<std::unique_ptr<Simulator>(const std::vector<UniTask>&)> make;
+};
+
+struct CompareResult {
+  std::string name;
+  bool feasible = false;  ///< the scheduler accepted the workload
+  Metrics metrics;        ///< counters at the horizon (valid iff feasible)
+};
+
+/// Runs `workload` through every spec up to `horizon`; results are in
+/// spec order.
+[[nodiscard]] std::vector<CompareResult> compare_schedulers(
+    const std::vector<UniTask>& workload, const std::vector<SchedulerSpec>& specs,
+    Time horizon);
+
+// --- standard specs for the repo's simulator stacks ---
+
+/// Global Pfair with full config control (name e.g. "PD2").
+[[nodiscard]] SchedulerSpec pfair_spec(std::string name, SimConfig config);
+/// Global PD2 on `processors` (the common case).
+[[nodiscard]] SchedulerSpec pd2_spec(int processors);
+/// Partitioned EDF/RM behind a bin-packing front end; infeasible when
+/// not every task can be placed.
+[[nodiscard]] SchedulerSpec partitioned_spec(std::string name, PartitionedConfig config);
+/// Global job-level EDF or RM on `processors` (the Dhall straw man).
+[[nodiscard]] SchedulerSpec global_job_spec(int processors, UniAlgorithm algorithm);
+/// Event-driven uniprocessor EDF/RM.
+[[nodiscard]] SchedulerSpec uniproc_spec(std::string name, UniSimConfig config);
+/// Weighted round-robin on quantised weights.
+[[nodiscard]] SchedulerSpec wrr_spec(WrrConfig config);
+
+}  // namespace pfair::engine

@@ -1,0 +1,215 @@
+#include "engine/harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pfair::engine {
+
+namespace {
+
+/// JSON string escaping (control characters, quote, backslash).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Doubles as JSON numbers; non-finite values (which JSON cannot
+/// represent) become null.
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void append_value(std::string& out, const ExperimentHarness::Value& val) {
+  if (const auto* d = std::get_if<double>(&val.v)) {
+    out += number(*d);
+  } else if (const auto* i = std::get_if<long long>(&val.v)) {
+    out += std::to_string(*i);
+  } else if (const auto* s = std::get_if<std::string>(&val.v)) {
+    out += '"';
+    out += escape(*s);
+    out += '"';
+  } else {
+    const auto& st = std::get<RunningStats>(val.v);
+    out += "{\"mean\":" + number(st.mean()) + ",\"ci99\":" + number(st.ci99_halfwidth()) +
+           ",\"min\":" + number(st.min()) + ",\"max\":" + number(st.max()) +
+           ",\"n\":" + std::to_string(st.count()) + "}";
+  }
+}
+
+void append_object(std::string& out,
+                   const std::vector<std::pair<std::string, ExperimentHarness::Value>>& kv) {
+  out += '{';
+  bool first = true;
+  for (const auto& [key, val] : kv) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += escape(key);
+    out += "\":";
+    append_value(out, val);
+  }
+  out += '}';
+}
+
+/// Strict integer / double parses; nullptr-safe.
+bool parse_ll(const std::string& s, long long& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+ExperimentHarness::ExperimentHarness(std::string name, int argc, char** argv)
+    : name_(std::move(name)) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--", 2) != 0) continue;  // positional args are gone
+    const char* body = a + 2;
+    const char* eq = std::strchr(body, '=');
+    std::string key;
+    std::string value;
+    if (eq != nullptr) {
+      key.assign(body, static_cast<std::size_t>(eq - body));
+      value.assign(eq + 1);
+    } else {
+      key.assign(body);
+      // "--flag value" form: consume the next token iff it does not
+      // itself look like a flag.
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        value.assign(argv[++i]);
+      }
+    }
+    if (key == "json") {
+      json_ = true;
+      json_file_ = value;  // may be empty -> default path
+      continue;
+    }
+    args_.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+const std::string* ExperimentHarness::raw_flag(const std::string& key) const {
+  for (const auto& [k, v] : args_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+long long ExperimentHarness::flag(const std::string& key, long long fallback) const {
+  long long out = fallback;
+  if (const std::string* raw = raw_flag(key)) parse_ll(*raw, out);
+  params_.emplace_back(key, Value{out});
+  return out;
+}
+
+double ExperimentHarness::flag_double(const std::string& key, double fallback) const {
+  double out = fallback;
+  if (const std::string* raw = raw_flag(key)) parse_double(*raw, out);
+  params_.emplace_back(key, Value{out});
+  return out;
+}
+
+long long ExperimentHarness::trials(long long fallback) const {
+  return flag("trials", fallback);
+}
+
+long long ExperimentHarness::horizon(long long fallback) const {
+  return flag("horizon", fallback);
+}
+
+std::uint64_t ExperimentHarness::seed(std::uint64_t fallback) const {
+  return static_cast<std::uint64_t>(flag("seed", static_cast<long long>(fallback)));
+}
+
+ExperimentHarness::Row& ExperimentHarness::Row::set(const std::string& key, double v) {
+  cells_.emplace_back(key, Value{v});
+  return *this;
+}
+ExperimentHarness::Row& ExperimentHarness::Row::set(const std::string& key, long long v) {
+  cells_.emplace_back(key, Value{v});
+  return *this;
+}
+ExperimentHarness::Row& ExperimentHarness::Row::set(const std::string& key,
+                                                    const std::string& v) {
+  cells_.emplace_back(key, Value{v});
+  return *this;
+}
+ExperimentHarness::Row& ExperimentHarness::Row::set(const std::string& key,
+                                                    const RunningStats& s) {
+  cells_.emplace_back(key, Value{s});
+  return *this;
+}
+
+ExperimentHarness::Row& ExperimentHarness::add_row() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+std::string ExperimentHarness::json_path() const {
+  return json_file_.empty() ? "BENCH_" + name_ + ".json" : json_file_;
+}
+
+std::string ExperimentHarness::to_json() const {
+  std::string out = "{\"bench\":\"" + escape(name_) + "\",\"params\":";
+  append_object(out, params_);
+  out += ",\"rows\":[";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) out += ',';
+    append_object(out, rows_[i].cells_);
+  }
+  out += "]}\n";
+  return out;
+}
+
+int ExperimentHarness::finish(int exit_code) {
+  if (!json_) return exit_code;
+  const std::string path = json_path();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "harness: cannot write %s\n", path.c_str());
+    return exit_code != 0 ? exit_code : 1;
+  }
+  const std::string doc = to_json();
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  std::printf("# wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  return exit_code;
+}
+
+}  // namespace pfair::engine

@@ -1,0 +1,49 @@
+// Scheduler-invocation wall-clock timing for the Fig.-2 experiments.
+//
+// The paper measures "the average cost of one scheduler invocation" by
+// steady_clock-timing batches of invocations.  Every simulator used to
+// duplicate the same chrono boilerplate; this timer centralizes it.
+// When disabled it compiles down to a branch on a bool — the simulators
+// construct it unconditionally and pay nothing unless overhead
+// measurement was requested.
+#pragma once
+
+#include <chrono>
+
+#include "engine/metrics.h"
+
+namespace pfair::engine {
+
+class OverheadTimer {
+ public:
+  explicit OverheadTimer(bool enabled) noexcept : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void start() noexcept {
+    if (enabled_) t0_ = std::chrono::steady_clock::now();
+  }
+
+  /// Accumulates the nanoseconds since the matching start() into
+  /// `m.sched_ns_total`.  No-op when disabled.
+  void stop(Metrics& m) noexcept {
+    if (!enabled_) return;
+    const auto t1 = std::chrono::steady_clock::now();
+    m.sched_ns_total += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0_).count());
+  }
+
+  /// Times one call: `timer.measure(metrics, [&] { ... });`
+  template <typename F>
+  void measure(Metrics& m, F&& f) {
+    start();
+    f();
+    stop(m);
+  }
+
+ private:
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace pfair::engine

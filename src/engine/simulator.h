@@ -1,0 +1,46 @@
+// The scheduler-agnostic simulator interface.
+//
+// Every simulator stack in the repo — quantum-driven global Pfair,
+// event-driven uniprocessor EDF/RM, the partitioned ensemble, global
+// job-level EDF/RM, weighted round-robin, and CBS — implements this
+// interface, so comparison drivers and tests can run the same workload
+// through any of them and read the same engine::Metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/metrics.h"
+#include "util/types.h"
+
+namespace pfair::engine {
+
+class Simulator {
+ public:
+  virtual ~Simulator() = default;
+
+  /// Advances the simulation to (absolute) time `until`.  May be called
+  /// repeatedly with increasing horizons.
+  virtual void run_until(Time until) = 0;
+
+  /// Current simulation time.
+  [[nodiscard]] virtual Time now() const = 0;
+
+  /// Unified counters (see engine/metrics.h for field semantics).
+  [[nodiscard]] virtual const Metrics& metrics() const = 0;
+
+  /// Admits a synchronous periodic task with the given worst-case
+  /// execution and period (implicit deadline), releasing from the
+  /// current time.  Returns false if this simulator cannot admit the
+  /// task — e.g. admission is only supported before the simulation
+  /// starts, or the task does not fit the remaining capacity.
+  virtual bool admit(std::int64_t execution, std::int64_t period) = 0;
+
+ protected:
+  Simulator() = default;
+  Simulator(const Simulator&) = default;
+  Simulator& operator=(const Simulator&) = default;
+  Simulator(Simulator&&) = default;
+  Simulator& operator=(Simulator&&) = default;
+};
+
+}  // namespace pfair::engine

@@ -5,6 +5,9 @@
 // Subsystem map (see DESIGN.md for the full inventory):
 //   core/      Pfair model: windows, priorities (PD2/PD/PF/EPDF), tasks,
 //              lag, dynamic-join/leave rules, supertasks + packing
+//   engine/    runtime substrate shared by every simulator: unified
+//              metrics, simulator interface, overhead timing,
+//              comparison driver, experiment harness
 //   sim/       global schedulers: quantum-driven Pfair simulator,
 //              job-level global EDF/RM, WRR baseline, trace verifier
 //   uniproc/   uniprocessor substrate: EDF/RM simulators + analysis,
@@ -28,10 +31,14 @@
 #include "overhead/inflation.h"
 #include "overhead/params.h"
 #include "overhead/quantum_tradeoff.h"
+#include "engine/compare.h"
+#include "engine/harness.h"
+#include "engine/metrics.h"
+#include "engine/overhead_timer.h"
+#include "engine/simulator.h"
 #include "partition/heuristics.h"
 #include "partition/uni_partition.h"
 #include "sim/global_job_sim.h"
-#include "sim/metrics.h"
 #include "sim/pfair_sim.h"
 #include "sim/trace.h"
 #include "sim/verifier.h"

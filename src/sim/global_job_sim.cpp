@@ -16,6 +16,15 @@ GlobalJobSimulator::GlobalJobSimulator(std::vector<UniTask> tasks, int processor
   assert(processors_ >= 1);
 }
 
+bool GlobalJobSimulator::admit(std::int64_t execution, std::int64_t period) {
+  const UniTask t{execution, period};
+  if (!t.valid()) return false;
+  tasks_.push_back(t);
+  next_release_.push_back(now_);
+  live_jobs_.push_back(0);
+  return true;
+}
+
 bool GlobalJobSimulator::higher_priority(const Job& a, const Job& b) const {
   if (algorithm_ == UniAlgorithm::kEDF) {
     if (a.deadline != b.deadline) return a.deadline < b.deadline;
@@ -29,11 +38,8 @@ bool GlobalJobSimulator::higher_priority(const Job& a, const Job& b) const {
 void GlobalJobSimulator::release_jobs(Time t) {
   for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
     while (next_release_[i] <= t) {
-      if (live_jobs_[i] > 0) {
-        // Implicit deadline = next release: the live predecessor missed.
-        ++metrics_.deadline_misses;
-        if (metrics_.first_miss_time < 0) metrics_.first_miss_time = next_release_[i];
-      }
+      // Implicit deadline = next release: a live predecessor missed.
+      if (live_jobs_[i] > 0) metrics_.record_miss(next_release_[i]);
       ready_.push_back(Job{i, next_release_[i] + tasks_[i].period, tasks_[i].execution,
                            kNoProc, false});
       next_release_[i] += tasks_[i].period;

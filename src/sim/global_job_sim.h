@@ -19,21 +19,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/metrics.h"
+#include "engine/simulator.h"
 #include "uniproc/uni_sim.h"  // UniAlgorithm, UniTask
 #include "util/types.h"
 
 namespace pfair {
 
-struct GlobalJobMetrics {
-  std::uint64_t jobs_released = 0;
-  std::uint64_t jobs_completed = 0;
-  std::uint64_t deadline_misses = 0;
-  std::uint64_t preemptions = 0;
-  std::uint64_t migrations = 0;
-  Time first_miss_time = -1;
-};
-
-class GlobalJobSimulator {
+class GlobalJobSimulator : public engine::Simulator {
  public:
   GlobalJobSimulator(std::vector<UniTask> tasks, int processors,
                      UniAlgorithm algorithm = UniAlgorithm::kEDF);
@@ -41,10 +34,15 @@ class GlobalJobSimulator {
   GlobalJobSimulator(const GlobalJobSimulator&) = delete;
   GlobalJobSimulator& operator=(const GlobalJobSimulator&) = delete;
 
-  void run_until(Time until);
+  /// Admits a periodic task releasing from the current time.
+  bool admit(std::int64_t execution, std::int64_t period) override;
 
-  [[nodiscard]] const GlobalJobMetrics& metrics() const noexcept { return metrics_; }
-  [[nodiscard]] Time now() const noexcept { return now_; }
+  void run_until(Time until) override;
+
+  [[nodiscard]] const engine::Metrics& metrics() const noexcept override {
+    return metrics_;
+  }
+  [[nodiscard]] Time now() const noexcept override { return now_; }
 
  private:
   struct Job {
@@ -66,7 +64,7 @@ class GlobalJobSimulator {
   std::vector<std::int64_t> live_jobs_;
   std::vector<Job> ready_;  ///< all incomplete jobs (small sets: scans)
   Time now_ = 0;
-  GlobalJobMetrics metrics_;
+  engine::Metrics metrics_;
 };
 
 }  // namespace pfair

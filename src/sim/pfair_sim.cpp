@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 
 #include "core/lag.h"
 
@@ -11,9 +10,17 @@ namespace pfair {
 PfairSimulator::PfairSimulator(SimConfig config)
     : config_(config),
       live_processors_(config.processors),
-      ready_(SubtaskPriority(config.algorithm)) {
+      ready_(SubtaskPriority(config.algorithm)),
+      timer_(config.measure_overhead) {
   assert(config_.processors >= 1);
   prev_slot_tasks_.assign(static_cast<std::size_t>(live_processors_), kNoTask);
+}
+
+bool PfairSimulator::admit(std::int64_t execution, std::int64_t period) {
+  const Task t = make_task(execution, period);
+  if (!t.valid()) return false;
+  add_task(t);
+  return true;
 }
 
 TaskId PfairSimulator::add_task(const Task& t, std::vector<Time> arrivals) {
@@ -306,8 +313,7 @@ void PfairSimulator::detect_misses(Time t) {
     rt.ready_handle = kInvalidHandle;
     if (!rt.miss_counted) {
       rt.miss_counted = true;
-      ++metrics_.deadline_misses;
-      if (metrics_.first_miss_time < 0) metrics_.first_miss_time = t;
+      metrics_.record_miss(t);
     }
     if (config_.miss_policy == MissPolicy::kDrop) {
       ++rt.next_index;
@@ -384,15 +390,7 @@ void PfairSimulator::simulate_slot() {
   // Release processing is part of scheduling overhead in the paper's
   // accounting ("moving a newly-arrived or preempted task to the ready
   // queue"), so it is included in the measured time.
-  if (config_.measure_overhead) {
-    const auto r0 = std::chrono::steady_clock::now();
-    release_eligible(t);
-    const auto r1 = std::chrono::steady_clock::now();
-    metrics_.sched_ns_total += static_cast<double>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(r1 - r0).count());
-  } else {
-    release_eligible(t);
-  }
+  timer_.measure(metrics_, [&] { release_eligible(t); });
   for (SupertaskRuntime& srt : supertasks_) {
     for (ComponentRuntime& c : srt.components) {
       while (c.next_release <= t) {
@@ -408,8 +406,7 @@ void PfairSimulator::simulate_slot() {
             if (!c.miss_counted_for_head) {
               c.miss_counted_for_head = true;
               ++c.misses;
-              ++metrics_.component_misses;
-              if (metrics_.first_miss_time < 0) metrics_.first_miss_time = t;
+              metrics_.record_component_miss(t);
             }
           }
           break;
@@ -423,9 +420,7 @@ void PfairSimulator::simulate_slot() {
 
   // 4. Scheduler invocation: pop the M highest-priority subtasks and
   //    advance each task to its next subtask.
-  const bool timing = config_.measure_overhead;
-  std::chrono::steady_clock::time_point t0;
-  if (timing) t0 = std::chrono::steady_clock::now();
+  timer_.start();
 
   picked_.clear();
   const std::size_t want = static_cast<std::size_t>(std::max(live_processors_, 0));
@@ -442,11 +437,7 @@ void PfairSimulator::simulate_slot() {
     enqueue_next_subtask(ref.task, t + 1);
   }
 
-  if (timing) {
-    const auto t1 = std::chrono::steady_clock::now();
-    metrics_.sched_ns_total +=
-        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
-  }
+  timer_.stop(metrics_);
   ++metrics_.scheduler_invocations;
 
   // 5. Processor assignment with affinity.

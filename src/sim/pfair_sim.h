@@ -28,7 +28,9 @@
 #include "core/priority.h"
 #include "core/supertask.h"
 #include "core/task.h"
-#include "sim/metrics.h"
+#include "engine/metrics.h"
+#include "engine/overhead_timer.h"
+#include "engine/simulator.h"
 #include "sim/trace.h"
 #include "util/binary_heap.h"
 #include "util/rational.h"
@@ -60,9 +62,13 @@ struct ProcessorEvent {
   int processors = 1;
 };
 
-class PfairSimulator {
+class PfairSimulator : public engine::Simulator {
  public:
   explicit PfairSimulator(SimConfig config);
+
+  /// engine::Simulator admission: a synchronous periodic task of weight
+  /// e/p, added at the current time (dynamic joins go through join()).
+  bool admit(std::int64_t execution, std::int64_t period) override;
 
   /// Adds a periodic / early-release / intra-sporadic task starting at
   /// time 0 (or at the current time if the simulation already ran).
@@ -121,10 +127,12 @@ class PfairSimulator {
 
   /// Runs the simulation up to (absolute) time `until`.  May be called
   /// repeatedly with increasing horizons; joins/leaves can be interleaved.
-  void run_until(Time until);
+  void run_until(Time until) override;
 
-  [[nodiscard]] Time now() const noexcept { return now_; }
-  [[nodiscard]] const SimMetrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] Time now() const noexcept override { return now_; }
+  [[nodiscard]] const engine::Metrics& metrics() const noexcept override {
+    return metrics_;
+  }
   [[nodiscard]] const ScheduleTrace& trace() const noexcept { return trace_; }
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
 
@@ -225,7 +233,8 @@ class PfairSimulator {
   std::vector<ProcessorEvent> proc_events_;  ///< sorted by time, applied in order
   std::size_t next_proc_event_ = 0;
   std::vector<TaskId> pending_departures_;   ///< tasks with leave_at set
-  SimMetrics metrics_;
+  engine::Metrics metrics_;
+  engine::OverheadTimer timer_;
   ScheduleTrace trace_;
   // Scratch buffers reused every slot (avoid per-slot allocation).
   std::vector<SubtaskRef> picked_;

@@ -12,11 +12,30 @@ WrrSimulator::WrrSimulator(TaskSet tasks, WrrConfig config)
       config_(config),
       allocated_(tasks_.size(), 0),
       budget_(tasks_.size(), 0),
-      carry_(tasks_.size(), Rational(0)) {
+      carry_(tasks_.size(), Rational(0)),
+      prev_proc_task_(static_cast<std::size_t>(config.processors), kNoTask),
+      cur_proc_task_(static_cast<std::size_t>(config.processors), kNoTask),
+      prev_sched_(tasks_.size(), false),
+      cur_sched_(tasks_.size(), false),
+      last_proc_(tasks_.size(), kNoProc) {
   assert(config_.processors >= 1);
   assert(config_.frame >= 1);
   // Budgets are credited by the slot loop at each frame boundary
   // (including t = 0); crediting here too would double the first frame.
+}
+
+bool WrrSimulator::admit(std::int64_t execution, std::int64_t period) {
+  if (now_ > 0) return false;
+  const Task t = make_task(execution, period);
+  if (!t.valid()) return false;
+  tasks_.add(t);
+  allocated_.push_back(0);
+  budget_.push_back(0);
+  carry_.push_back(Rational(0));
+  prev_sched_.push_back(false);
+  cur_sched_.push_back(false);
+  last_proc_.push_back(kNoProc);
+  return true;
 }
 
 void WrrSimulator::start_frame() {
@@ -49,6 +68,8 @@ void WrrSimulator::run_until(Time until) {
       cursor_ = (cursor_ + 1) % n;
       ++skipped;
     }
+    std::fill(cur_sched_.begin(), cur_sched_.end(), false);
+    std::fill(cur_proc_task_.begin(), cur_proc_task_.end(), kNoTask);
     int served = 0;
     std::size_t inspected = 0;
     std::size_t cur = cursor_;
@@ -57,14 +78,34 @@ void WrrSimulator::run_until(Time until) {
       if (budget_[id] > 0) {
         --budget_[id];
         ++allocated_[id];
-        if (config_.record_trace)
-          trace_.record(static_cast<ProcId>(served), id);
+        const ProcId proc = static_cast<ProcId>(served);
+        if (config_.record_trace) trace_.record(proc, id);
+        cur_sched_[id] = true;
+        cur_proc_task_[proc] = id;
+        // Sec.-4 accounting: switch-in on a processor change of task,
+        // migration on a task change of processor (plain WRR has no
+        // affinity assignment, so both occur freely).
+        if (prev_proc_task_[proc] != id) ++metrics_.context_switches;
+        if (last_proc_[id] != kNoProc && last_proc_[id] != proc)
+          ++metrics_.migrations;
+        last_proc_[id] = proc;
         ++served;
       }
       cur = (cur + 1) % n;
       ++inspected;
     }
-    idle_quanta_ += static_cast<std::uint64_t>(config_.processors - served);
+    // A task served in the previous slot with budget left that was not
+    // served now was preempted by the rotation.
+    for (TaskId id = 0; id < n; ++id) {
+      if (prev_sched_[id] && !cur_sched_[id] && budget_[id] > 0)
+        ++metrics_.preemptions;
+    }
+    std::swap(prev_sched_, cur_sched_);
+    std::swap(prev_proc_task_, cur_proc_task_);
+    ++metrics_.slots;
+    ++metrics_.scheduler_invocations;
+    metrics_.busy_quanta += static_cast<std::uint64_t>(served);
+    metrics_.idle_quanta += static_cast<std::uint64_t>(config_.processors - served);
     ++now_;
     for (TaskId id = 0; id < n; ++id) {
       const Task& t = tasks_[id];

@@ -15,7 +15,8 @@
 #include <vector>
 
 #include "core/task.h"
-#include "sim/metrics.h"
+#include "engine/metrics.h"
+#include "engine/simulator.h"
 #include "sim/trace.h"
 
 namespace pfair {
@@ -26,21 +27,25 @@ struct WrrConfig {
   bool record_trace = true;
 };
 
-class WrrSimulator {
+class WrrSimulator : public engine::Simulator {
  public:
   WrrSimulator(TaskSet tasks, WrrConfig config);
 
-  void run_until(Time until);
+  /// Admission is only possible before the first slot runs (budgets are
+  /// credited per frame; a mid-run joiner would skew the lag bookkeeping).
+  bool admit(std::int64_t execution, std::int64_t period) override;
 
-  [[nodiscard]] Time now() const noexcept { return now_; }
+  void run_until(Time until) override;
+
+  [[nodiscard]] Time now() const noexcept override { return now_; }
+  [[nodiscard]] const engine::Metrics& metrics() const noexcept override {
+    return metrics_;
+  }
   [[nodiscard]] const ScheduleTrace& trace() const noexcept { return trace_; }
   [[nodiscard]] std::int64_t allocated(TaskId id) const { return allocated_[id]; }
 
   /// Largest |lag| observed over the run (exact rational).
   [[nodiscard]] Rational max_abs_lag() const noexcept { return max_abs_lag_; }
-
-  /// Quanta in which some processor idled while budgets remained.
-  [[nodiscard]] std::uint64_t idle_quanta() const noexcept { return idle_quanta_; }
 
  private:
   void start_frame();
@@ -54,7 +59,14 @@ class WrrSimulator {
   std::size_t cursor_ = 0;            ///< cyclic service pointer
   ScheduleTrace trace_;
   Rational max_abs_lag_{0};
-  std::uint64_t idle_quanta_ = 0;
+  engine::Metrics metrics_;
+  // Scratch for the Sec.-4 event accounting (preemptions / context
+  // switches / migrations), reused every slot.
+  std::vector<TaskId> prev_proc_task_;  ///< proc -> task of previous slot
+  std::vector<TaskId> cur_proc_task_;
+  std::vector<bool> prev_sched_;        ///< task scheduled in previous slot
+  std::vector<bool> cur_sched_;
+  std::vector<ProcId> last_proc_;       ///< task -> processor of last quantum
 };
 
 }  // namespace pfair

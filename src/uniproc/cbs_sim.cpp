@@ -24,14 +24,24 @@ CbsSimulator::CbsSimulator(std::vector<UniTask> hard_tasks,
   }
 }
 
+bool CbsSimulator::admit(std::int64_t execution, std::int64_t period) {
+  const UniTask t{execution, period};
+  if (!t.valid()) return false;
+  hard_.push_back(t);
+  hard_next_release_.push_back(now_);
+  hard_live_.push_back(0);
+  return true;
+}
+
 void CbsSimulator::arrivals_and_releases(Time t) {
   for (std::uint32_t i = 0; i < hard_.size(); ++i) {
     while (hard_next_release_[i] <= t) {
-      if (hard_live_[i] > 0) ++metrics_.hard_deadline_misses;  // implicit deadline
+      // Implicit deadline: a live predecessor at its release has missed.
+      if (hard_live_[i] > 0) metrics_.record_miss(hard_next_release_[i]);
       hard_ready_.push_back(
           HardJob{i, hard_next_release_[i] + hard_[i].period, hard_[i].execution});
       hard_next_release_[i] += hard_[i].period;
-      ++metrics_.hard_jobs_released;
+      ++metrics_.jobs_released;
       ++hard_live_[i];
     }
   }
@@ -102,7 +112,7 @@ void CbsSimulator::run_until(Time until) {
       hard_pick->remaining -= run;
       now_ += run;
       if (hard_pick->remaining == 0) {
-        ++metrics_.hard_jobs_completed;
+        ++metrics_.jobs_completed;
         --hard_live_[hard_pick->task];
         hard_ready_.erase(hard_ready_.begin() + (hard_pick - hard_ready_.data()));
       }

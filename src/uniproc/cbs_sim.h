@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/metrics.h"
+#include "engine/simulator.h"
 #include "uniproc/uni_task.h"
 #include "util/types.h"
 
@@ -40,27 +42,26 @@ struct CbsServerSpec {
   std::vector<AperiodicJob> jobs;  ///< sorted by arrival
 };
 
-struct CbsMetrics {
-  std::uint64_t hard_jobs_released = 0;
-  std::uint64_t hard_jobs_completed = 0;
-  std::uint64_t hard_deadline_misses = 0;
-  std::uint64_t served_jobs_completed = 0;
-  std::int64_t served_work = 0;              ///< server execution time granted
-  std::uint64_t deadline_postponements = 0;  ///< budget-exhaustion events
-  std::uint64_t scheduler_invocations = 0;
-};
-
-class CbsSimulator {
+// Hard-task counters land in the generic engine::Metrics job fields
+// (jobs_released / jobs_completed / deadline_misses); the server-side
+// counters use the CBS section (served_jobs_completed, served_work,
+// deadline_postponements).
+class CbsSimulator : public engine::Simulator {
  public:
   CbsSimulator(std::vector<UniTask> hard_tasks, std::vector<CbsServerSpec> servers);
 
   CbsSimulator(const CbsSimulator&) = delete;
   CbsSimulator& operator=(const CbsSimulator&) = delete;
 
-  void run_until(Time until);
+  /// Admits a hard periodic task releasing from the current time.
+  bool admit(std::int64_t execution, std::int64_t period) override;
 
-  [[nodiscard]] const CbsMetrics& metrics() const noexcept { return metrics_; }
-  [[nodiscard]] Time now() const noexcept { return now_; }
+  void run_until(Time until) override;
+
+  [[nodiscard]] const engine::Metrics& metrics() const noexcept override {
+    return metrics_;
+  }
+  [[nodiscard]] Time now() const noexcept override { return now_; }
 
   /// Work granted to one server so far.
   [[nodiscard]] std::int64_t server_work(std::size_t s) const {
@@ -96,7 +97,7 @@ class CbsSimulator {
   std::vector<HardJob> hard_ready_;  ///< small sets: linear scans suffice
   std::vector<Server> servers_;
   Time now_ = 0;
-  CbsMetrics metrics_;
+  engine::Metrics metrics_;
 };
 
 }  // namespace pfair

@@ -3,22 +3,43 @@
 namespace pfair {
 
 PartitionedSimulator::PartitionedSimulator(const std::vector<UniTask>& tasks,
-                                           PartitionedConfig config) {
+                                           PartitionedConfig config)
+    : tasks_(tasks), config_(config) {
+  rebuild();
+}
+
+void PartitionedSimulator::rebuild() {
   const UniPartitionResult part =
-      partition_uni(tasks, config.max_processors, config.heuristic, config.acceptance);
+      partition_uni(tasks_, config_.max_processors, config_.heuristic, config_.acceptance);
   assignment_ = part.assignment;
+  unplaced_.clear();
   std::vector<std::vector<UniTask>> groups(static_cast<std::size_t>(part.processors_used));
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
     if (part.assignment[i] < 0) {
       unplaced_.push_back(i);
       continue;
     }
-    groups[static_cast<std::size_t>(part.assignment[i])].push_back(tasks[i]);
+    groups[static_cast<std::size_t>(part.assignment[i])].push_back(tasks_[i]);
   }
   UniSimConfig uc;
-  uc.algorithm = config.algorithm;
-  uc.measure_overhead = config.measure_overhead;
+  uc.algorithm = config_.algorithm;
+  uc.measure_overhead = config_.measure_overhead;
+  sims_.clear();
+  sims_.reserve(groups.size());
   for (auto& g : groups) sims_.emplace_back(std::move(g), uc);
+}
+
+bool PartitionedSimulator::admit(std::int64_t execution, std::int64_t period) {
+  const UniTask t{execution, period};
+  if (now_ > 0 || !t.valid()) return false;
+  tasks_.push_back(t);
+  rebuild();
+  if (assignment_.back() < 0) {
+    tasks_.pop_back();
+    rebuild();
+    return false;
+  }
+  return true;
 }
 
 void PartitionedSimulator::run_until(Time until) {
@@ -27,25 +48,13 @@ void PartitionedSimulator::run_until(Time until) {
   // metrics; the *modelled* parallelism is what keeps per-invocation
   // scheduling cost flat in the processor count).
   for (UniprocSimulator& sim : sims_) sim.run_until(until);
+  if (until > now_) now_ = until;
 }
 
-UniMetrics PartitionedSimulator::aggregate_metrics() const {
-  UniMetrics out;
-  for (const UniprocSimulator& sim : sims_) {
-    const UniMetrics& m = sim.metrics();
-    out.jobs_released += m.jobs_released;
-    out.jobs_completed += m.jobs_completed;
-    out.deadline_misses += m.deadline_misses;
-    out.preemptions += m.preemptions;
-    out.context_switches += m.context_switches;
-    out.scheduler_invocations += m.scheduler_invocations;
-    out.sched_ns_total += m.sched_ns_total;
-    if (m.first_miss_time >= 0 &&
-        (out.first_miss_time < 0 || m.first_miss_time < out.first_miss_time)) {
-      out.first_miss_time = m.first_miss_time;
-    }
-  }
-  return out;
+const engine::Metrics& PartitionedSimulator::metrics() const {
+  aggregate_ = engine::Metrics{};
+  for (const UniprocSimulator& sim : sims_) aggregate_.merge(sim.metrics());
+  return aggregate_;
 }
 
 }  // namespace pfair

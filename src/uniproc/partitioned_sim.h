@@ -11,9 +11,10 @@
 // advantage the paper concedes to partitioning).
 #pragma once
 
-#include <deque>
 #include <vector>
 
+#include "engine/metrics.h"
+#include "engine/simulator.h"
 #include "partition/uni_partition.h"
 #include "uniproc/uni_sim.h"
 
@@ -27,32 +28,46 @@ struct PartitionedConfig {
   bool measure_overhead = false;
 };
 
-class PartitionedSimulator {
+class PartitionedSimulator : public engine::Simulator {
  public:
   /// Partitions `tasks` (failing tasks are dropped and reported) and
   /// builds one uniprocessor simulator per opened processor.
   PartitionedSimulator(const std::vector<UniTask>& tasks, PartitionedConfig config);
 
-  void run_until(Time until);
+  /// Admission before the simulation starts re-runs the partitioning
+  /// over the enlarged set; returns false once run_until() has advanced
+  /// time, or when the new task cannot be placed.
+  bool admit(std::int64_t execution, std::int64_t period) override;
+
+  void run_until(Time until) override;
+
+  [[nodiscard]] Time now() const noexcept override { return now_; }
+
+  /// Aggregated metrics across all processors.  Migrations are zero by
+  /// construction; everything else is summed (earliest first miss).
+  [[nodiscard]] const engine::Metrics& metrics() const override;
 
   [[nodiscard]] int processors() const noexcept { return static_cast<int>(sims_.size()); }
   [[nodiscard]] bool all_tasks_placed() const noexcept { return unplaced_.empty(); }
   [[nodiscard]] const std::vector<std::size_t>& unplaced() const noexcept { return unplaced_; }
   [[nodiscard]] const std::vector<int>& assignment() const noexcept { return assignment_; }
 
-  /// Aggregated metrics across all processors.  Migrations are zero by
-  /// construction; context switches and preemptions are summed.
-  [[nodiscard]] UniMetrics aggregate_metrics() const;
-
   /// Metrics of one processor's scheduler.
-  [[nodiscard]] const UniMetrics& processor_metrics(int proc) const {
+  [[nodiscard]] const engine::Metrics& processor_metrics(int proc) const {
     return sims_[static_cast<std::size_t>(proc)].metrics();
   }
 
  private:
-  std::deque<UniprocSimulator> sims_;  ///< deque: elements never relocate
+  /// (Re)partitions tasks_ and rebuilds the per-processor simulators.
+  void rebuild();
+
+  std::vector<UniTask> tasks_;
+  PartitionedConfig config_;
+  std::vector<UniprocSimulator> sims_;  ///< movable: vector relocation is safe
   std::vector<int> assignment_;
   std::vector<std::size_t> unplaced_;
+  Time now_ = 0;
+  mutable engine::Metrics aggregate_;  ///< cache refreshed by metrics()
 };
 
 }  // namespace pfair

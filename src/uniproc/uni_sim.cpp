@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <limits>
 
 namespace pfair {
@@ -11,11 +10,22 @@ UniprocSimulator::UniprocSimulator(std::vector<UniTask> tasks, UniSimConfig conf
     : tasks_(std::move(tasks)),
       config_(config),
       live_jobs_(tasks_.size(), 0),
-      ready_(JobLess{config.algorithm, &tasks_}) {
+      ready_(JobLess{config.algorithm}),
+      timer_(config.measure_overhead) {
   for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
     assert(tasks_[i].valid());
     calendar_.push(Release{0, i});
   }
+}
+
+bool UniprocSimulator::admit(std::int64_t execution, std::int64_t period) {
+  const UniTask t{execution, period};
+  if (!t.valid()) return false;
+  const std::uint32_t id = static_cast<std::uint32_t>(tasks_.size());
+  tasks_.push_back(t);
+  live_jobs_.push_back(0);
+  calendar_.push(Release{now_, id});
+  return true;
 }
 
 Time UniprocSimulator::next_release_time() const {
@@ -27,8 +37,7 @@ void UniprocSimulator::release_jobs(Time t) {
   // newly arrived job into the ready queue), matching the paper.  The
   // calendar heap plays the role of per-task event timers: only tasks
   // that actually release are touched.
-  std::chrono::steady_clock::time_point t0;
-  if (config_.measure_overhead) t0 = std::chrono::steady_clock::now();
+  timer_.start();
   while (!calendar_.empty() && calendar_.top().when <= t) {
     const Release rel = calendar_.pop();
     const std::uint32_t i = rel.task;
@@ -36,31 +45,23 @@ void UniprocSimulator::release_jobs(Time t) {
     // this release time, so an incomplete predecessor has missed.
     // (Detecting misses here — rather than at completion — also catches
     // jobs that starve and never complete.)
-    if (live_jobs_[i] > 0) {
-      ++metrics_.deadline_misses;
-      if (metrics_.first_miss_time < 0) metrics_.first_miss_time = rel.when;
-    }
+    if (live_jobs_[i] > 0) metrics_.record_miss(rel.when);
     Job j;
     j.task = i;
     j.deadline = rel.when + tasks_[i].period;
     j.remaining = tasks_[i].execution;
+    j.period = tasks_[i].period;
     ready_.push(j);
     calendar_.push(Release{rel.when + tasks_[i].period, i});
     ++metrics_.jobs_released;
     ++live_jobs_[i];
   }
-  if (config_.measure_overhead) {
-    const auto t1 = std::chrono::steady_clock::now();
-    metrics_.sched_ns_total +=
-        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
-  }
+  timer_.stop(metrics_);
 }
 
 void UniprocSimulator::invoke_scheduler(Time t) {
   (void)t;
-  const bool timing = config_.measure_overhead;
-  std::chrono::steady_clock::time_point t0;
-  if (timing) t0 = std::chrono::steady_clock::now();
+  timer_.start();
 
   // Preemption requires strictly higher priority (a deadline/period tie
   // never preempts under EDF/RM).
@@ -69,8 +70,7 @@ void UniprocSimulator::invoke_scheduler(Time t) {
     // RM assigns *distinct* fixed priorities: period ties resolve to a
     // strict total order by task index (matching rm_response_time), so
     // an equal-period, lower-index job does preempt.
-    if (tasks_[a.task].period != tasks_[b.task].period)
-      return tasks_[a.task].period < tasks_[b.task].period;
+    if (a.period != b.period) return a.period < b.period;
     return a.task < b.task;
   };
   if (has_running_) {
@@ -90,11 +90,7 @@ void UniprocSimulator::invoke_scheduler(Time t) {
     last_on_cpu_ = running_.task;
   }
 
-  if (timing) {
-    const auto t1 = std::chrono::steady_clock::now();
-    metrics_.sched_ns_total +=
-        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
-  }
+  timer_.stop(metrics_);
   ++metrics_.scheduler_invocations;
 }
 

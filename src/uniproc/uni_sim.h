@@ -13,6 +13,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/metrics.h"
+#include "engine/overhead_timer.h"
+#include "engine/simulator.h"
 #include "uniproc/uni_task.h"
 #include "util/binary_heap.h"
 #include "util/types.h"
@@ -21,61 +24,49 @@ namespace pfair {
 
 enum class UniAlgorithm : std::uint8_t { kEDF, kRM };
 
-struct UniMetrics {
-  std::uint64_t jobs_released = 0;
-  std::uint64_t jobs_completed = 0;
-  std::uint64_t deadline_misses = 0;
-  std::uint64_t preemptions = 0;
-  std::uint64_t context_switches = 0;
-  std::uint64_t scheduler_invocations = 0;
-  double sched_ns_total = 0.0;
-  Time first_miss_time = -1;
-
-  [[nodiscard]] double avg_sched_ns() const noexcept {
-    return scheduler_invocations > 0
-               ? sched_ns_total / static_cast<double>(scheduler_invocations)
-               : 0.0;
-  }
-};
-
 struct UniSimConfig {
   UniAlgorithm algorithm = UniAlgorithm::kEDF;
   bool measure_overhead = false;
 };
 
-class UniprocSimulator {
+class UniprocSimulator : public engine::Simulator {
  public:
   UniprocSimulator(std::vector<UniTask> tasks, UniSimConfig config);
 
-  // Pinned: the ready queue's comparator holds a pointer to tasks_, so
-  // moving the simulator would dangle it.  Hold by unique_ptr / deque.
+  // Movable (the ready-queue comparator carries the RM key inside each
+  // Job instead of pointing back into tasks_, so nothing dangles);
+  // copying a half-run simulator is almost always a bug, so copies stay
+  // deleted.
   UniprocSimulator(const UniprocSimulator&) = delete;
   UniprocSimulator& operator=(const UniprocSimulator&) = delete;
-  UniprocSimulator(UniprocSimulator&&) = delete;
-  UniprocSimulator& operator=(UniprocSimulator&&) = delete;
+  UniprocSimulator(UniprocSimulator&&) = default;
+  UniprocSimulator& operator=(UniprocSimulator&&) = default;
+
+  /// Admits a periodic task releasing from the current time.
+  bool admit(std::int64_t execution, std::int64_t period) override;
 
   /// Runs until (absolute) time `until`.
-  void run_until(Time until);
+  void run_until(Time until) override;
 
-  [[nodiscard]] const UniMetrics& metrics() const noexcept { return metrics_; }
-  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] const engine::Metrics& metrics() const noexcept override {
+    return metrics_;
+  }
+  [[nodiscard]] Time now() const noexcept override { return now_; }
 
  private:
   struct Job {
     std::uint32_t task = 0;
     Time deadline = 0;       ///< absolute
     std::int64_t remaining = 0;
+    std::int64_t period = 0; ///< the task's period (RM priority key)
   };
   struct JobLess {
-    UniAlgorithm alg;
-    const std::vector<UniTask>* tasks;
+    UniAlgorithm alg = UniAlgorithm::kEDF;
     bool operator()(const Job& a, const Job& b) const noexcept {
       if (alg == UniAlgorithm::kEDF) {
         if (a.deadline != b.deadline) return a.deadline < b.deadline;
       } else {
-        const std::int64_t pa = (*tasks)[a.task].period;
-        const std::int64_t pb = (*tasks)[b.task].period;
-        if (pa != pb) return pa < pb;
+        if (a.period != b.period) return a.period < b.period;
       }
       return a.task < b.task;
     }
@@ -107,7 +98,8 @@ class UniprocSimulator {
   bool has_running_ = false;
   std::uint32_t last_on_cpu_ = 0xffffffffu;
   Time now_ = 0;
-  UniMetrics metrics_;
+  engine::Metrics metrics_;
+  engine::OverheadTimer timer_{false};
 };
 
 }  // namespace pfair

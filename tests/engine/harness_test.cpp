@@ -1,0 +1,140 @@
+// ExperimentHarness: flag parsing and the JSON report every bench
+// binary now emits under --json.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/harness.h"
+
+namespace pfair::engine {
+namespace {
+
+// argv helper: harness only reads, but argv is char** by convention.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    for (std::string& s : strings_) ptrs_.push_back(s.data());
+  }
+  int argc() { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(Harness, ParsesEqualsAndSpaceSeparatedFlags) {
+  Argv a({"bench", "--trials=7", "--horizon", "1234", "--seed=99", "--alpha=2.5"});
+  ExperimentHarness h("t", a.argc(), a.argv());
+  EXPECT_EQ(h.trials(10), 7);
+  EXPECT_EQ(h.horizon(50), 1234);
+  EXPECT_EQ(h.seed(), 99u);
+  EXPECT_DOUBLE_EQ(h.flag_double("alpha", 0.0), 2.5);
+  EXPECT_FALSE(h.json());
+}
+
+TEST(Harness, FallbacksWhenAbsentOrMalformed) {
+  Argv a({"bench", "--trials=notanumber", "ignored_positional"});
+  ExperimentHarness h("t", a.argc(), a.argv());
+  EXPECT_EQ(h.trials(10), 10);
+  EXPECT_EQ(h.horizon(5000), 5000);
+  EXPECT_EQ(h.flag("absent", -3), -3);
+}
+
+TEST(Harness, IgnoresForeignFlags) {
+  // google-benchmark flags must pass through harmlessly (shared main).
+  Argv a({"bench", "--benchmark_filter=BM_Foo", "--trials=3"});
+  ExperimentHarness h("t", a.argc(), a.argv());
+  EXPECT_EQ(h.trials(1), 3);
+}
+
+// Minimal structural JSON check: balanced braces/brackets outside
+// strings, and every expected key present.
+void expect_balanced_json(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Harness, ToJsonIsWellFormedAndComplete) {
+  Argv a({"bench", "--trials=2", "--json"});
+  ExperimentHarness h("jsontest", a.argc(), a.argv());
+  EXPECT_TRUE(h.json());
+  (void)h.trials(5);  // looked-up flag -> echoed into params
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  h.add_row()
+      .set("point", 1LL)
+      .set("value", 0.5)
+      .set("label", std::string("a \"quoted\" name"))
+      .set("series", stats);
+  const std::string j = h.to_json();
+  expect_balanced_json(j);
+  EXPECT_NE(j.find("\"bench\":\"jsontest\""), std::string::npos);
+  EXPECT_NE(j.find("\"trials\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"point\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"mean\":2"), std::string::npos);
+  EXPECT_NE(j.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(h.row_count(), 1u);
+}
+
+TEST(Harness, FinishWritesTheReportOnlyWithJsonFlag) {
+  const std::string path = "harness_test_report.json";
+  std::remove(path.c_str());
+  {
+    Argv a({"bench", "--json=" + path});
+    ExperimentHarness h("writetest", a.argc(), a.argv());
+    h.add_row().set("x", 1LL);
+    EXPECT_EQ(h.json_path(), path);
+    EXPECT_EQ(h.finish(), 0);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    expect_balanced_json(buf.str());
+    EXPECT_NE(buf.str().find("\"writetest\""), std::string::npos);
+  }
+  std::remove(path.c_str());
+  {
+    Argv a({"bench"});
+    ExperimentHarness h("writetest", a.argc(), a.argv());
+    std::remove(h.json_path().c_str());
+    h.add_row().set("x", 1LL);
+    EXPECT_EQ(h.finish(4), 4);  // exit code passes through
+    std::ifstream in(h.json_path());
+    EXPECT_FALSE(in.good());  // no --json, no file
+  }
+}
+
+TEST(Harness, NonFiniteValuesSerializeAsNull) {
+  Argv a({"bench"});
+  ExperimentHarness h("nan", a.argc(), a.argv());
+  h.add_row().set("bad", 0.0 / 0.0).set("inf", 1.0 / 0.0);
+  const std::string j = h.to_json();
+  expect_balanced_json(j);
+  EXPECT_NE(j.find("\"bad\":null"), std::string::npos);
+  EXPECT_NE(j.find("\"inf\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfair::engine

@@ -1,0 +1,112 @@
+// Cross-scheduler invariants of the unified engine::Metrics, exercised
+// through the engine::Simulator interface alone: the same periodic
+// workload goes through PD2, WRR and partitioned EDF-FF and every
+// scheduler's counters must satisfy the accounting identities the
+// metrics struct promises (DESIGN.md Sec. 4).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "engine/compare.h"
+#include "engine/metrics.h"
+#include "engine/simulator.h"
+#include "uniproc/uni_task.h"
+
+namespace pfair {
+namespace {
+
+// Σ weight = 2/4 + 2/4 + 1/3 + 1/5 + 2/7 ≈ 1.82 ≤ M = 2.
+std::vector<UniTask> workload() {
+  return {{2, 4}, {2, 4}, {1, 3}, {1, 5}, {2, 7}};
+}
+
+constexpr int kProcessors = 2;
+constexpr Time kHorizon = 420;  // lcm(4,3,5,7) = 420: whole hyperperiod
+
+std::vector<engine::SchedulerSpec> quantum_specs() {
+  WrrConfig wc;
+  wc.processors = kProcessors;
+  wc.frame = 16;
+  return {engine::pd2_spec(kProcessors), engine::wrr_spec(wc)};
+}
+
+TEST(EngineMetrics, QuantumSimsAccountEverySlot) {
+  // busy + idle must equal slots x processors for every quantum-driven
+  // scheduler, no matter how it fills the slots.
+  for (auto& spec : quantum_specs()) {
+    auto sim = spec.make(workload());
+    ASSERT_NE(sim, nullptr) << spec.name;
+    sim->run_until(kHorizon);
+    const engine::Metrics& m = sim->metrics();
+    EXPECT_EQ(m.slots, static_cast<std::uint64_t>(kHorizon)) << spec.name;
+    EXPECT_EQ(m.busy_quanta + m.idle_quanta,
+              m.slots * static_cast<std::uint64_t>(kProcessors))
+        << spec.name;
+  }
+}
+
+TEST(EngineMetrics, ContextSwitchesDominatePreemptions) {
+  // A preemption charges the later switch-in of the preempted task, so
+  // switch-ins can never undercount preemptions — under any scheduler.
+  WrrConfig wc;
+  wc.processors = kProcessors;
+  wc.frame = 16;
+  PartitionedConfig pc;
+  pc.max_processors = kProcessors;
+  const std::vector<engine::SchedulerSpec> specs = {
+      engine::pd2_spec(kProcessors), engine::wrr_spec(wc),
+      engine::partitioned_spec("EDF-FF", pc)};
+  const auto results = engine::compare_schedulers(workload(), specs, kHorizon);
+  ASSERT_EQ(results.size(), specs.size());
+  for (const engine::CompareResult& r : results) {
+    ASSERT_TRUE(r.feasible) << r.name;
+    EXPECT_GE(r.metrics.context_switches, r.metrics.preemptions) << r.name;
+  }
+}
+
+TEST(EngineMetrics, Pd2MissFreeWithinCapacity) {
+  // Pfair optimality via the unified counters: Σ wt ≤ M ⇒ no miss, and
+  // the sentinel first_miss_time stays -1.
+  auto sim = engine::pd2_spec(kProcessors).make(workload());
+  ASSERT_NE(sim, nullptr);
+  sim->run_until(10 * kHorizon);
+  EXPECT_EQ(sim->metrics().deadline_misses, 0u);
+  EXPECT_EQ(sim->metrics().first_miss_time, -1);
+}
+
+TEST(EngineMetrics, AdmissionThroughTheInterface) {
+  // Tasks admitted via engine::Simulator::admit() are indistinguishable
+  // from constructor-loaded ones.
+  auto loaded = engine::pd2_spec(kProcessors).make(workload());
+  ASSERT_NE(loaded, nullptr);
+
+  auto grown = engine::pd2_spec(kProcessors).make({});
+  ASSERT_NE(grown, nullptr);
+  for (const UniTask& t : workload()) EXPECT_TRUE(grown->admit(t.execution, t.period));
+
+  loaded->run_until(kHorizon);
+  grown->run_until(kHorizon);
+  EXPECT_EQ(loaded->metrics().busy_quanta, grown->metrics().busy_quanta);
+  EXPECT_EQ(loaded->metrics().jobs_completed, grown->metrics().jobs_completed);
+  EXPECT_EQ(loaded->metrics().deadline_misses, grown->metrics().deadline_misses);
+}
+
+TEST(EngineMetrics, MergeSumsCountersAndKeepsEarliestMiss) {
+  engine::Metrics a;
+  a.busy_quanta = 3;
+  a.record_miss(10);
+  a.response_time.add(2.0);
+  engine::Metrics b;
+  b.busy_quanta = 4;
+  b.record_miss(7);
+  b.response_time.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.busy_quanta, 7u);
+  EXPECT_EQ(a.deadline_misses, 2u);
+  EXPECT_EQ(a.first_miss_time, 7);
+  EXPECT_EQ(a.response_time.count(), 2u);
+}
+
+}  // namespace
+}  // namespace pfair

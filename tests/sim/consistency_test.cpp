@@ -16,7 +16,7 @@ TaskSet sample_set(std::uint64_t seed, int m) {
 TEST(Consistency, IdenticalRunsProduceIdenticalMetrics) {
   for (int trial = 0; trial < 4; ++trial) {
     const TaskSet set = sample_set(100 + static_cast<std::uint64_t>(trial), 3);
-    SimMetrics first;
+    engine::Metrics first;
     for (int run = 0; run < 2; ++run) {
       SimConfig sc;
       sc.processors = 3;

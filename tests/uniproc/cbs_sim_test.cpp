@@ -18,7 +18,7 @@ TEST(Cbs, WellBehavedServerServesEverything) {
   CbsServerSpec server{2, 10, flood(1000, 1, 10)};
   CbsSimulator sim({{3, 10}}, {server});
   sim.run_until(2000);
-  EXPECT_EQ(sim.metrics().hard_deadline_misses, 0u);
+  EXPECT_EQ(sim.metrics().deadline_misses, 0u);
   EXPECT_EQ(sim.metrics().served_jobs_completed, 100u);
   EXPECT_EQ(sim.server_work(0), 100);
 }
@@ -31,7 +31,7 @@ TEST(Cbs, OverrunningServerIsThrottledToItsBandwidth) {
   CbsServerSpec server{1, 4, flood(4000, 4, 4)};  // 4 units every 4 slots
   CbsSimulator sim({{3, 4}}, {server});           // hard load 0.75
   sim.run_until(4000);
-  EXPECT_EQ(sim.metrics().hard_deadline_misses, 0u);
+  EXPECT_EQ(sim.metrics().deadline_misses, 0u);
   EXPECT_NEAR(static_cast<double>(sim.server_work(0)) / 4000.0, 0.25, 0.01);
   EXPECT_GT(sim.metrics().deadline_postponements, 0u);
 }
@@ -44,7 +44,7 @@ TEST(Cbs, WorkConservingServerSoaksIdleCapacityOnly) {
   CbsServerSpec server{1, 4, flood(4000, 4, 4)};
   CbsSimulator sim({{1, 2}}, {server});
   sim.run_until(4000);
-  EXPECT_EQ(sim.metrics().hard_deadline_misses, 0u);
+  EXPECT_EQ(sim.metrics().deadline_misses, 0u);
   EXPECT_NEAR(static_cast<double>(sim.server_work(0)) / 4000.0, 0.5, 0.01);
 }
 
@@ -77,7 +77,7 @@ TEST(Cbs, HardTasksIsolatedFromServerOverrunRandomised) {
     CbsServerSpec s2{q2, t2, flood(3000, trial_rng.uniform_int(3, 9), 7)};
     CbsSimulator sim(hard, {s1, s2});
     sim.run_until(6000);
-    EXPECT_EQ(sim.metrics().hard_deadline_misses, 0u) << "trial " << trial;
+    EXPECT_EQ(sim.metrics().deadline_misses, 0u) << "trial " << trial;
   }
 }
 
@@ -89,13 +89,13 @@ TEST(Cbs, WithoutServerOverrunWouldSinkHardTasks) {
   CbsServerSpec honest_server{1, 4, flood(4000, 4, 4)};
   CbsSimulator with_cbs({{1, 2}}, {honest_server});
   with_cbs.run_until(4000);
-  EXPECT_EQ(with_cbs.metrics().hard_deadline_misses, 0u);
+  EXPECT_EQ(with_cbs.metrics().deadline_misses, 0u);
 
   // Same demand declared as a periodic task (4 every 4 = utilization 1)
   // next to the 0.5 hard task: overload, the hard task misses.
   CbsSimulator no_cbs({{1, 2}, {4, 4}}, {});
   no_cbs.run_until(4000);
-  EXPECT_GT(no_cbs.metrics().hard_deadline_misses, 0u);
+  EXPECT_GT(no_cbs.metrics().deadline_misses, 0u);
 }
 
 TEST(Cbs, IdleServerReusesBudgetWhenConsistent) {
@@ -106,7 +106,7 @@ TEST(Cbs, IdleServerReusesBudgetWhenConsistent) {
   sim.run_until(200);
   EXPECT_EQ(sim.metrics().served_jobs_completed, 2u);
   EXPECT_EQ(sim.server_work(0), 2);
-  EXPECT_EQ(sim.metrics().hard_deadline_misses, 0u);
+  EXPECT_EQ(sim.metrics().deadline_misses, 0u);
 }
 
 TEST(Cbs, SchedulerInvocationsGrowWithServers) {

@@ -15,7 +15,7 @@ TEST(PartitionedSim, PlacesAndSchedulesFeasibleSet) {
   EXPECT_TRUE(sim.all_tasks_placed());
   EXPECT_EQ(sim.processors(), 2);
   sim.run_until(1000);
-  const UniMetrics m = sim.aggregate_metrics();
+  const engine::Metrics& m = sim.metrics();
   EXPECT_EQ(m.deadline_misses, 0u);
   EXPECT_EQ(m.jobs_completed, m.jobs_released);
 }
@@ -29,7 +29,7 @@ TEST(PartitionedSim, ReportsUnplacedTasksUnderProcessorCap) {
   EXPECT_EQ(sim.unplaced().size(), 1u);
   sim.run_until(300);
   // The two placed tasks still run cleanly.
-  EXPECT_EQ(sim.aggregate_metrics().deadline_misses, 0u);
+  EXPECT_EQ(sim.metrics().deadline_misses, 0u);
 }
 
 TEST(PartitionedSim, NoMigrationsByConstruction) {
@@ -55,7 +55,7 @@ TEST(PartitionedSim, RandomFeasibleSystemsRunCleanly) {
     PartitionedSimulator sim(tasks, cfg);
     ASSERT_TRUE(sim.all_tasks_placed());
     sim.run_until(5000);
-    EXPECT_EQ(sim.aggregate_metrics().deadline_misses, 0u) << "trial " << trial;
+    EXPECT_EQ(sim.metrics().deadline_misses, 0u) << "trial " << trial;
   }
 }
 
@@ -69,7 +69,7 @@ TEST(PartitionedSim, RmBackendHonoursRmAcceptance) {
   PartitionedSimulator sim(tasks, cfg);
   ASSERT_TRUE(sim.all_tasks_placed());
   sim.run_until(10000);
-  EXPECT_EQ(sim.aggregate_metrics().deadline_misses, 0u);
+  EXPECT_EQ(sim.metrics().deadline_misses, 0u);
 }
 
 TEST(PartitionedSim, AggregateSumsPerProcessorMetrics) {
@@ -77,12 +77,9 @@ TEST(PartitionedSim, AggregateSumsPerProcessorMetrics) {
   PartitionedConfig cfg;
   PartitionedSimulator sim(tasks, cfg);
   sim.run_until(400);
-  const UniMetrics agg = sim.aggregate_metrics();
-  UniMetrics manual;
-  for (int p = 0; p < sim.processors(); ++p) {
-    manual.jobs_released += sim.processor_metrics(p).jobs_released;
-    manual.context_switches += sim.processor_metrics(p).context_switches;
-  }
+  const engine::Metrics agg = sim.metrics();
+  engine::Metrics manual;
+  for (int p = 0; p < sim.processors(); ++p) manual.merge(sim.processor_metrics(p));
   EXPECT_EQ(agg.jobs_released, manual.jobs_released);
   EXPECT_EQ(agg.context_switches, manual.context_switches);
 }
