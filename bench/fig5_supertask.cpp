@@ -10,9 +10,19 @@
 //   - the Holman-Anderson reweighting (+1/p_min) removes the miss.
 //
 // Usage: fig5_supertask [--horizon=45] [--json]
+//          [--trace=FILE]   write a Perfetto/Chrome trace of the miss run
+//          [--events=FILE]  write the structured JSONL event stream
+//          [--lag=FILE]     write the per-task lag timeline as CSV
 #include <cstdio>
+#include <fstream>
+#include <optional>
 
 #include "bench/fig_common.h"
+#include "obs/bus.h"
+#include "obs/histogram_sink.h"
+#include "obs/jsonl_sink.h"
+#include "obs/lag_sampler.h"
+#include "obs/perfetto_sink.h"
 
 int main(int argc, char** argv) {
   using namespace pfair;
@@ -29,17 +39,56 @@ int main(int argc, char** argv) {
     if (!ok) ++failures;
   };
 
+  const std::string trace_path = h.flag_string("trace", "");
+  const std::string events_path = h.flag_string("events", "");
+  const std::string lag_path = h.flag_string("lag", "");
+
   {
     SimConfig cfg;
     cfg.processors = 2;
     cfg.record_trace = true;
+    cfg.lag_sample_every = 1;  // per-slot lag timeline for the sampler
     PfairSimulator sim(cfg);
+
+    // Observability: histograms always (exported through --json); the
+    // file-writing sinks only when their flag names a destination.
+    obs::EventBus bus;
+    obs::HistogramSink hists;
+    obs::LagSampler lags;
+    bus.add_sink(&hists);
+    bus.add_sink(&lags);
+    std::ofstream trace_file;
+    std::ofstream events_file;
+    std::optional<obs::PerfettoSink> perfetto;
+    if (!trace_path.empty()) {
+      trace_file.open(trace_path);
+      perfetto.emplace(trace_file);  // writes the JSON header on construction
+      bus.add_sink(&*perfetto);
+    }
+    std::optional<obs::JsonlSink> jsonl;
+    if (!events_path.empty()) {
+      events_file.open(events_path);
+      jsonl.emplace(events_file);
+      bus.add_sink(&*jsonl);
+    }
+    sim.attach_observer(&bus);
+
     sim.add_task(sys.normal_tasks[0]);
     sim.add_task(sys.normal_tasks[1]);
     sim.add_task(sys.normal_tasks[2]);
     const TaskId s = sim.add_supertask(sys.supertask);
     sim.add_task(sys.normal_tasks[3]);
+    if (perfetto) perfetto->set_task_names(sim.task_names());
     sim.run_until(horizon);
+    bus.flush();
+    if (!lag_path.empty()) {
+      std::ofstream lag_file(lag_path);
+      lags.write_csv(lag_file);
+    }
+    h.add_row()
+        .set("check", std::string("histograms"))
+        .set("response_time_hist", hists.response_time())
+        .set("dispatch_latency_hist", hists.dispatch_latency());
 
     std::printf("# Fig 5: PD2 schedule, supertask S = {T:1/5, U:1/45} at weight 2/9\n");
     std::printf("%s\n", sim.trace().render(sim.task_names()).c_str());

@@ -1,0 +1,72 @@
+// ScheduleTrace microbenchmarks: the cost of allocation() queries, which
+// the verifier issues once per scheduled quantum.  The per-task slot
+// index turns each query from a rescan of every recorded slot (O(t * P))
+// into a binary search, so verification of long traces stops being
+// quadratic in the horizon.  BM_Allocation_LinearScan preserves the old
+// implementation as the baseline.
+#include <benchmark/benchmark.h>
+
+#include "sim/trace.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace pfair;
+
+constexpr int kProcs = 8;
+
+ScheduleTrace make_trace(std::size_t horizon, TaskId tasks) {
+  ScheduleTrace tr;
+  Rng rng(7);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    tr.begin_slot(kProcs);
+    for (ProcId p = 0; p < kProcs; ++p) {
+      const auto id = static_cast<TaskId>(rng.uniform_int(0, tasks - 1));
+      if (!tr.scheduled(t, id)) tr.record(p, id);
+    }
+  }
+  return tr;
+}
+
+/// The pre-index implementation: rescan every slot up to t_end.
+std::int64_t allocation_linear(const ScheduleTrace& tr, TaskId task, std::size_t t_end) {
+  std::int64_t n = 0;
+  for (std::size_t t = 0; t < t_end && t < tr.size(); ++t)
+    if (tr.scheduled(t, task)) ++n;
+  return n;
+}
+
+void BM_Allocation_LinearScan(benchmark::State& state) {
+  const auto horizon = static_cast<std::size_t>(state.range(0));
+  const ScheduleTrace tr = make_trace(horizon, 32);
+  std::size_t t = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocation_linear(tr, t % 32, t % horizon));
+    ++t;
+  }
+}
+BENCHMARK(BM_Allocation_LinearScan)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Allocation_Indexed(benchmark::State& state) {
+  const auto horizon = static_cast<std::size_t>(state.range(0));
+  const ScheduleTrace tr = make_trace(horizon, 32);
+  std::size_t t = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tr.allocation(static_cast<TaskId>(t % 32), t % horizon));
+    ++t;
+  }
+}
+BENCHMARK(BM_Allocation_Indexed)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Record(benchmark::State& state) {
+  // Index maintenance cost on the hot recording path.
+  const auto horizon = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_trace(horizon, 32));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(horizon) * kProcs);
+}
+BENCHMARK(BM_Record)->Arg(1000)->Arg(10000);
+
+}  // namespace

@@ -51,11 +51,27 @@ void append_value(std::string& out, const ExperimentHarness::Value& val) {
     out += '"';
     out += escape(*s);
     out += '"';
+  } else if (const auto* st = std::get_if<RunningStats>(&val.v)) {
+    out += "{\"mean\":" + number(st->mean()) + ",\"ci99\":" + number(st->ci99_halfwidth()) +
+           ",\"min\":" + number(st->min()) + ",\"max\":" + number(st->max()) +
+           ",\"n\":" + std::to_string(st->count()) + "}";
   } else {
-    const auto& st = std::get<RunningStats>(val.v);
-    out += "{\"mean\":" + number(st.mean()) + ",\"ci99\":" + number(st.ci99_halfwidth()) +
-           ",\"min\":" + number(st.min()) + ",\"max\":" + number(st.max()) +
-           ",\"n\":" + std::to_string(st.count()) + "}";
+    const auto& h = std::get<obs::Histogram>(val.v);
+    out += "{\"edges\":[";
+    for (std::size_t k = 0; k < h.edges().size(); ++k) {
+      if (k > 0) out += ',';
+      out += number(h.edges()[k]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t k = 0; k < h.bucket_count(); ++k) {
+      if (k > 0) out += ',';
+      out += std::to_string(h.count(k));
+    }
+    out += "],\"underflow\":" + std::to_string(h.underflow()) +
+           ",\"overflow\":" + std::to_string(h.overflow()) +
+           ",\"total\":" + std::to_string(h.total()) +
+           ",\"p50\":" + number(h.quantile(0.5)) + ",\"p99\":" + number(h.quantile(0.99)) +
+           "}";
   }
 }
 
@@ -145,6 +161,14 @@ double ExperimentHarness::flag_double(const std::string& key, double fallback) c
   return out;
 }
 
+std::string ExperimentHarness::flag_string(const std::string& key,
+                                           const std::string& fallback) const {
+  std::string out = fallback;
+  if (const std::string* raw = raw_flag(key)) out = *raw;
+  params_.emplace_back(key, Value{out});
+  return out;
+}
+
 long long ExperimentHarness::trials(long long fallback) const {
   return flag("trials", fallback);
 }
@@ -173,6 +197,11 @@ ExperimentHarness::Row& ExperimentHarness::Row::set(const std::string& key,
 ExperimentHarness::Row& ExperimentHarness::Row::set(const std::string& key,
                                                     const RunningStats& s) {
   cells_.emplace_back(key, Value{s});
+  return *this;
+}
+ExperimentHarness::Row& ExperimentHarness::Row::set(const std::string& key,
+                                                    const obs::Histogram& h) {
+  cells_.emplace_back(key, Value{h});
   return *this;
 }
 

@@ -19,6 +19,7 @@
 #include <variant>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "util/stats.h"
 
 namespace pfair::engine {
@@ -40,10 +41,12 @@ class ExperimentHarness {
   /// or malformed.  Looked-up flags are echoed into the JSON "params".
   [[nodiscard]] long long flag(const std::string& key, long long fallback) const;
   [[nodiscard]] double flag_double(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string flag_string(const std::string& key,
+                                        const std::string& fallback) const;
 
   // --- result recording ---
   struct Value {
-    std::variant<double, long long, std::string, RunningStats> v;
+    std::variant<double, long long, std::string, RunningStats, obs::Histogram> v;
   };
   class Row {
    public:
@@ -52,6 +55,9 @@ class ExperimentHarness {
     Row& set(const std::string& key, const std::string& v);
     /// Expands to {"mean":..., "ci99":..., "min":..., "max":..., "n":...}.
     Row& set(const std::string& key, const RunningStats& s);
+    /// Expands to {"edges":[...], "counts":[...], "underflow":...,
+    /// "overflow":..., "total":..., "p50":..., "p99":...}.
+    Row& set(const std::string& key, const obs::Histogram& h);
 
    private:
     friend class ExperimentHarness;

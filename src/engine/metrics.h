@@ -87,8 +87,11 @@ struct Metrics {
 
   /// Field-wise sum, for aggregating per-processor schedulers
   /// (partitioned systems).  first_miss_time takes the earliest miss.
+  /// `slots` counts wall-clock slots, which the per-processor schedulers
+  /// of one partitioned system share — so it takes the max, not the sum
+  /// (summing would report P× the horizon on a P-processor system).
   void merge(const Metrics& o) noexcept {
-    slots += o.slots;
+    if (o.slots > slots) slots = o.slots;
     busy_quanta += o.busy_quanta;
     idle_quanta += o.idle_quanta;
     jobs_released += o.jobs_released;

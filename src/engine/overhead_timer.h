@@ -25,20 +25,24 @@ class OverheadTimer {
   }
 
   /// Accumulates the nanoseconds since the matching start() into
-  /// `m.sched_ns_total`.  No-op when disabled.
-  void stop(Metrics& m) noexcept {
-    if (!enabled_) return;
+  /// `m.sched_ns_total` and returns them (so callers can forward the
+  /// same figure to an observer).  Returns 0.0 when disabled.
+  double stop(Metrics& m) noexcept {
+    if (!enabled_) return 0.0;
     const auto t1 = std::chrono::steady_clock::now();
-    m.sched_ns_total += static_cast<double>(
+    const double ns = static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0_).count());
+    m.sched_ns_total += ns;
+    return ns;
   }
 
-  /// Times one call: `timer.measure(metrics, [&] { ... });`
+  /// Times one call and returns the measured nanoseconds (0.0 when
+  /// disabled): `timer.measure(metrics, [&] { ... });`
   template <typename F>
-  void measure(Metrics& m, F&& f) {
+  double measure(Metrics& m, F&& f) {
     start();
     f();
-    stop(m);
+    return stop(m);
   }
 
  private:

@@ -12,6 +12,10 @@
 #include "engine/metrics.h"
 #include "util/types.h"
 
+namespace pfair::obs {
+class EventBus;
+}  // namespace pfair::obs
+
 namespace pfair::engine {
 
 class Simulator {
@@ -34,6 +38,13 @@ class Simulator {
   /// task — e.g. admission is only supported before the simulation
   /// starts, or the task does not fit the remaining capacity.
   virtual bool admit(std::int64_t execution, std::int64_t period) = 0;
+
+  /// Attaches a structured-event observer (see obs/bus.h).  The bus is
+  /// borrowed, not owned, and must outlive the simulator; passing
+  /// nullptr detaches.  Simulators that predate the obs layer ignore
+  /// the call — the default implementation is a no-op — so attaching is
+  /// always safe even if it yields no events.
+  virtual void attach_observer(obs::EventBus* /*bus*/) {}
 
  protected:
   Simulator() = default;

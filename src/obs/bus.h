@@ -1,0 +1,59 @@
+// The event bus: fan-out point between simulators and sinks.
+//
+// Simulators hold a nullable `obs::EventBus*` and guard every emission
+// with it — a detached simulator pays exactly one pointer test per
+// would-be event (measured <2% on compare_runtime), and an attached one
+// pays the fan-out only for the sinks actually registered.  The bus
+// owns nothing: sinks outlive it (they are typically stack objects in
+// the bench/test that wired them up).
+//
+//   obs::EventBus bus;
+//   obs::CounterSink counters;
+//   bus.add_sink(&counters);
+//   sim.attach_observer(&bus);
+//   sim.run_until(h);
+//   bus.flush();
+#pragma once
+
+#include <vector>
+
+#include "obs/sink.h"
+
+namespace pfair::obs {
+
+class EventBus {
+ public:
+  /// Registers a sink (non-owning).  Sinks receive events in
+  /// registration order.
+  void add_sink(Sink* sink) { sinks_.push_back(sink); }
+
+  [[nodiscard]] bool active() const noexcept { return !sinks_.empty(); }
+  [[nodiscard]] std::size_t sink_count() const noexcept { return sinks_.size(); }
+
+  void emit(const Event& e) const {
+    for (Sink* s : sinks_) s->on_event(e);
+  }
+
+  /// Convenience emission without spelling out an Event aggregate.
+  void emit(EventKind kind, Time time, TaskId task = kNoTask, ProcId proc = kNoProc,
+            double value = 0.0) const {
+    emit(Event{kind, time, task, proc, value});
+  }
+
+  /// Finalizes every sink's output.
+  void flush() const {
+    for (Sink* s : sinks_) s->flush();
+  }
+
+ private:
+  std::vector<Sink*> sinks_;
+};
+
+/// The guard simulators use at every instrumentation point: emission is
+/// a single null test when no observer is attached.
+inline void emit(const EventBus* bus, EventKind kind, Time time, TaskId task = kNoTask,
+                 ProcId proc = kNoProc, double value = 0.0) {
+  if (bus != nullptr) bus->emit(kind, time, task, proc, value);
+}
+
+}  // namespace pfair::obs

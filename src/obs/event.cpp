@@ -1,0 +1,32 @@
+#include "obs/event.h"
+
+namespace pfair::obs {
+
+const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kSlotBegin: return "slot_begin";
+    case EventKind::kSlotEnd: return "slot_end";
+    case EventKind::kDispatch: return "dispatch";
+    case EventKind::kExecSlice: return "exec_slice";
+    case EventKind::kServedSlice: return "served_slice";
+    case EventKind::kPreemption: return "preemption";
+    case EventKind::kMigration: return "migration";
+    case EventKind::kContextSwitch: return "context_switch";
+    case EventKind::kComponentSwitch: return "component_switch";
+    case EventKind::kJobRelease: return "job_release";
+    case EventKind::kJobComplete: return "job_complete";
+    case EventKind::kServedJobComplete: return "served_job_complete";
+    case EventKind::kDeadlineMiss: return "deadline_miss";
+    case EventKind::kComponentMiss: return "component_miss";
+    case EventKind::kLagViolation: return "lag_violation";
+    case EventKind::kLagSample: return "lag_sample";
+    case EventKind::kTaskJoin: return "task_join";
+    case EventKind::kTaskLeave: return "task_leave";
+    case EventKind::kBudgetPostpone: return "budget_postpone";
+    case EventKind::kSchedInvoke: return "sched_invoke";
+    case EventKind::kOverheadNs: return "overhead_ns";
+  }
+  return "unknown";
+}
+
+}  // namespace pfair::obs

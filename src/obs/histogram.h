@@ -1,0 +1,119 @@
+// Fixed-bucket histograms for scheduling distributions.
+//
+// RunningStats (util/stats.h) gives mean and confidence intervals —
+// enough for the paper's figures, not enough to see tails.  Histogram
+// keeps fixed bucket edges chosen up front (linear or exponential), so
+// recording is a branchless-ish binary search, merging across trials is
+// element-wise, and the JSON export is a pair of arrays.  Used for
+// response times (slots), scheduler-invocation cost (ns), and per-slot
+// dispatch latency, exported through ExperimentHarness --json.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pfair::obs {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Buckets [edges[i], edges[i+1]) from an explicit, strictly
+  /// increasing edge list; edges.size() >= 2.
+  explicit Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+    assert(edges_.size() >= 2);
+    for (std::size_t i = 1; i < edges_.size(); ++i) assert(edges_[i - 1] < edges_[i]);
+    counts_.assign(edges_.size() - 1, 0);
+  }
+
+  /// `buckets` equal-width buckets covering [lo, hi).
+  [[nodiscard]] static Histogram linear(double lo, double hi, std::size_t buckets) {
+    assert(buckets >= 1 && lo < hi);
+    std::vector<double> edges(buckets + 1);
+    const double w = (hi - lo) / static_cast<double>(buckets);
+    for (std::size_t i = 0; i <= buckets; ++i) edges[i] = lo + w * static_cast<double>(i);
+    edges.back() = hi;  // exact upper bound despite rounding
+    return Histogram(std::move(edges));
+  }
+
+  /// `buckets` buckets with edges lo, lo*factor, lo*factor^2, ...
+  /// (factor > 1): the right shape for latencies spanning decades.
+  [[nodiscard]] static Histogram exponential(double lo, double factor, std::size_t buckets) {
+    assert(buckets >= 1 && lo > 0.0 && factor > 1.0);
+    std::vector<double> edges(buckets + 1);
+    double e = lo;
+    for (std::size_t i = 0; i <= buckets; ++i, e *= factor) edges[i] = e;
+    return Histogram(std::move(edges));
+  }
+
+  void add(double v) noexcept { add(v, 1); }
+
+  void add(double v, std::uint64_t n) noexcept {
+    total_ += n;
+    if (v < edges_.front()) {
+      underflow_ += n;
+      return;
+    }
+    if (v >= edges_.back()) {
+      overflow_ += n;
+      return;
+    }
+    // Upper-bound binary search: first edge > v, bucket is one left.
+    std::size_t lo = 0;
+    std::size_t hi = edges_.size() - 1;
+    while (lo + 1 < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (edges_[mid] <= v)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    counts_[lo] += n;
+  }
+
+  /// Element-wise merge; both histograms must share the same edges.
+  void merge(const Histogram& o) noexcept {
+    assert(edges_ == o.edges_);
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+    underflow_ += o.underflow_;
+    overflow_ += o.overflow_;
+    total_ += o.total_;
+  }
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] const std::vector<double>& edges() const noexcept { return edges_; }
+  [[nodiscard]] std::uint64_t count(std::size_t bucket) const noexcept {
+    return counts_[bucket];
+  }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Approximate q-quantile (0 <= q <= 1) assuming uniform density
+  /// inside each bucket; under/overflow mass sits at the outer edges.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (total_ == 0) return 0.0;
+    const double target = q * static_cast<double>(total_);
+    double seen = static_cast<double>(underflow_);
+    if (target <= seen) return edges_.front();
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      const double c = static_cast<double>(counts_[i]);
+      if (seen + c >= target && c > 0) {
+        const double frac = (target - seen) / c;
+        return edges_[i] + frac * (edges_[i + 1] - edges_[i]);
+      }
+      seen += c;
+    }
+    return edges_.back();
+  }
+
+ private:
+  std::vector<double> edges_{0.0, 1.0};
+  std::vector<std::uint64_t> counts_ = std::vector<std::uint64_t>(1, 0);
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pfair::obs

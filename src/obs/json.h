@@ -1,0 +1,82 @@
+// Minimal JSON reader/writer for the obs layer's own output.
+//
+// The repo bans external dependencies, and the obs tooling needs to
+// read back what its sinks write: JSONL event lines, Perfetto trace
+// JSON, and BENCH_*.json reports.  This is a small recursive-descent
+// parser over that closed world — full JSON syntax, values modelled as
+// a tagged variant — plus a canonical dump() for round-trip tests and
+// schema checks.  It is a *reader for trusted local files*, not a
+// hardened network-facing parser (recursion depth is capped, numbers
+// are doubles).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace pfair::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// std::map keeps members sorted: dump() is canonical by construction.
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() = default;
+  Value(std::nullptr_t) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(v_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(v_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    const auto it = as_object().find(key);
+    return it == as_object().end() ? nullptr : &it->second;
+  }
+
+  /// Member as number with a fallback (the JSONL reader's idiom).
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const {
+    const Value* m = find(key);
+    return m != nullptr && m->is_number() ? m->as_number() : fallback;
+  }
+
+  /// Member as string with a fallback.
+  [[nodiscard]] std::string string_or(const std::string& key, std::string fallback) const {
+    const Value* m = find(key);
+    return m != nullptr && m->is_string() ? m->as_string() : std::move(fallback);
+  }
+
+  [[nodiscard]] bool operator==(const Value& o) const { return v_ == o.v_; }
+
+  /// Canonical serialization (sorted object keys, %.17g numbers).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_ = nullptr;
+};
+
+/// Parses one JSON document; std::nullopt on any syntax error or
+/// trailing garbage.
+[[nodiscard]] std::optional<Value> parse(std::string_view text);
+
+}  // namespace pfair::obs::json

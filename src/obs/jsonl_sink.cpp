@@ -1,0 +1,36 @@
+#include "obs/jsonl_sink.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pfair::obs {
+
+void JsonlSink::on_event(const Event& e) {
+  // snprintf into a stack buffer: one ostream insert per event instead
+  // of a dozen operator<< calls.
+  char buf[160];
+  int n = std::snprintf(buf, sizeof buf, "{\"t\":%lld,\"kind\":\"%s\"",
+                        static_cast<long long>(e.time), to_string(e.kind));
+  if (e.task != kNoTask)
+    n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n), ",\"task\":%u",
+                       e.task);
+  if (e.proc != kNoProc)
+    n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n), ",\"proc\":%u",
+                       e.proc);
+  if (e.value != 0.0) {
+    // %.17g keeps doubles round-trippable; integral payloads print bare.
+    if (std::nearbyint(e.value) == e.value && std::fabs(e.value) < 1e15) {
+      n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
+                         ",\"value\":%lld", static_cast<long long>(e.value));
+    } else {
+      n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
+                         ",\"value\":%.17g", e.value);
+    }
+  }
+  n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n), "}\n");
+  os_->write(buf, n);
+}
+
+void JsonlSink::flush() { os_->flush(); }
+
+}  // namespace pfair::obs

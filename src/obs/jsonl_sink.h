@@ -1,0 +1,30 @@
+// JSONL sink: one JSON object per event, one event per line.
+//
+// The interchange format of the obs layer: newline-delimited JSON is
+// trivially appendable, greppable, and streamable, and is what the
+// `pfair_trace` CLI consumes.  Keys are fixed:
+//   {"t":12,"kind":"preemption","task":3,"proc":1,"value":-1}
+// `task` / `proc` are omitted for events without one; `value` is
+// omitted when zero (readers default all absent fields to their
+// sentinel).
+#pragma once
+
+#include <ostream>
+
+#include "obs/sink.h"
+
+namespace pfair::obs {
+
+class JsonlSink : public Sink {
+ public:
+  /// Writes to `os` (non-owning; the stream must outlive the sink).
+  explicit JsonlSink(std::ostream& os) : os_(&os) {}
+
+  void on_event(const Event& e) override;
+  void flush() override;
+
+ private:
+  std::ostream* os_;
+};
+
+}  // namespace pfair::obs

@@ -1,0 +1,60 @@
+// Lag-timeline sampler: per-task lag(t) recorded over a run.
+//
+// PD2's entire correctness story is "lag stays inside (-1, 1)"; this
+// sink turns the kLagSample events the Pfair simulator emits (when
+// SimConfig::lag_sample_every > 0) into per-task timelines, so the lag
+// trajectory behind a miss — or behind WRR's growing allocation error —
+// can be plotted instead of inferred.  Export is a flat CSV
+// (task,name?,t,lag) that gnuplot/pandas load directly; the Perfetto
+// sink renders the same events as counter tracks.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/sink.h"
+
+namespace pfair::obs {
+
+class LagSampler : public Sink {
+ public:
+  void on_event(const Event& e) override {
+    if (e.kind != EventKind::kLagSample) return;
+    if (e.task >= timelines_.size()) timelines_.resize(e.task + 1);
+    timelines_[e.task].emplace_back(e.time, e.value);
+  }
+
+  /// Timeline of one task: (time, lag) pairs in time order (empty for
+  /// never-sampled ids).
+  [[nodiscard]] const std::vector<std::pair<Time, double>>& timeline(TaskId id) const {
+    static const std::vector<std::pair<Time, double>> kEmpty;
+    return id < timelines_.size() ? timelines_[id] : kEmpty;
+  }
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return timelines_.size(); }
+
+  /// Largest |lag| seen for `id` (0 when never sampled).
+  [[nodiscard]] double max_abs_lag(TaskId id) const {
+    double best = 0.0;
+    for (const auto& [t, lag] : timeline(id)) {
+      const double a = lag < 0 ? -lag : lag;
+      if (a > best) best = a;
+    }
+    return best;
+  }
+
+  /// CSV rows "task,t,lag" with a header line.
+  void write_csv(std::ostream& os) const {
+    os << "task,t,lag\n";
+    for (TaskId id = 0; id < timelines_.size(); ++id)
+      for (const auto& [t, lag] : timelines_[id])
+        os << id << ',' << t << ',' << lag << '\n';
+  }
+
+ private:
+  std::vector<std::vector<std::pair<Time, double>>> timelines_;
+};
+
+}  // namespace pfair::obs

@@ -1,0 +1,32 @@
+// Sink interface: where scheduling events go.
+//
+// A sink consumes the typed event stream of obs::EventBus.  Sinks are
+// deliberately dumb receivers — filtering, aggregation, and formatting
+// live inside each concrete sink (counters, JSONL, Perfetto, lag
+// timeline, histograms), so simulators never know or care who is
+// listening.
+#pragma once
+
+#include "obs/event.h"
+
+namespace pfair::obs {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// Receives one event.  Called synchronously from the simulator's
+  /// hot loop — implementations should be cheap or buffer.
+  virtual void on_event(const Event& e) = 0;
+
+  /// Finalizes any buffered output (file footers, open spans).  Called
+  /// by EventBus::flush(); safe to call more than once.
+  virtual void flush() {}
+
+ protected:
+  Sink() = default;
+  Sink(const Sink&) = default;
+  Sink& operator=(const Sink&) = default;
+};
+
+}  // namespace pfair::obs

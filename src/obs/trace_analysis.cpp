@@ -1,0 +1,239 @@
+#include "obs/trace_analysis.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace pfair::obs {
+
+namespace {
+
+std::optional<EventKind> kind_from_string(const std::string& s) {
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    const EventKind kind = static_cast<EventKind>(k);
+    if (s == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::string fmt(const char* f, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof buf, f, ap);
+  va_end(ap);
+  return buf;
+}
+
+/// One-line rendering of an event for the miss-context listing.
+std::string describe_event(const Event& e) {
+  std::string out = fmt("  t=%-6lld %-20s", static_cast<long long>(e.time),
+                        to_string(e.kind));
+  if (e.task != kNoTask) out += fmt(" task=%u", e.task);
+  if (e.proc != kNoProc) out += fmt(" proc=%u", e.proc);
+  if (e.value != 0.0) out += fmt(" value=%g", e.value);
+  return out;
+}
+
+}  // namespace
+
+std::optional<Event> parse_event_line(const std::string& line) {
+  const std::optional<json::Value> v = json::parse(line);
+  if (!v || !v->is_object()) return std::nullopt;
+  const json::Value* kind = v->find("kind");
+  if (kind == nullptr || !kind->is_string()) return std::nullopt;
+  const std::optional<EventKind> k = kind_from_string(kind->as_string());
+  if (!k) return std::nullopt;
+  Event e;
+  e.kind = *k;
+  e.time = static_cast<Time>(v->number_or("t", 0));
+  e.task = static_cast<TaskId>(v->number_or("task", static_cast<double>(kNoTask)));
+  e.proc = static_cast<ProcId>(v->number_or("proc", static_cast<double>(kNoProc)));
+  e.value = v->number_or("value", 0.0);
+  return e;
+}
+
+LoadResult load_jsonl(std::istream& is) {
+  LoadResult out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (std::optional<Event> e = parse_event_line(line)) {
+      out.events.push_back(*e);
+    } else {
+      ++out.malformed_lines;
+    }
+  }
+  return out;
+}
+
+std::array<std::uint64_t, kEventKindCount> count_by_kind(const std::vector<Event>& events) {
+  std::array<std::uint64_t, kEventKindCount> counts{};
+  for (const Event& e : events) ++counts[static_cast<std::size_t>(e.kind)];
+  return counts;
+}
+
+std::vector<PreemptionStat> top_preemptors(const std::vector<Event>& events,
+                                           std::size_t top) {
+  std::vector<PreemptionStat> stats;
+  const auto stat_for = [&stats](TaskId id) -> PreemptionStat& {
+    for (PreemptionStat& s : stats)
+      if (s.task == id) return s;
+    stats.push_back(PreemptionStat{id, 0, 0});
+    return stats.back();
+  };
+  for (const Event& e : events) {
+    if (e.kind != EventKind::kPreemption) continue;
+    if (e.task != kNoTask) ++stat_for(e.task).victim;
+    if (e.value >= 0.0) ++stat_for(static_cast<TaskId>(e.value)).caused;
+  }
+  std::sort(stats.begin(), stats.end(), [](const PreemptionStat& a, const PreemptionStat& b) {
+    if (a.caused != b.caused) return a.caused > b.caused;
+    if (a.victim != b.victim) return a.victim > b.victim;
+    return a.task < b.task;
+  });
+  if (stats.size() > top) stats.resize(top);
+  return stats;
+}
+
+std::vector<std::vector<std::uint64_t>> migration_matrix(const std::vector<Event>& events) {
+  std::size_t procs = 0;
+  for (const Event& e : events) {
+    if (e.kind != EventKind::kMigration || e.proc == kNoProc || e.value < 0.0) continue;
+    procs = std::max({procs, static_cast<std::size_t>(e.proc) + 1,
+                      static_cast<std::size_t>(e.value) + 1});
+  }
+  std::vector<std::vector<std::uint64_t>> m(procs, std::vector<std::uint64_t>(procs, 0));
+  for (const Event& e : events) {
+    if (e.kind != EventKind::kMigration || e.proc == kNoProc || e.value < 0.0) continue;
+    ++m[static_cast<std::size_t>(e.value)][e.proc];
+  }
+  return m;
+}
+
+std::optional<MissContext> first_miss_context(const std::vector<Event>& events,
+                                              Time window) {
+  const Event* first = nullptr;
+  for (const Event& e : events) {
+    if (e.kind != EventKind::kDeadlineMiss && e.kind != EventKind::kComponentMiss) continue;
+    if (first == nullptr || e.time < first->time) first = &e;
+  }
+  if (first == nullptr) return std::nullopt;
+  MissContext out;
+  out.miss = *first;
+  for (const Event& e : events) {
+    if (e.time >= first->time - window && e.time <= first->time + window)
+      out.window.push_back(e);
+  }
+  return out;
+}
+
+std::string format_summary(const std::vector<Event>& events) {
+  const auto counts = count_by_kind(events);
+  std::ostringstream os;
+  os << "event totals (" << events.size() << " events)\n";
+  Time lo = 0;
+  Time hi = 0;
+  if (!events.empty()) {
+    lo = hi = events.front().time;
+    for (const Event& e : events) {
+      lo = std::min(lo, e.time);
+      hi = std::max(hi, e.time);
+    }
+  }
+  os << "  time range: [" << lo << ", " << hi << "]\n";
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    if (counts[k] == 0) continue;
+    os << fmt("  %-20s %llu\n", to_string(static_cast<EventKind>(k)),
+              static_cast<unsigned long long>(counts[k]));
+  }
+  return os.str();
+}
+
+std::string format_preemptors(const std::vector<Event>& events, std::size_t top) {
+  const std::vector<PreemptionStat> stats = top_preemptors(events, top);
+  std::ostringstream os;
+  os << "top preemptors (caused = preemptions attributed to the task;\n"
+        "                victim = times the task itself was preempted)\n";
+  if (stats.empty()) {
+    os << "  no preemption events in trace\n";
+    return os.str();
+  }
+  os << fmt("  %-8s %10s %10s\n", "task", "caused", "victim");
+  for (const PreemptionStat& s : stats)
+    os << fmt("  T%-7u %10llu %10llu\n", s.task,
+              static_cast<unsigned long long>(s.caused),
+              static_cast<unsigned long long>(s.victim));
+  return os.str();
+}
+
+std::string format_migration_matrix(const std::vector<Event>& events) {
+  const auto m = migration_matrix(events);
+  std::ostringstream os;
+  os << "migration matrix (rows = from processor, cols = to)\n";
+  if (m.empty()) {
+    os << "  no migration events in trace\n";
+    return os.str();
+  }
+  os << "        ";
+  for (std::size_t c = 0; c < m.size(); ++c) os << fmt("%8zu", c);
+  os << '\n';
+  for (std::size_t r = 0; r < m.size(); ++r) {
+    os << fmt("  %4zu  ", r);
+    for (std::size_t c = 0; c < m.size(); ++c)
+      os << fmt("%8llu", static_cast<unsigned long long>(m[r][c]));
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string format_first_miss(const std::vector<Event>& events, Time window) {
+  const std::optional<MissContext> ctx = first_miss_context(events, window);
+  std::ostringstream os;
+  if (!ctx) {
+    os << "no deadline miss in trace\n";
+    return os.str();
+  }
+  os << "first miss: " << to_string(ctx->miss.kind) << " of task " << ctx->miss.task
+     << " at t=" << ctx->miss.time << "\n";
+  os << "context window [t-" << window << ", t+" << window << "], " << ctx->window.size()
+     << " events:\n";
+  for (const Event& e : ctx->window) os << describe_event(e) << '\n';
+  return os.str();
+}
+
+std::string validate_perfetto_json(const std::string& text) {
+  const std::optional<json::Value> doc = json::parse(text);
+  if (!doc) return "not valid JSON";
+  if (!doc->is_object()) return "top level is not an object";
+  const json::Value* events = doc->find("traceEvents");
+  if (events == nullptr) return "missing traceEvents";
+  if (!events->is_array()) return "traceEvents is not an array";
+  std::size_t i = 0;
+  for (const json::Value& e : events->as_array()) {
+    const std::string at = "traceEvents[" + std::to_string(i++) + "]";
+    if (!e.is_object()) return at + " is not an object";
+    const json::Value* name = e.find("name");
+    if (name == nullptr || !name->is_string()) return at + " missing string name";
+    const json::Value* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->as_string().size() != 1)
+      return at + " missing one-char ph";
+    const json::Value* pid = e.find("pid");
+    if (pid == nullptr || !pid->is_number()) return at + " missing numeric pid";
+    if (ph->as_string() != "M") {  // metadata events carry no timestamp
+      const json::Value* ts = e.find("ts");
+      if (ts == nullptr || !ts->is_number()) return at + " missing numeric ts";
+    }
+    if (ph->as_string() == "X") {
+      const json::Value* dur = e.find("dur");
+      if (dur == nullptr || !dur->is_number() || dur->as_number() < 0)
+        return at + " X event missing non-negative dur";
+    }
+  }
+  return {};
+}
+
+}  // namespace pfair::obs

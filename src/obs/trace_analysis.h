@@ -1,0 +1,79 @@
+// Trace analysis: the queries behind the `pfair_trace` CLI.
+//
+// Loads a JSONL event trace (JsonlSink output) back into obs::Event
+// records and answers the questions a scheduling investigation starts
+// with: what happened overall, which tasks get preempted (and by
+// whom), how work moves between processors, and what the system was
+// doing around the first deadline miss.  Kept in the library (not the
+// CLI) so tests can pin the analyses against generated traces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace pfair::obs {
+
+/// Parses one JSONL line; std::nullopt on malformed input or an
+/// unknown kind.
+[[nodiscard]] std::optional<Event> parse_event_line(const std::string& line);
+
+/// Loads every well-formed line of a JSONL stream (malformed lines are
+/// counted, not fatal).
+struct LoadResult {
+  std::vector<Event> events;
+  std::size_t malformed_lines = 0;
+};
+[[nodiscard]] LoadResult load_jsonl(std::istream& is);
+
+/// Per-kind event totals.
+[[nodiscard]] std::array<std::uint64_t, kEventKindCount> count_by_kind(
+    const std::vector<Event>& events);
+
+/// Preemption league table.  `victim` counts how often the task was
+/// preempted; `caused` how often it preempted someone else (only
+/// attributable preemptions — event value >= 0 — contribute).
+struct PreemptionStat {
+  TaskId task = kNoTask;
+  std::uint64_t victim = 0;
+  std::uint64_t caused = 0;
+};
+/// Sorted by `caused` desc, then `victim` desc; at most `top` rows.
+[[nodiscard]] std::vector<PreemptionStat> top_preemptors(const std::vector<Event>& events,
+                                                         std::size_t top);
+
+/// migration_matrix()[from][to] = migrations observed from processor
+/// `from` to processor `to`.  Square, sized to the largest processor id
+/// seen (empty when the trace has no migrations).
+[[nodiscard]] std::vector<std::vector<std::uint64_t>> migration_matrix(
+    const std::vector<Event>& events);
+
+/// Events within `window` slots of the first (component) deadline
+/// miss, in input order; nullopt when the trace has no miss.
+struct MissContext {
+  Event miss;                 ///< the first miss event
+  std::vector<Event> window;  ///< all events with |t - miss.time| <= window
+};
+[[nodiscard]] std::optional<MissContext> first_miss_context(
+    const std::vector<Event>& events, Time window);
+
+/// Human-readable rendering of each analysis (what the CLI prints).
+[[nodiscard]] std::string format_summary(const std::vector<Event>& events);
+[[nodiscard]] std::string format_preemptors(const std::vector<Event>& events,
+                                            std::size_t top);
+[[nodiscard]] std::string format_migration_matrix(const std::vector<Event>& events);
+[[nodiscard]] std::string format_first_miss(const std::vector<Event>& events, Time window);
+
+/// Minimal schema check for Chrome-trace/Perfetto JSON produced by
+/// PerfettoSink: top-level object, "traceEvents" array, every entry an
+/// object with string "name"/"ph" and numeric "ts" (metadata events
+/// excepted) and "pid".  Returns an empty string on success, else the
+/// first problem found.
+[[nodiscard]] std::string validate_perfetto_json(const std::string& text);
+
+}  // namespace pfair::obs

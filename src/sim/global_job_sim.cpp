@@ -39,12 +39,17 @@ void GlobalJobSimulator::release_jobs(Time t) {
   for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
     while (next_release_[i] <= t) {
       // Implicit deadline = next release: a live predecessor missed.
-      if (live_jobs_[i] > 0) metrics_.record_miss(next_release_[i]);
+      if (live_jobs_[i] > 0) {
+        metrics_.record_miss(next_release_[i]);
+        obs::emit(bus_, obs::EventKind::kDeadlineMiss, next_release_[i], i);
+      }
       ready_.push_back(Job{i, next_release_[i] + tasks_[i].period, tasks_[i].execution,
                            kNoProc, false});
-      next_release_[i] += tasks_[i].period;
       ++metrics_.jobs_released;
       ++live_jobs_[i];
+      obs::emit(bus_, obs::EventKind::kJobRelease, next_release_[i], i, kNoProc,
+                static_cast<double>(next_release_[i] + tasks_[i].period));
+      next_release_[i] += tasks_[i].period;
     }
   }
 }
@@ -70,7 +75,11 @@ void GlobalJobSimulator::run_until(Time until) {
 
     // Preemption accounting: was running, still incomplete, now not.
     for (std::size_t k = running; k < order.size(); ++k) {
-      if (order[k]->running_prev) ++metrics_.preemptions;
+      if (order[k]->running_prev) {
+        ++metrics_.preemptions;
+        obs::emit(bus_, obs::EventKind::kPreemption, now_, order[k]->task,
+                  order[k]->last_proc, -1.0);
+      }
       order[k]->running_prev = false;
     }
     // Processor assignment with affinity among the selected jobs.
@@ -88,7 +97,11 @@ void GlobalJobSimulator::run_until(Time until) {
       ProcId p = 0;
       while (proc_taken[p]) ++p;
       proc_taken[p] = true;
-      if (j->last_proc != kNoProc && j->last_proc != p) ++metrics_.migrations;
+      if (j->last_proc != kNoProc && j->last_proc != p) {
+        ++metrics_.migrations;
+        obs::emit(bus_, obs::EventKind::kMigration, now_, j->task, p,
+                  static_cast<double>(j->last_proc));
+      }
       j->last_proc = p;
     }
 
@@ -100,6 +113,8 @@ void GlobalJobSimulator::run_until(Time until) {
     const Time delta = advance_to - now_;
 
     for (std::size_t k = 0; k < running; ++k) {
+      obs::emit(bus_, obs::EventKind::kExecSlice, now_, order[k]->task,
+                order[k]->last_proc, static_cast<double>(delta));
       order[k]->remaining -= delta;
       order[k]->running_prev = true;
     }
@@ -109,6 +124,9 @@ void GlobalJobSimulator::run_until(Time until) {
     for (std::size_t i = ready_.size(); i-- > 0;) {
       if (ready_[i].remaining == 0) {
         ++metrics_.jobs_completed;
+        // value = -1: response times are not tracked by this simulator.
+        obs::emit(bus_, obs::EventKind::kJobComplete, now_, ready_[i].task,
+                  ready_[i].last_proc, -1.0);
         --live_jobs_[ready_[i].task];
         ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
       }

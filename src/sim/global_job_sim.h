@@ -21,6 +21,7 @@
 
 #include "engine/metrics.h"
 #include "engine/simulator.h"
+#include "obs/bus.h"
 #include "uniproc/uni_sim.h"  // UniAlgorithm, UniTask
 #include "util/types.h"
 
@@ -44,6 +45,8 @@ class GlobalJobSimulator : public engine::Simulator {
   }
   [[nodiscard]] Time now() const noexcept override { return now_; }
 
+  void attach_observer(obs::EventBus* bus) override { bus_ = bus; }
+
  private:
   struct Job {
     std::uint32_t task = 0;
@@ -65,6 +68,7 @@ class GlobalJobSimulator : public engine::Simulator {
   std::vector<Job> ready_;  ///< all incomplete jobs (small sets: scans)
   Time now_ = 0;
   engine::Metrics metrics_;
+  obs::EventBus* bus_ = nullptr;  ///< borrowed; nullptr = observation off
 };
 
 }  // namespace pfair

@@ -34,6 +34,7 @@ TaskId PfairSimulator::add_task(const Task& t, std::vector<Time> arrivals) {
   rt.arrivals = std::move(arrivals);
   tasks_.push_back(std::move(rt));
   enqueue_next_subtask(id, now_);
+  obs::emit(bus_, obs::EventKind::kTaskJoin, now_, id, kNoProc, t.weight().to_double());
   return id;
 }
 
@@ -52,6 +53,7 @@ TaskId PfairSimulator::add_supertask(const SupertaskSpec& spec, ProcId bound_pro
     tasks_[id].bound_proc = bound_proc;
   }
   SupertaskRuntime srt;
+  srt.owner = id;
   for (const Task& c : spec.components) {
     ComponentRuntime cr;
     cr.e = c.execution;
@@ -98,6 +100,7 @@ void PfairSimulator::force_leave(TaskId id) {
   if (!rt.active) return;
   remove_from_queues(rt);
   rt.active = false;
+  obs::emit(bus_, obs::EventKind::kTaskLeave, now_, id);
   // Cancel any in-flight departure/reweight so the task cannot be
   // resurrected when its switch-over time arrives.
   rt.leave_at = -1;
@@ -117,6 +120,7 @@ Time PfairSimulator::request_leave(TaskId id) {
   if (freed <= now_) {
     rt.active = false;
     rt.leave_at = -1;
+    obs::emit(bus_, obs::EventKind::kTaskLeave, now_, id);
     return now_;
   }
   pending_departures_.push_back(id);
@@ -160,7 +164,9 @@ void PfairSimulator::process_pending_departures(Time t) {
       continue;
     }
     if (rt.pending_e > 0) {
-      // Reweight: restart with the new weight at the switch-over time.
+      // Reweight: restart with the new weight at the switch-over time
+      // (observed as a leave immediately followed by a re-join).
+      obs::emit(bus_, obs::EventKind::kTaskLeave, t, pending_departures_[k]);
       rt.spec.execution = rt.pending_e;
       rt.spec.period = rt.pending_p;
       rt.next_index = 1;
@@ -172,9 +178,12 @@ void PfairSimulator::process_pending_departures(Time t) {
       rt.pending_e = 0;
       rt.pending_p = 0;
       enqueue_next_subtask(pending_departures_[k], t);
+      obs::emit(bus_, obs::EventKind::kTaskJoin, t, pending_departures_[k], kNoProc,
+                rt.spec.weight().to_double());
     } else {
       rt.active = false;
       rt.leave_at = -1;
+      obs::emit(bus_, obs::EventKind::kTaskLeave, t, pending_departures_[k]);
     }
     pending_departures_[k] = pending_departures_.back();
     pending_departures_.pop_back();
@@ -188,6 +197,7 @@ bool PfairSimulator::reweight(TaskId id, std::int64_t new_e, std::int64_t new_p)
   const Rational new_w(new_e, new_p);
   if (!may_join(active_weight() - rt.spec.weight(), new_w, live_processors_)) return false;
   remove_from_queues(rt);
+  obs::emit(bus_, obs::EventKind::kTaskLeave, now_, id);
   rt.spec.execution = new_e;
   rt.spec.period = new_p;
   rt.next_index = 1;
@@ -196,6 +206,7 @@ bool PfairSimulator::reweight(TaskId id, std::int64_t new_e, std::int64_t new_p)
   rt.allocated = 0;
   rt.miss_counted = false;
   enqueue_next_subtask(id, now_);
+  obs::emit(bus_, obs::EventKind::kTaskJoin, now_, id, kNoProc, rt.spec.weight().to_double());
   return true;
 }
 
@@ -314,6 +325,7 @@ void PfairSimulator::detect_misses(Time t) {
     if (!rt.miss_counted) {
       rt.miss_counted = true;
       metrics_.record_miss(t);
+      obs::emit(bus_, obs::EventKind::kDeadlineMiss, t, ref.task);
     }
     if (config_.miss_policy == MissPolicy::kDrop) {
       ++rt.next_index;
@@ -344,12 +356,14 @@ void PfairSimulator::dispatch_supertask_quantum(TaskRuntime& rt, Time t) {
       }
     }
   }
-  (void)t;
   if (best == nullptr) return;  // no pending component work; quantum wasted
   const auto chosen =
       static_cast<std::int32_t>(best - srt.components.data());
-  if (srt.last_component >= 0 && srt.last_component != chosen)
+  if (srt.last_component >= 0 && srt.last_component != chosen) {
     ++metrics_.component_switches;
+    obs::emit(bus_, obs::EventKind::kComponentSwitch, t, srt.owner, kNoProc,
+              static_cast<double>(chosen));
+  }
   srt.last_component = chosen;
   for (auto& job : best->jobs) {
     if (job.second > 0) {
@@ -365,11 +379,13 @@ void PfairSimulator::dispatch_supertask_quantum(TaskRuntime& rt, Time t) {
 }
 
 void PfairSimulator::check_lags(Time t_next) {
-  for (const TaskRuntime& rt : tasks_) {
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    const TaskRuntime& rt = tasks_[id];
     if (!rt.active || rt.is_supertask) continue;
     if (rt.offset != 0 || rt.spec.kind != TaskKind::kPeriodic) continue;
     if (!lag_within_pfair_bounds(rt.spec.execution, rt.spec.period, t_next, rt.allocated)) {
       ++metrics_.lag_violations;
+      obs::emit(bus_, obs::EventKind::kLagViolation, t_next, id);
     }
   }
 }
@@ -386,11 +402,15 @@ void PfairSimulator::simulate_slot() {
   // 1b. Orderly departures / reweights whose capacity frees now.
   if (!pending_departures_.empty()) process_pending_departures(t);
 
+  obs::emit(bus_, obs::EventKind::kSlotBegin, t, kNoTask, kNoProc,
+            static_cast<double>(std::max(live_processors_, 0)));
+
   // 2. Releases, 2b. supertask component job releases + miss detection.
   // Release processing is part of scheduling overhead in the paper's
   // accounting ("moving a newly-arrived or preempted task to the ready
   // queue"), so it is included in the measured time.
-  timer_.measure(metrics_, [&] { release_eligible(t); });
+  const double release_ns = timer_.measure(metrics_, [&] { release_eligible(t); });
+  obs::emit(bus_, obs::EventKind::kOverheadNs, t, kNoTask, kNoProc, release_ns);
   for (SupertaskRuntime& srt : supertasks_) {
     for (ComponentRuntime& c : srt.components) {
       while (c.next_release <= t) {
@@ -407,6 +427,8 @@ void PfairSimulator::simulate_slot() {
               c.miss_counted_for_head = true;
               ++c.misses;
               metrics_.record_component_miss(t);
+              obs::emit(bus_, obs::EventKind::kComponentMiss, t, srt.owner, kNoProc,
+                        static_cast<double>(&c - srt.components.data()));
             }
           }
           break;
@@ -437,8 +459,9 @@ void PfairSimulator::simulate_slot() {
     enqueue_next_subtask(ref.task, t + 1);
   }
 
-  timer_.stop(metrics_);
+  const double sched_ns = timer_.stop(metrics_);
   ++metrics_.scheduler_invocations;
+  obs::emit(bus_, obs::EventKind::kSchedInvoke, t, kNoTask, kNoProc, sched_ns);
 
   // 5. Processor assignment with affinity.
   const std::size_t m = static_cast<std::size_t>(std::max(live_processors_, 0));
@@ -492,8 +515,28 @@ void PfairSimulator::simulate_slot() {
     const TaskId id = cur[proc];
     if (id == kNoTask) continue;
     TaskRuntime& rt = tasks_[id];
-    if (proc < prev_slot_tasks_.size() && prev_slot_tasks_[proc] != id) ++metrics_.context_switches;
-    if (rt.last_proc != kNoProc && rt.last_proc != static_cast<ProcId>(proc)) ++metrics_.migrations;
+    const ProcId old_proc = rt.last_proc;
+    if (bus_ != nullptr) {
+      // Dispatch latency: slots between the subtask's pseudo-release and
+      // this quantum (picked_ holds the slot's scheduled refs).
+      double latency = -1.0;
+      for (const SubtaskRef& ref : picked_) {
+        if (ref.task == id) {
+          latency = static_cast<double>(t - ref.release);
+          break;
+        }
+      }
+      bus_->emit(obs::EventKind::kDispatch, t, id, static_cast<ProcId>(proc), latency);
+    }
+    if (proc < prev_slot_tasks_.size() && prev_slot_tasks_[proc] != id) {
+      ++metrics_.context_switches;
+      obs::emit(bus_, obs::EventKind::kContextSwitch, t, id, static_cast<ProcId>(proc));
+    }
+    if (old_proc != kNoProc && old_proc != static_cast<ProcId>(proc)) {
+      ++metrics_.migrations;
+      obs::emit(bus_, obs::EventKind::kMigration, t, id, static_cast<ProcId>(proc),
+                static_cast<double>(old_proc));
+    }
     rt.last_proc = static_cast<ProcId>(proc);
     if (config_.record_trace) trace_.record(static_cast<ProcId>(proc), id);
     if (rt.is_supertask) dispatch_supertask_quantum(rt, t);
@@ -506,6 +549,8 @@ void PfairSimulator::simulate_slot() {
       const std::int64_t job = rt.last_sched_index / rt.spec.execution;  // 1-based
       const Time release = rt.offset + (job - 1) * rt.spec.period;
       metrics_.response_time.add(static_cast<double>(t + 1 - release));
+      obs::emit(bus_, obs::EventKind::kJobComplete, t, id, static_cast<ProcId>(proc),
+                static_cast<double>(t + 1 - release));
       if (rt.cur_job_preemptions > rt.max_job_preemptions)
         rt.max_job_preemptions = rt.cur_job_preemptions;
       rt.cur_job_preemptions = 0;
@@ -523,6 +568,13 @@ void PfairSimulator::simulate_slot() {
     if (!runs_now && job_incomplete) {
       ++metrics_.preemptions;
       ++rt.cur_job_preemptions;
+      if (bus_ != nullptr) {
+        // Attribute the preemption to whoever took the victim's processor.
+        double preemptor = -1.0;
+        if (rt.last_proc != kNoProc && rt.last_proc < m && cur[rt.last_proc] != kNoTask)
+          preemptor = static_cast<double>(cur[rt.last_proc]);
+        bus_->emit(obs::EventKind::kPreemption, t, id, rt.last_proc, preemptor);
+      }
     }
   }
   for (std::size_t proc = 0; proc < m; ++proc) {
@@ -533,8 +585,23 @@ void PfairSimulator::simulate_slot() {
   metrics_.idle_quanta += m - picked_.size();
   ++metrics_.slots;
   prev_slot_tasks_ = std::move(cur);
+  obs::emit(bus_, obs::EventKind::kSlotEnd, t, kNoTask, kNoProc,
+            static_cast<double>(picked_.size()));
 
   if (config_.check_lags) check_lags(t + 1);
+
+  if (bus_ != nullptr && config_.lag_sample_every > 0 &&
+      (t + 1) % config_.lag_sample_every == 0) {
+    // Per-task lag timeline at the slot boundary t+1 (after this slot's
+    // allocations took effect).
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+      const TaskRuntime& rt = tasks_[id];
+      if (!rt.active) continue;
+      const Rational l = lag(rt.spec.execution, rt.spec.period, t + 1 - rt.offset,
+                             rt.allocated);
+      bus_->emit(obs::EventKind::kLagSample, t + 1, id, kNoProc, l.to_double());
+    }
+  }
 }
 
 void PfairSimulator::run_until(Time until) {

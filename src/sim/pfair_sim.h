@@ -31,6 +31,7 @@
 #include "engine/metrics.h"
 #include "engine/overhead_timer.h"
 #include "engine/simulator.h"
+#include "obs/bus.h"
 #include "sim/trace.h"
 #include "util/binary_heap.h"
 #include "util/rational.h"
@@ -53,6 +54,8 @@ struct SimConfig {
                                 ///< (false = naive assignment; ablation)
   bool check_lags = false;      ///< verify Pfair lag bounds every slot (slow; synchronous periodic systems only)
   bool measure_overhead = false;  ///< steady_clock-time each scheduler invocation
+  Time lag_sample_every = 0;    ///< emit an obs kLagSample per task every N
+                                ///< slots (0 = off; needs an attached observer)
 };
 
 /// Scheduled change of the number of live processors (fault injection /
@@ -133,6 +136,10 @@ class PfairSimulator : public engine::Simulator {
   [[nodiscard]] const engine::Metrics& metrics() const noexcept override {
     return metrics_;
   }
+
+  /// Structured-event observation (obs layer); nullptr detaches.  With
+  /// no bus attached every emission site is a single pointer test.
+  void attach_observer(obs::EventBus* bus) override { bus_ = bus; }
   [[nodiscard]] const ScheduleTrace& trace() const noexcept { return trace_; }
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
 
@@ -169,6 +176,7 @@ class PfairSimulator : public engine::Simulator {
   };
 
   struct SupertaskRuntime {
+    TaskId owner = kNoTask;            ///< the server task this belongs to
     std::vector<ComponentRuntime> components;
     std::int32_t last_component = -1;  ///< for component-switch accounting
   };
@@ -235,6 +243,7 @@ class PfairSimulator : public engine::Simulator {
   std::vector<TaskId> pending_departures_;   ///< tasks with leave_at set
   engine::Metrics metrics_;
   engine::OverheadTimer timer_;
+  obs::EventBus* bus_ = nullptr;  ///< borrowed; nullptr = observation off
   ScheduleTrace trace_;
   // Scratch buffers reused every slot (avoid per-slot allocation).
   std::vector<SubtaskRef> picked_;

@@ -2,6 +2,7 @@
 // renderer used to reproduce the paper's schedule figures (Figs. 1, 5).
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -23,7 +24,22 @@ class ScheduleTrace {
     slots_.back().proc_to_task.assign(processors, kNoTask);
   }
   void record(ProcId proc, TaskId task) {
-    slots_.back().proc_to_task[proc] = task;
+    const std::size_t t = slots_.size() - 1;
+    TaskId& cell = slots_.back().proc_to_task[proc];
+    const TaskId prev = cell;
+    if (prev == task) return;
+    cell = task;
+    if (prev != kNoTask && !scheduled(t, prev)) {
+      // Overwrite: drop the stale index entry unless another processor
+      // in this slot still runs `prev`.
+      auto& v = index_[prev];
+      if (!v.empty() && v.back() == t) v.pop_back();
+    }
+    if (task != kNoTask) {
+      if (task >= index_.size()) index_.resize(task + 1);
+      auto& v = index_[task];
+      if (v.empty() || v.back() != t) v.push_back(t);
+    }
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
@@ -36,12 +52,15 @@ class ScheduleTrace {
     return false;
   }
 
-  /// Quanta allocated to `task` in [0, t_end).
+  /// Quanta allocated to `task` in [0, t_end).  O(log slots) via the
+  /// per-task index of scheduled slots (kept sorted because slots are
+  /// recorded in time order) — the verifier calls this once per subtask
+  /// boundary, which made the old O(t_end * P) scan the dominant cost of
+  /// long verification runs.
   [[nodiscard]] std::int64_t allocation(TaskId task, std::size_t t_end) const noexcept {
-    std::int64_t n = 0;
-    for (std::size_t t = 0; t < t_end && t < slots_.size(); ++t)
-      if (scheduled(t, task)) ++n;
-    return n;
+    if (task >= index_.size()) return 0;
+    const std::vector<std::size_t>& v = index_[task];
+    return std::lower_bound(v.begin(), v.end(), t_end) - v.begin();
   }
 
   /// Renders one row per task ("X" = scheduled, "." = not), in the style
@@ -50,6 +69,8 @@ class ScheduleTrace {
 
  private:
   std::vector<TraceSlot> slots_;
+  /// index_[task] = sorted slot numbers in which `task` was scheduled.
+  std::vector<std::vector<std::size_t>> index_;
 };
 
 }  // namespace pfair

@@ -9,6 +9,30 @@ namespace pfair {
 
 namespace {
 
+/// ±3 slots of the raw trace around the failing slot, one row per task,
+/// with a caret under the slot in question — enough context to see *why*
+/// the property failed without re-running the simulation.
+std::string render_excerpt(const ScheduleTrace& trace, std::size_t n_tasks,
+                           std::size_t t) {
+  constexpr std::size_t kContext = 3;
+  const std::size_t lo = t >= kContext ? t - kContext : 0;
+  const std::size_t hi = std::min(trace.size(), t + kContext + 1);
+  std::size_t width = 1;
+  for (std::size_t v = n_tasks > 0 ? n_tasks - 1 : 0; v >= 10; v /= 10) ++width;
+  std::ostringstream os;
+  os << "\n  trace slots [" << lo << ", " << hi << "):\n";
+  for (TaskId id = 0; id < n_tasks; ++id) {
+    std::string label("T");
+    label += std::to_string(id);
+    os << "    " << label << std::string(width + 1 - label.size() + 1, ' ') << "|";
+    for (std::size_t s = lo; s < hi; ++s) os << (trace.scheduled(s, id) ? 'X' : '.');
+    os << "|\n";
+  }
+  os << "    " << std::string(width + 3, ' ') << std::string(t - lo, ' ')
+     << "^ slot " << t;
+  return os.str();
+}
+
 std::string describe(const char* what, std::size_t t, TaskId task) {
   std::ostringstream os;
   os << what << " (slot " << t << ", task " << task << ")";
@@ -36,7 +60,9 @@ VerifyResult verify_schedule(const ScheduleTrace& trace, const TaskSet& tasks,
         res.fail(describe("unknown task id in trace", t, id));
         continue;
       }
-      if (++seen[id] > 1) res.fail(describe("task on two processors in one slot", t, id));
+      if (++seen[id] > 1)
+        res.fail(describe("task on two processors in one slot", t, id) +
+                 render_excerpt(trace, n, t));
     }
 
     // Window property: the k-th quantum of T must lie in w(T_k).
@@ -47,10 +73,17 @@ VerifyResult verify_schedule(const ScheduleTrace& trace, const TaskSet& tasks,
       if (options.check_windows) {
         const Time r = subtask_release(task.execution, task.period, k);
         const Time d = subtask_deadline(task.execution, task.period, k);
+        const auto window = [&] {
+          std::ostringstream os;
+          os << ", subtask " << k << ", window [" << r << ", " << d << ")";
+          return os.str();
+        };
         if (static_cast<Time>(t) < r)
-          res.fail(describe("subtask scheduled before its pseudo-release", t, id));
+          res.fail(describe("subtask scheduled before its pseudo-release", t, id) +
+                   window() + render_excerpt(trace, n, t));
         if (static_cast<Time>(t) >= d)
-          res.fail(describe("subtask scheduled at/after its pseudo-deadline", t, id));
+          res.fail(describe("subtask scheduled at/after its pseudo-deadline", t, id) +
+                   window() + render_excerpt(trace, n, t));
       }
       ++allocated[id];
     }
@@ -60,12 +93,24 @@ VerifyResult verify_schedule(const ScheduleTrace& trace, const TaskSet& tasks,
       const Task& task = tasks[id];
       if (options.check_lags) {
         if (!lag_within_pfair_bounds(task.execution, task.period, static_cast<Time>(t) + 1,
-                                     allocated[id]))
-          res.fail(describe("lag out of (-1, 1)", t, id));
+                                     allocated[id])) {
+          std::ostringstream os;
+          os << ", lag(" << t + 1 << ") = "
+             << lag(task.execution, task.period, static_cast<Time>(t) + 1, allocated[id])
+                    .to_double();
+          res.fail(describe("lag out of (-1, 1)", t, id) + os.str() +
+                   render_excerpt(trace, n, t));
+        }
       } else if (options.check_upper_lag_only) {
         if (!lag_within_erfair_bounds(task.execution, task.period, static_cast<Time>(t) + 1,
-                                      allocated[id]))
-          res.fail(describe("lag reached +1 (deadline miss)", t, id));
+                                      allocated[id])) {
+          std::ostringstream os;
+          os << ", lag(" << t + 1 << ") = "
+             << lag(task.execution, task.period, static_cast<Time>(t) + 1, allocated[id])
+                    .to_double();
+          res.fail(describe("lag reached +1 (deadline miss)", t, id) + os.str() +
+                   render_excerpt(trace, n, t));
+        }
       }
     }
   }

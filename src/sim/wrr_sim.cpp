@@ -57,6 +57,8 @@ void WrrSimulator::run_until(Time until) {
   const std::size_t n = tasks_.size();
   while (now_ < until) {
     if (now_ % config_.frame == 0) start_frame();
+    obs::emit(bus_, obs::EventKind::kSlotBegin, now_, kNoTask, kNoProc,
+              static_cast<double>(config_.processors));
     if (config_.record_trace)
       trace_.begin_slot(static_cast<std::size_t>(config_.processors));
     // True WRR semantics: the task at the cursor is drained to zero
@@ -85,9 +87,17 @@ void WrrSimulator::run_until(Time until) {
         // Sec.-4 accounting: switch-in on a processor change of task,
         // migration on a task change of processor (plain WRR has no
         // affinity assignment, so both occur freely).
-        if (prev_proc_task_[proc] != id) ++metrics_.context_switches;
-        if (last_proc_[id] != kNoProc && last_proc_[id] != proc)
+        obs::emit(bus_, obs::EventKind::kDispatch, now_, id, proc,
+                  -1.0);  // WRR has no per-quantum release to measure from
+        if (prev_proc_task_[proc] != id) {
+          ++metrics_.context_switches;
+          obs::emit(bus_, obs::EventKind::kContextSwitch, now_, id, proc);
+        }
+        if (last_proc_[id] != kNoProc && last_proc_[id] != proc) {
           ++metrics_.migrations;
+          obs::emit(bus_, obs::EventKind::kMigration, now_, id, proc,
+                    static_cast<double>(last_proc_[id]));
+        }
         last_proc_[id] = proc;
         ++served;
       }
@@ -97,21 +107,32 @@ void WrrSimulator::run_until(Time until) {
     // A task served in the previous slot with budget left that was not
     // served now was preempted by the rotation.
     for (TaskId id = 0; id < n; ++id) {
-      if (prev_sched_[id] && !cur_sched_[id] && budget_[id] > 0)
+      if (prev_sched_[id] && !cur_sched_[id] && budget_[id] > 0) {
         ++metrics_.preemptions;
+        obs::emit(bus_, obs::EventKind::kPreemption, now_, id, kNoProc,
+                  -1.0);  // rotation preemptions are not attributable
+      }
     }
     std::swap(prev_sched_, cur_sched_);
     std::swap(prev_proc_task_, cur_proc_task_);
     ++metrics_.slots;
     ++metrics_.scheduler_invocations;
+    obs::emit(bus_, obs::EventKind::kSchedInvoke, now_);
     metrics_.busy_quanta += static_cast<std::uint64_t>(served);
     metrics_.idle_quanta += static_cast<std::uint64_t>(config_.processors - served);
+    obs::emit(bus_, obs::EventKind::kSlotEnd, now_, kNoTask, kNoProc,
+              static_cast<double>(served));
     ++now_;
     for (TaskId id = 0; id < n; ++id) {
       const Task& t = tasks_[id];
       Rational l = lag(t.execution, t.period, now_, allocated_[id]);
       if (l < Rational(0)) l = -l;
       if (max_abs_lag_ < l) max_abs_lag_ = l;
+      if (bus_ != nullptr && config_.lag_sample_every > 0 &&
+          now_ % config_.lag_sample_every == 0) {
+        bus_->emit(obs::EventKind::kLagSample, now_, id, kNoProc,
+                   lag(t.execution, t.period, now_, allocated_[id]).to_double());
+      }
     }
   }
 }

@@ -17,6 +17,7 @@
 #include "core/task.h"
 #include "engine/metrics.h"
 #include "engine/simulator.h"
+#include "obs/bus.h"
 #include "sim/trace.h"
 
 namespace pfair {
@@ -25,6 +26,8 @@ struct WrrConfig {
   int processors = 1;
   Time frame = 16;  ///< F: quanta per round-robin frame
   bool record_trace = true;
+  Time lag_sample_every = 0;  ///< emit an obs kLagSample per task every N
+                              ///< slots (0 = off; needs an attached observer)
 };
 
 class WrrSimulator : public engine::Simulator {
@@ -47,6 +50,8 @@ class WrrSimulator : public engine::Simulator {
   /// Largest |lag| observed over the run (exact rational).
   [[nodiscard]] Rational max_abs_lag() const noexcept { return max_abs_lag_; }
 
+  void attach_observer(obs::EventBus* bus) override { bus_ = bus; }
+
  private:
   void start_frame();
 
@@ -60,6 +65,7 @@ class WrrSimulator : public engine::Simulator {
   ScheduleTrace trace_;
   Rational max_abs_lag_{0};
   engine::Metrics metrics_;
+  obs::EventBus* bus_ = nullptr;  ///< borrowed; nullptr = observation off
   // Scratch for the Sec.-4 event accounting (preemptions / context
   // switches / migrations), reused every slot.
   std::vector<TaskId> prev_proc_task_;  ///< proc -> task of previous slot

@@ -37,12 +37,17 @@ void CbsSimulator::arrivals_and_releases(Time t) {
   for (std::uint32_t i = 0; i < hard_.size(); ++i) {
     while (hard_next_release_[i] <= t) {
       // Implicit deadline: a live predecessor at its release has missed.
-      if (hard_live_[i] > 0) metrics_.record_miss(hard_next_release_[i]);
+      if (hard_live_[i] > 0) {
+        metrics_.record_miss(hard_next_release_[i]);
+        obs::emit(bus_, obs::EventKind::kDeadlineMiss, hard_next_release_[i], i, 0);
+      }
       hard_ready_.push_back(
           HardJob{i, hard_next_release_[i] + hard_[i].period, hard_[i].execution});
-      hard_next_release_[i] += hard_[i].period;
       ++metrics_.jobs_released;
       ++hard_live_[i];
+      obs::emit(bus_, obs::EventKind::kJobRelease, hard_next_release_[i], i, 0,
+                static_cast<double>(hard_next_release_[i] + hard_[i].period));
+      hard_next_release_[i] += hard_[i].period;
     }
   }
   for (Server& s : servers_) {
@@ -82,6 +87,7 @@ void CbsSimulator::run_until(Time until) {
   while (now_ < until) {
     arrivals_and_releases(now_);
     ++metrics_.scheduler_invocations;
+    obs::emit(bus_, obs::EventKind::kSchedInvoke, now_);
 
     // EDF over hard jobs and active servers (small systems: scans).
     HardJob* hard_pick = nullptr;
@@ -109,10 +115,14 @@ void CbsSimulator::run_until(Time until) {
 
     if (serve_hard) {
       const Time run = std::min<Time>(slice_end - now_, hard_pick->remaining);
+      obs::emit(bus_, obs::EventKind::kExecSlice, now_, hard_pick->task, 0,
+                static_cast<double>(run));
       hard_pick->remaining -= run;
       now_ += run;
       if (hard_pick->remaining == 0) {
         ++metrics_.jobs_completed;
+        // value = -1: response times are not tracked by this simulator.
+        obs::emit(bus_, obs::EventKind::kJobComplete, now_, hard_pick->task, 0, -1.0);
         --hard_live_[hard_pick->task];
         hard_ready_.erase(hard_ready_.begin() + (hard_pick - hard_ready_.data()));
       }
@@ -120,7 +130,10 @@ void CbsSimulator::run_until(Time until) {
     }
 
     Server& s = *server_pick;
+    const TaskId server_id = static_cast<TaskId>(server_pick - servers_.data());
     const Time run = std::min<Time>({slice_end - now_, s.head_remaining, s.budget});
+    obs::emit(bus_, obs::EventKind::kServedSlice, now_, server_id, 0,
+              static_cast<double>(run));
     s.head_remaining -= run;
     s.backlog -= run;
     s.budget -= run;
@@ -129,6 +142,7 @@ void CbsSimulator::run_until(Time until) {
     now_ += run;
     if (s.head_remaining == 0 && s.backlog >= 0) {
       ++metrics_.served_jobs_completed;
+      obs::emit(bus_, obs::EventKind::kServedJobComplete, now_, server_id, 0);
       if (!s.queued.empty()) {
         s.head_remaining = s.queued.front();
         s.queued.erase(s.queued.begin());
@@ -142,6 +156,8 @@ void CbsSimulator::run_until(Time until) {
       s.budget = s.spec.budget;
       s.deadline += s.spec.period;
       ++metrics_.deadline_postponements;
+      obs::emit(bus_, obs::EventKind::kBudgetPostpone, now_, server_id, 0,
+                static_cast<double>(s.deadline));
     }
   }
 }

@@ -25,6 +25,7 @@
 
 #include "engine/metrics.h"
 #include "engine/simulator.h"
+#include "obs/bus.h"
 #include "uniproc/uni_task.h"
 #include "util/types.h"
 
@@ -68,6 +69,11 @@ class CbsSimulator : public engine::Simulator {
     return servers_[s].work_done;
   }
 
+  /// Observation: hard-task events carry the task index; server events
+  /// (kServedSlice / kServedJobComplete / kBudgetPostpone) carry the
+  /// server index in the task field.
+  void attach_observer(obs::EventBus* bus) override { bus_ = bus; }
+
  private:
   struct Server {
     CbsServerSpec spec;
@@ -98,6 +104,7 @@ class CbsSimulator : public engine::Simulator {
   std::vector<Server> servers_;
   Time now_ = 0;
   engine::Metrics metrics_;
+  obs::EventBus* bus_ = nullptr;  ///< borrowed; nullptr = observation off
 };
 
 }  // namespace pfair

@@ -27,6 +27,14 @@ void PartitionedSimulator::rebuild() {
   sims_.clear();
   sims_.reserve(groups.size());
   for (auto& g : groups) sims_.emplace_back(std::move(g), uc);
+  for (std::size_t p = 0; p < sims_.size(); ++p)
+    sims_[p].set_observer(bus_, static_cast<ProcId>(p));
+}
+
+void PartitionedSimulator::attach_observer(obs::EventBus* bus) {
+  bus_ = bus;
+  for (std::size_t p = 0; p < sims_.size(); ++p)
+    sims_[p].set_observer(bus_, static_cast<ProcId>(p));
 }
 
 bool PartitionedSimulator::admit(std::int64_t execution, std::int64_t period) {

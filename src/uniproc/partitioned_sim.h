@@ -57,6 +57,12 @@ class PartitionedSimulator : public engine::Simulator {
     return sims_[static_cast<std::size_t>(proc)].metrics();
   }
 
+  /// Observation: each member simulator stamps its events with its
+  /// global processor id.  Task ids in the events are processor-local
+  /// (the index within that processor's partition), since the members
+  /// schedule independently.  Survives admit()'s re-partitioning.
+  void attach_observer(obs::EventBus* bus) override;
+
  private:
   /// (Re)partitions tasks_ and rebuilds the per-processor simulators.
   void rebuild();
@@ -67,6 +73,7 @@ class PartitionedSimulator : public engine::Simulator {
   std::vector<int> assignment_;
   std::vector<std::size_t> unplaced_;
   Time now_ = 0;
+  obs::EventBus* bus_ = nullptr;       ///< borrowed; reattached on rebuild()
   mutable engine::Metrics aggregate_;  ///< cache refreshed by metrics()
 };
 

@@ -45,7 +45,10 @@ void UniprocSimulator::release_jobs(Time t) {
     // this release time, so an incomplete predecessor has missed.
     // (Detecting misses here — rather than at completion — also catches
     // jobs that starve and never complete.)
-    if (live_jobs_[i] > 0) metrics_.record_miss(rel.when);
+    if (live_jobs_[i] > 0) {
+      metrics_.record_miss(rel.when);
+      obs::emit(bus_, obs::EventKind::kDeadlineMiss, rel.when, i, proc_);
+    }
     Job j;
     j.task = i;
     j.deadline = rel.when + tasks_[i].period;
@@ -55,8 +58,11 @@ void UniprocSimulator::release_jobs(Time t) {
     calendar_.push(Release{rel.when + tasks_[i].period, i});
     ++metrics_.jobs_released;
     ++live_jobs_[i];
+    obs::emit(bus_, obs::EventKind::kJobRelease, rel.when, i, proc_,
+              static_cast<double>(j.deadline));
   }
-  timer_.stop(metrics_);
+  const double release_ns = timer_.stop(metrics_);
+  obs::emit(bus_, obs::EventKind::kOverheadNs, t, kNoTask, proc_, release_ns);
 }
 
 void UniprocSimulator::invoke_scheduler(Time t) {
@@ -82,22 +88,31 @@ void UniprocSimulator::invoke_scheduler(Time t) {
       ++metrics_.preemptions;
       ++metrics_.context_switches;
       last_on_cpu_ = running_.task;
+      obs::emit(bus_, obs::EventKind::kPreemption, t, preempted.task, proc_,
+                static_cast<double>(running_.task));
+      obs::emit(bus_, obs::EventKind::kContextSwitch, t, running_.task, proc_);
     }
   } else if (!ready_.empty()) {
     running_ = ready_.pop();
     has_running_ = true;
-    if (running_.task != last_on_cpu_) ++metrics_.context_switches;
+    if (running_.task != last_on_cpu_) {
+      ++metrics_.context_switches;
+      obs::emit(bus_, obs::EventKind::kContextSwitch, t, running_.task, proc_);
+    }
     last_on_cpu_ = running_.task;
   }
 
-  timer_.stop(metrics_);
+  const double sched_ns = timer_.stop(metrics_);
   ++metrics_.scheduler_invocations;
+  obs::emit(bus_, obs::EventKind::kSchedInvoke, t, kNoTask, proc_, sched_ns);
 }
 
 void UniprocSimulator::complete_running(Time t) {
   assert(has_running_ && running_.remaining == 0);
-  (void)t;
   ++metrics_.jobs_completed;
+  // value = -1: Metrics::response_time is not tracked by this simulator,
+  // and the counter sink must reproduce that.
+  obs::emit(bus_, obs::EventKind::kJobComplete, t, running_.task, proc_, -1.0);
   // Misses are counted at the deadline (successor release) in
   // release_jobs, which also catches starved jobs; nothing to do here.
   --live_jobs_[running_.task];
@@ -116,6 +131,9 @@ void UniprocSimulator::run_until(Time until) {
     }
     const Time completion = now_ + running_.remaining;
     const Time advance_to = std::min({completion, next_rel, until});
+    if (advance_to > now_)
+      obs::emit(bus_, obs::EventKind::kExecSlice, now_, running_.task, proc_,
+                static_cast<double>(advance_to - now_));
     running_.remaining -= advance_to - now_;
     now_ = advance_to;
     if (running_.remaining == 0) {

@@ -16,6 +16,7 @@
 #include "engine/metrics.h"
 #include "engine/overhead_timer.h"
 #include "engine/simulator.h"
+#include "obs/bus.h"
 #include "uniproc/uni_task.h"
 #include "util/binary_heap.h"
 #include "util/types.h"
@@ -52,6 +53,16 @@ class UniprocSimulator : public engine::Simulator {
     return metrics_;
   }
   [[nodiscard]] Time now() const noexcept override { return now_; }
+
+  void attach_observer(obs::EventBus* bus) override { bus_ = bus; }
+
+  /// Observer attachment with an explicit processor id, so an ensemble
+  /// (partitioned scheduling) can stamp each member's events with its
+  /// slot in the global processor numbering.
+  void set_observer(obs::EventBus* bus, ProcId proc) {
+    bus_ = bus;
+    proc_ = proc;
+  }
 
  private:
   struct Job {
@@ -100,6 +111,8 @@ class UniprocSimulator : public engine::Simulator {
   Time now_ = 0;
   engine::Metrics metrics_;
   engine::OverheadTimer timer_{false};
+  obs::EventBus* bus_ = nullptr;  ///< borrowed; nullptr = observation off
+  ProcId proc_ = 0;               ///< this processor's id in observer events
 };
 
 }  // namespace pfair

@@ -92,6 +92,27 @@ TEST(EngineMetrics, AdmissionThroughTheInterface) {
   EXPECT_EQ(loaded->metrics().deadline_misses, grown->metrics().deadline_misses);
 }
 
+TEST(EngineMetrics, MergeTakesMaxOfSlotsNotSum) {
+  // Per-processor schedulers of one partitioned system simulate the
+  // same wall-clock slots: merging must not report P x the horizon.
+  engine::Metrics a;
+  a.slots = 420;
+  a.busy_quanta = 100;
+  engine::Metrics b;
+  b.slots = 420;
+  b.busy_quanta = 150;
+  a.merge(b);
+  EXPECT_EQ(a.slots, 420u);
+  EXPECT_EQ(a.busy_quanta, 250u);  // per-processor work still sums
+
+  engine::Metrics c;
+  c.slots = 500;  // a processor that ran longer dominates
+  a.merge(c);
+  EXPECT_EQ(a.slots, 500u);
+  a.merge(engine::Metrics{});  // merging an idle processor changes nothing
+  EXPECT_EQ(a.slots, 500u);
+}
+
 TEST(EngineMetrics, MergeSumsCountersAndKeepsEarliestMiss) {
   engine::Metrics a;
   a.busy_quanta = 3;

@@ -1,0 +1,91 @@
+// obs::Histogram: bucket construction, boundary placement, merge, and
+// quantile estimation.
+#include <gtest/gtest.h>
+
+#include "obs/histogram.h"
+
+namespace pfair::obs {
+namespace {
+
+TEST(Histogram, LinearEdgesAreEvenAndExact) {
+  const Histogram h = Histogram::linear(0.0, 10.0, 5);
+  ASSERT_EQ(h.bucket_count(), 5u);
+  const std::vector<double> want = {0.0, 2.0, 4.0, 6.0, 8.0, 10.0};
+  EXPECT_EQ(h.edges(), want);
+}
+
+TEST(Histogram, ExponentialEdgesDouble) {
+  const Histogram h = Histogram::exponential(1.0, 2.0, 4);
+  const std::vector<double> want = {1.0, 2.0, 4.0, 8.0, 16.0};
+  EXPECT_EQ(h.edges(), want);
+}
+
+TEST(Histogram, ValuesLandInHalfOpenBuckets) {
+  Histogram h = Histogram::linear(0.0, 4.0, 4);  // [0,1) [1,2) [2,3) [3,4)
+  h.add(0.0);
+  h.add(0.999);
+  h.add(1.0);  // exactly on an edge: belongs to the bucket it opens
+  h.add(3.999);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflowAreCountedNotDropped) {
+  Histogram h = Histogram::linear(10.0, 20.0, 2);
+  h.add(9.999);
+  h.add(20.0);  // upper edge is exclusive
+  h.add(1e9);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0) + h.count(1), 0u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h = Histogram::linear(0.0, 2.0, 2);
+  h.add(0.5, 7);
+  EXPECT_EQ(h.count(0), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, MergeIsElementWise) {
+  Histogram a = Histogram::linear(0.0, 4.0, 4);
+  Histogram b = Histogram::linear(0.0, 4.0, 4);
+  a.add(0.5);
+  a.add(-1.0);
+  b.add(0.5);
+  b.add(3.5);
+  b.add(99.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(3), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.total(), 5u);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  Histogram h = Histogram::linear(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  // Uniform over [0, 10): the median estimate must sit near 5.
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 1.0);
+}
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  const Histogram h = Histogram::linear(0.0, 1.0, 1);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileWithAllMassInOverflowReturnsUpperEdge) {
+  Histogram h = Histogram::linear(0.0, 1.0, 1);
+  h.add(5.0);
+  EXPECT_EQ(h.quantile(0.99), 1.0);
+}
+
+}  // namespace
+}  // namespace pfair::obs

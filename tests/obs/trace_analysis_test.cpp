@@ -1,0 +1,166 @@
+// Offline trace analyses behind the pfair_trace CLI: JSONL loading,
+// per-kind totals, preemption attribution, migration matrices, the
+// first-miss context window, and the Perfetto JSON schema check.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/trace_analysis.h"
+
+namespace pfair::obs {
+namespace {
+
+Event ev(EventKind k, Time t, TaskId task = kNoTask, ProcId proc = kNoProc,
+         double value = 0.0) {
+  return Event{k, t, task, proc, value};
+}
+
+TEST(ParseEventLine, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_event_line("").has_value());
+  EXPECT_FALSE(parse_event_line("not json").has_value());
+  EXPECT_FALSE(parse_event_line("{\"t\":1}").has_value());  // no kind
+  EXPECT_FALSE(parse_event_line("{\"t\":1,\"kind\":\"no_such_kind\"}").has_value());
+  EXPECT_FALSE(parse_event_line("{\"kind\":\"dispatch\"} trailing").has_value());
+}
+
+TEST(LoadJsonl, CountsMalformedLinesInsteadOfFailing) {
+  std::istringstream is(
+      "{\"t\":0,\"kind\":\"slot_begin\",\"value\":2}\n"
+      "garbage\n"
+      "\n"
+      "{\"t\":1,\"kind\":\"dispatch\",\"task\":0,\"proc\":1}\n");
+  const LoadResult r = load_jsonl(is);
+  ASSERT_EQ(r.events.size(), 2u);
+  EXPECT_EQ(r.malformed_lines, 1u);  // blank lines are skipped, not malformed
+  EXPECT_EQ(r.events[0].kind, EventKind::kSlotBegin);
+  EXPECT_EQ(r.events[1].proc, 1u);
+}
+
+TEST(CountByKind, TotalsPerKind) {
+  const std::vector<Event> events = {
+      ev(EventKind::kDispatch, 0, 0, 0),
+      ev(EventKind::kDispatch, 1, 0, 0),
+      ev(EventKind::kDeadlineMiss, 2, 0),
+  };
+  const auto counts = count_by_kind(events);
+  EXPECT_EQ(counts[static_cast<std::size_t>(EventKind::kDispatch)], 2u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(EventKind::kDeadlineMiss)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(EventKind::kMigration)], 0u);
+}
+
+TEST(TopPreemptors, AttributesCausesAndSortsByThem) {
+  // Task 1 preempts task 0 twice; task 2 preempts task 1 once; one
+  // unattributable preemption (value -1) counts only the victim.
+  const std::vector<Event> events = {
+      ev(EventKind::kPreemption, 1, 0, 0, 1.0),
+      ev(EventKind::kPreemption, 2, 0, 0, 1.0),
+      ev(EventKind::kPreemption, 3, 1, 0, 2.0),
+      ev(EventKind::kPreemption, 4, 2, 0, -1.0),
+  };
+  const auto stats = top_preemptors(events, 10);
+  ASSERT_GE(stats.size(), 3u);
+  EXPECT_EQ(stats[0].task, 1u);
+  EXPECT_EQ(stats[0].caused, 2u);
+  EXPECT_EQ(stats[0].victim, 1u);
+  EXPECT_EQ(stats[1].task, 2u);
+  EXPECT_EQ(stats[1].caused, 1u);
+  // `top` truncates.
+  EXPECT_EQ(top_preemptors(events, 1).size(), 1u);
+}
+
+TEST(MigrationMatrix, SquareMatrixFromToCounts) {
+  const std::vector<Event> events = {
+      ev(EventKind::kMigration, 1, 0, 1, 0.0),  // 0 -> 1
+      ev(EventKind::kMigration, 2, 0, 0, 1.0),  // 1 -> 0
+      ev(EventKind::kMigration, 3, 1, 2, 0.0),  // 0 -> 2
+  };
+  const auto m = migration_matrix(events);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0][1], 1u);
+  EXPECT_EQ(m[1][0], 1u);
+  EXPECT_EQ(m[0][2], 1u);
+  EXPECT_EQ(m[2][0], 0u);
+  EXPECT_TRUE(migration_matrix({}).empty());
+}
+
+TEST(FirstMissContext, WindowsAroundTheEarliestMiss) {
+  const std::vector<Event> events = {
+      ev(EventKind::kDispatch, 0, 0, 0),
+      ev(EventKind::kDispatch, 6, 0, 0),
+      ev(EventKind::kDeadlineMiss, 10, 3),
+      ev(EventKind::kDispatch, 12, 1, 0),
+      ev(EventKind::kDeadlineMiss, 20, 4),  // later miss: not the anchor
+      ev(EventKind::kDispatch, 30, 1, 0),
+  };
+  const auto ctx = first_miss_context(events, 3);
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_EQ(ctx->miss.time, 10);
+  EXPECT_EQ(ctx->miss.task, 3u);
+  ASSERT_EQ(ctx->window.size(), 2u);  // t=10 and t=12; t=6 and t=20+ excluded
+  EXPECT_EQ(ctx->window[0].time, 10);
+  EXPECT_EQ(ctx->window[1].time, 12);
+  EXPECT_FALSE(first_miss_context({ev(EventKind::kDispatch, 0, 0, 0)}, 3).has_value());
+}
+
+TEST(FirstMissContext, ComponentMissAnchorsToo) {
+  const std::vector<Event> events = {ev(EventKind::kComponentMiss, 7, 2)};
+  const auto ctx = first_miss_context(events, 1);
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_EQ(ctx->miss.kind, EventKind::kComponentMiss);
+}
+
+TEST(Formatters, ProduceNonEmptyHumanOutput) {
+  const std::vector<Event> events = {
+      ev(EventKind::kDispatch, 0, 0, 0),
+      ev(EventKind::kPreemption, 1, 0, 0, 1.0),
+      ev(EventKind::kMigration, 2, 0, 1, 0.0),
+      ev(EventKind::kDeadlineMiss, 3, 0),
+  };
+  EXPECT_NE(format_summary(events).find("dispatch"), std::string::npos);
+  EXPECT_NE(format_preemptors(events, 5).find("T1"), std::string::npos);
+  EXPECT_NE(format_migration_matrix(events).find("from"), std::string::npos);
+  EXPECT_NE(format_first_miss(events, 3).find("first miss"), std::string::npos);
+  EXPECT_NE(format_first_miss({}, 3).find("no deadline miss"), std::string::npos);
+}
+
+TEST(ValidatePerfettoJson, AcceptsMinimalValidTrace) {
+  const std::string ok =
+      R"({"traceEvents":[{"name":"a","ph":"X","ts":0,"dur":1,"pid":0,"tid":0}]})";
+  EXPECT_TRUE(validate_perfetto_json(ok).empty()) << validate_perfetto_json(ok);
+}
+
+TEST(ValidatePerfettoJson, RejectsSchemaViolations) {
+  EXPECT_FALSE(validate_perfetto_json("[]").empty());            // not an object
+  EXPECT_FALSE(validate_perfetto_json("{}").empty());            // no traceEvents
+  EXPECT_FALSE(validate_perfetto_json("{\"traceEvents\":1}").empty());
+  EXPECT_FALSE(validate_perfetto_json(R"({"traceEvents":[1]})").empty());
+  EXPECT_FALSE(  // missing ph
+      validate_perfetto_json(R"({"traceEvents":[{"name":"a","ts":0,"pid":0}]})").empty());
+  EXPECT_FALSE(  // non-numeric ts on a non-metadata event
+      validate_perfetto_json(
+          R"({"traceEvents":[{"name":"a","ph":"X","ts":"0","pid":0}]})")
+          .empty());
+  EXPECT_FALSE(validate_perfetto_json("not json at all").empty());
+}
+
+TEST(JsonReader, ParsesAndDumpsCanonically) {
+  const std::optional<json::Value> v =
+      json::parse(R"({"b":[1,2.5,true,null,"x\n"],"a":{"nested":-3e2}})");
+  ASSERT_TRUE(v.has_value());
+  // Canonical dump sorts keys; round-trip is a fixed point.
+  const std::string d = v->dump();
+  EXPECT_LT(d.find("\"a\""), d.find("\"b\""));
+  const std::optional<json::Value> again = json::parse(d);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*v, *again);
+  EXPECT_EQ(again->dump(), d);
+  EXPECT_EQ(v->find("a")->number_or("nested", 0.0), -300.0);
+
+  EXPECT_FALSE(json::parse("{").has_value());
+  EXPECT_FALSE(json::parse("[1,]").has_value());
+  EXPECT_FALSE(json::parse("{} extra").has_value());
+}
+
+}  // namespace
+}  // namespace pfair::obs

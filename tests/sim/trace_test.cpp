@@ -48,5 +48,69 @@ TEST(Trace, AllocationClampsBeyondRecordedHorizon) {
   EXPECT_EQ(tr.allocation(1, 100), 2);  // only 2 slots recorded
 }
 
+TEST(Trace, EmptyTraceAnswersEveryQueryWithZero) {
+  const ScheduleTrace tr;
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.allocation(0, 100), 0);
+  EXPECT_EQ(tr.allocation(42, 0), 0);
+}
+
+TEST(Trace, IdleOnlySlotsCountNoAllocation) {
+  ScheduleTrace tr;
+  for (int t = 0; t < 5; ++t) tr.begin_slot(3);  // nothing ever scheduled
+  EXPECT_EQ(tr.size(), 5u);
+  EXPECT_FALSE(tr.scheduled(2, 0));
+  EXPECT_EQ(tr.allocation(0, 5), 0);
+  const std::string out = tr.render({"A"});
+  EXPECT_NE(out.find("A |.....|"), std::string::npos) << out;
+}
+
+TEST(Trace, RenderWithMoreNamedTasksThanScheduled) {
+  // A task that exists but never ran still gets its (all-idle) row.
+  const ScheduleTrace tr = two_slot_trace();
+  const std::string out = tr.render({"A", "B", "C"});
+  EXPECT_NE(out.find("C |..|"), std::string::npos) << out;
+}
+
+TEST(Trace, AllocationIndexSurvivesRecordOverwrite) {
+  // Re-recording a processor within the open slot (as a scheduler that
+  // revises its pick would) must leave allocation() consistent.
+  ScheduleTrace tr;
+  tr.begin_slot(2);
+  tr.record(0, 0);
+  tr.record(0, 1);  // proc 0 reassigned from task 0 to task 1
+  EXPECT_FALSE(tr.scheduled(0, 0));
+  EXPECT_TRUE(tr.scheduled(0, 1));
+  EXPECT_EQ(tr.allocation(0, 1), 0);
+  EXPECT_EQ(tr.allocation(1, 1), 1);
+
+  // Same task on two processors, then one reassigned: still scheduled.
+  tr.begin_slot(2);
+  tr.record(0, 2);
+  tr.record(1, 2);
+  tr.record(0, 3);
+  EXPECT_TRUE(tr.scheduled(1, 2));
+  EXPECT_EQ(tr.allocation(2, 2), 1);
+  EXPECT_EQ(tr.allocation(3, 2), 1);
+}
+
+TEST(Trace, AllocationMatchesLinearRescanOnDenseTrace) {
+  // Pin the indexed fast path against the definitional slow scan.
+  ScheduleTrace tr;
+  for (std::size_t t = 0; t < 64; ++t) {
+    tr.begin_slot(2);
+    tr.record(0, static_cast<TaskId>(t % 3));
+    if (t % 2 == 0) tr.record(1, static_cast<TaskId>(3 + t % 2));
+  }
+  for (TaskId id = 0; id < 5; ++id) {
+    for (std::size_t t_end = 0; t_end <= 64; t_end += 7) {
+      std::int64_t want = 0;
+      for (std::size_t t = 0; t < t_end; ++t)
+        if (tr.scheduled(t, id)) ++want;
+      EXPECT_EQ(tr.allocation(id, t_end), want) << "task " << id << " t_end " << t_end;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pfair

@@ -120,6 +120,64 @@ TEST(Verifier, ErfairSimulatedTracesPassErfairCheck) {
   }
 }
 
+TEST(Verifier, DiagnosticsNameTaskSlotAndWindow) {
+  // The early-execution failure must say which subtask, which window,
+  // and show the surrounding trace — enough to debug without re-running.
+  TaskSet set;
+  set.add(make_task(1, 4));
+  ScheduleTrace trace;
+  for (int t = 0; t < 2; ++t) {
+    trace.begin_slot(1);
+    trace.record(0, 0);
+  }
+  VerifyOptions opt;
+  opt.processors = 1;
+  const VerifyResult res = verify_schedule(trace, set, opt);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.first_violation.find("slot 1"), std::string::npos) << res.first_violation;
+  EXPECT_NE(res.first_violation.find("task 0"), std::string::npos) << res.first_violation;
+  EXPECT_NE(res.first_violation.find("subtask 2"), std::string::npos)
+      << res.first_violation;
+  EXPECT_NE(res.first_violation.find("window [4, 8)"), std::string::npos)
+      << res.first_violation;
+  EXPECT_NE(res.first_violation.find("trace slots"), std::string::npos)
+      << res.first_violation;
+  EXPECT_NE(res.first_violation.find("^ slot 1"), std::string::npos)
+      << res.first_violation;
+}
+
+TEST(Verifier, DiagnosticsIncludeLagValue) {
+  TaskSet set;
+  set.add(make_task(1, 2));
+  ScheduleTrace trace;
+  for (int t = 0; t < 3; ++t) trace.begin_slot(1);  // starved
+  VerifyOptions opt;
+  opt.processors = 1;
+  const VerifyResult res = verify_schedule(trace, set, opt);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.first_violation.find("lag out of (-1, 1)"), std::string::npos);
+  EXPECT_NE(res.first_violation.find("lag(2) = 1"), std::string::npos)
+      << res.first_violation;
+}
+
+TEST(Verifier, ExcerptClampsAtTraceBoundaries) {
+  // Failure in slot 0 of a 1-slot trace: the ±3 window must clamp.
+  TaskSet set;
+  set.add(make_task(1, 4));
+  set.add(make_task(1, 4));
+  ScheduleTrace trace;
+  trace.begin_slot(2);
+  trace.record(0, 1);
+  trace.record(1, 1);  // task 1 on both processors in slot 0
+  VerifyOptions opt;
+  opt.processors = 2;
+  const VerifyResult res = verify_schedule(trace, set, opt);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.first_violation.find("two processors"), std::string::npos);
+  EXPECT_NE(res.first_violation.find("trace slots [0, 1)"), std::string::npos)
+      << res.first_violation;
+}
+
 TEST(Verifier, CountsEveryViolation) {
   TaskSet set;
   set.add(make_task(1, 2));

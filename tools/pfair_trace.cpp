@@ -1,0 +1,130 @@
+// pfair_trace: offline analysis of obs JSONL event traces.
+//
+// Answers the first questions of a scheduling investigation from a
+// recorded trace (obs::JsonlSink output) without re-running anything:
+//
+//   pfair_trace summary    trace.jsonl              event totals
+//   pfair_trace preemptors trace.jsonl [--top=N]    preemption league table
+//   pfair_trace migrations trace.jsonl              from/to processor matrix
+//   pfair_trace first-miss trace.jsonl [--window=N] events around the first miss
+//   pfair_trace validate   trace.json               Perfetto JSON schema check
+//   pfair_trace report     trace.jsonl              all of the above
+//
+// "-" reads the trace from stdin.  Exit status: 0 on success; 1 on bad
+// usage / unreadable input; 2 when `validate` finds a schema violation.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_analysis.h"
+
+namespace {
+
+using pfair::obs::LoadResult;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pfair_trace <summary|preemptors|migrations|first-miss|validate|"
+               "report> <trace-file|-> [--top=N] [--window=N]\n");
+  return 1;
+}
+
+/// --key=N from the trailing arguments; `fallback` when absent/malformed.
+long long flag(int argc, char** argv, const char* key, long long fallback) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      char* end = nullptr;
+      const long long v = std::strtoll(argv[i] + prefix.size(), &end, 10);
+      if (end != nullptr && *end == '\0') return v;
+    }
+  }
+  return fallback;
+}
+
+bool read_stream(const char* path, std::string& out) {
+  if (std::strcmp(path, "-") == 0) {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    out = ss.str();
+    return true;
+  }
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool load_events(const char* path, LoadResult& out) {
+  if (std::strcmp(path, "-") == 0) {
+    out = pfair::obs::load_jsonl(std::cin);
+    return true;
+  }
+  std::ifstream f(path);
+  if (!f) return false;
+  out = pfair::obs::load_jsonl(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const char* path = argv[2];
+
+  if (cmd == "validate") {
+    std::string text;
+    if (!read_stream(path, text)) {
+      std::fprintf(stderr, "pfair_trace: cannot read %s\n", path);
+      return 1;
+    }
+    const std::string problem = pfair::obs::validate_perfetto_json(text);
+    if (!problem.empty()) {
+      std::printf("INVALID: %s\n", problem.c_str());
+      return 2;
+    }
+    std::printf("OK: Perfetto/Chrome trace JSON is well-formed\n");
+    return 0;
+  }
+
+  LoadResult loaded;
+  if (!load_events(path, loaded)) {
+    std::fprintf(stderr, "pfair_trace: cannot read %s\n", path);
+    return 1;
+  }
+  if (loaded.malformed_lines > 0)
+    std::fprintf(stderr, "pfair_trace: skipped %zu malformed line(s)\n",
+                 loaded.malformed_lines);
+  const std::vector<pfair::obs::Event>& events = loaded.events;
+
+  const auto top = static_cast<std::size_t>(flag(argc, argv, "top", 10));
+  const auto window = static_cast<pfair::Time>(flag(argc, argv, "window", 3));
+
+  if (cmd == "summary") {
+    std::fputs(pfair::obs::format_summary(events).c_str(), stdout);
+  } else if (cmd == "preemptors") {
+    std::fputs(pfair::obs::format_preemptors(events, top).c_str(), stdout);
+  } else if (cmd == "migrations") {
+    std::fputs(pfair::obs::format_migration_matrix(events).c_str(), stdout);
+  } else if (cmd == "first-miss") {
+    std::fputs(pfair::obs::format_first_miss(events, window).c_str(), stdout);
+  } else if (cmd == "report") {
+    std::fputs(pfair::obs::format_summary(events).c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(pfair::obs::format_preemptors(events, top).c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(pfair::obs::format_migration_matrix(events).c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(pfair::obs::format_first_miss(events, window).c_str(), stdout);
+  } else {
+    return usage();
+  }
+  return 0;
+}
