@@ -5,7 +5,11 @@
 // context switches and migrations that assignment rule actually saves
 // versus naive (arbitrary) processor assignment.
 //
-// Usage: ablation_affinity [--horizon=10000] [--trials=10] [--seed=1] [--json]
+// Usage: ablation_affinity [--horizon=10000] [--trials=10] [--seed=1]
+//                          [--jobs=N] [--json]
+//
+// Trials run across --jobs worker threads with counter-based per-trial
+// RNG streams; the report is byte-identical for any --jobs value.
 #include <cstdio>
 
 #include "bench/fig_common.h"
@@ -22,28 +26,38 @@ int main(int argc, char** argv) {
   std::printf("# %5s %16s %16s %16s %16s\n", "m", "switches(aff)", "switches(naive)",
               "migr(aff)", "migr(naive)");
 
-  Rng master(h.seed(1));
+  engine::ParallelSweep sweep(h.jobs(), h.seed(1));
+  const bench::WallTimer wall;
   for (const int m : {2, 4, 8, 16}) {
+    struct Trial {
+      double sw_aff = 0.0, sw_naive = 0.0, mig_aff = 0.0, mig_naive = 0.0;
+    };
+    const std::vector<Trial> trials =
+        sweep.run(static_cast<std::uint64_t>(m), sets, [&](long long, Rng& rng) {
+          const TaskSet set = generate_feasible_taskset(
+              rng, m, static_cast<std::size_t>(4 * m), 16, true);
+          Trial out;
+          for (const bool affinity : {true, false}) {
+            PfairConfig sc;
+            sc.processors = m;
+            sc.affinity = affinity;
+            PfairSimulator sim(sc);
+            for (const Task& t : set.tasks()) sim.add_task(t);
+            sim.run_until(horizon);
+            const double per_kiloslot = 1000.0 / static_cast<double>(horizon);
+            (affinity ? out.sw_aff : out.sw_naive) =
+                static_cast<double>(sim.metrics().context_switches) * per_kiloslot;
+            (affinity ? out.mig_aff : out.mig_naive) =
+                static_cast<double>(sim.metrics().migrations) * per_kiloslot;
+          }
+          return out;
+        });
     RunningStats sw_aff, sw_naive, mig_aff, mig_naive;
-    for (long long s = 0; s < sets; ++s) {
-      Rng rng = master.fork(static_cast<std::uint64_t>(m) * 512 +
-                            static_cast<std::uint64_t>(s));
-      const TaskSet set =
-          generate_feasible_taskset(rng, m, static_cast<std::size_t>(4 * m), 16, true);
-      for (const bool affinity : {true, false}) {
-        SimConfig sc;
-        sc.processors = m;
-        sc.affinity = affinity;
-        PfairSimulator sim(sc);
-        for (const Task& t : set.tasks()) sim.add_task(t);
-        sim.run_until(horizon);
-        const double per_kiloslot =
-            1000.0 / static_cast<double>(horizon);
-        (affinity ? sw_aff : sw_naive)
-            .add(static_cast<double>(sim.metrics().context_switches) * per_kiloslot);
-        (affinity ? mig_aff : mig_naive)
-            .add(static_cast<double>(sim.metrics().migrations) * per_kiloslot);
-      }
+    for (const Trial& t : trials) {  // trial order: deterministic merge
+      sw_aff.add(t.sw_aff);
+      sw_naive.add(t.sw_naive);
+      mig_aff.add(t.mig_aff);
+      mig_naive.add(t.mig_naive);
     }
     std::printf("  %5d %16.1f %16.1f %16.1f %16.1f\n", m, sw_aff.mean(), sw_naive.mean(),
                 mig_aff.mean(), mig_naive.mean());
@@ -56,5 +70,6 @@ int main(int argc, char** argv) {
   }
   std::printf("# counts are per 1000 slots; affinity should reduce both columns,\n");
   std::printf("# most dramatically migrations.\n");
+  std::printf("# wall %.2fs (--jobs %d)\n", wall.seconds(), sweep.jobs());
   return h.finish();
 }

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
       }
       const PackingResult packed = pack_into_supertasks(set, groups);
       if (Rational(m) < packed.total_weight) continue;  // overhead overflow
-      SimConfig sc;
+      PfairConfig sc;
       sc.processors = m;
       PfairSimulator sim(sc);
       std::vector<TaskId> servers;

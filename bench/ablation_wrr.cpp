@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
   for (long long s = 0; s < sets; ++s) {
     Rng rng = master.fork(0xabcdef00u + static_cast<std::uint64_t>(s));
     const TaskSet set = generate_feasible_taskset(rng, m, 16, 16, /*fill=*/true);
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = m;
     sc.check_lags = true;
     PfairSimulator sim(sc);

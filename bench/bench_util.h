@@ -3,6 +3,7 @@
 // comparison loops in engine/compare.h.
 #pragma once
 
+#include <chrono>
 #include <vector>
 
 #include "core/task.h"
@@ -11,6 +12,22 @@
 #include "workload/generator.h"
 
 namespace pfair::bench {
+
+/// Wall-clock stopwatch for the `# wall ...` stdout footer of the
+/// parallel sweeps.  Timing is only ever printed to stdout, never put in
+/// the JSON report — the report must stay byte-identical across --jobs
+/// values.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Integer-quanta task set with total weight <= u_cap (shared by the
 /// Fig.-2 measurements so EDF and PD2 see the *same* workload, as in the

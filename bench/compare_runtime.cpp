@@ -10,7 +10,12 @@
 // unified metrics read-out per scheduler.
 //
 // Usage: compare_runtime [--processors=4] [--horizon=20000] [--trials=10]
-//                        [--seed=1] [--json]
+//                        [--seed=1] [--jobs=N] [--json]
+//
+// Trials (full simulator runs — the heaviest per-trial work in the
+// bench suite) fan out across --jobs worker threads with counter-based
+// per-trial RNG streams; the report is byte-identical for any --jobs
+// value.
 #include <cstdio>
 
 #include "bench/fig_common.h"
@@ -29,35 +34,49 @@ int main(int argc, char** argv) {
   std::printf("# %6s | %10s %10s %10s | %10s %10s | %8s\n", "load", "pd2_preempt",
               "pd2_switch", "pd2_migr", "ff_preempt", "ff_switch", "placed");
 
-  PartitionedConfig pc;
+  PartitionConfig pc;
   pc.max_processors = m;
   const std::vector<engine::SchedulerSpec> specs = {
       engine::pd2_spec(m), engine::partitioned_spec("EDF-FF", pc)};
 
-  Rng master(h.seed(1));
+  engine::ParallelSweep sweep(h.jobs(), h.seed(1));
+  const bench::WallTimer wall;
+  int load_idx = 0;
   for (const double load : {0.3, 0.5, 0.7, 0.85}) {
+    struct Trial {
+      bool placed = false;
+      engine::Metrics pd2;
+      engine::Metrics ff;
+    };
+    const std::vector<Trial> trials = sweep.run(
+        static_cast<std::uint64_t>(load_idx++), sets, [&](long long, Rng& rng) {
+          const std::vector<UniTask> uni =
+              generate_uni_tasks(rng, static_cast<std::size_t>(5 * m),
+                                 load * static_cast<double>(m), 64);
+          const auto results = engine::compare_schedulers(uni, specs, horizon);
+          Trial out;
+          if (!results[1].feasible) return out;  // FF fragmentation loss
+          out.placed = true;
+          out.pd2 = results[0].metrics;
+          out.ff = results[1].metrics;
+          return out;
+        });
     RunningStats pd2_pre, pd2_sw, pd2_mig, ff_pre, ff_sw;
     int placed = 0;
-    for (long long s = 0; s < sets; ++s) {
-      Rng rng = master.fork(static_cast<std::uint64_t>(load * 100) * 4096 +
-                            static_cast<std::uint64_t>(s));
-      const std::vector<UniTask> uni =
-          generate_uni_tasks(rng, static_cast<std::size_t>(5 * m),
-                             load * static_cast<double>(m), 64);
-      const auto results = engine::compare_schedulers(uni, specs, horizon);
-      const engine::CompareResult& pd2 = results[0];
-      const engine::CompareResult& ff = results[1];
-      if (!ff.feasible) continue;  // FF fragmentation loss
+    long long s = -1;
+    for (const Trial& t : trials) {  // trial order: deterministic merge
+      ++s;
+      if (!t.placed) continue;
       ++placed;
       const double k = 1000.0 / static_cast<double>(horizon);
-      ff_pre.add(static_cast<double>(ff.metrics.preemptions) * k);
-      ff_sw.add(static_cast<double>(ff.metrics.context_switches) * k);
-      if (ff.metrics.deadline_misses != 0)
+      ff_pre.add(static_cast<double>(t.ff.preemptions) * k);
+      ff_sw.add(static_cast<double>(t.ff.context_switches) * k);
+      if (t.ff.deadline_misses != 0)
         std::printf("# unexpected EDF-FF miss (set %lld)\n", s);
-      pd2_pre.add(static_cast<double>(pd2.metrics.preemptions) * k);
-      pd2_sw.add(static_cast<double>(pd2.metrics.context_switches) * k);
-      pd2_mig.add(static_cast<double>(pd2.metrics.migrations) * k);
-      if (pd2.metrics.deadline_misses != 0)
+      pd2_pre.add(static_cast<double>(t.pd2.preemptions) * k);
+      pd2_sw.add(static_cast<double>(t.pd2.context_switches) * k);
+      pd2_mig.add(static_cast<double>(t.pd2.migrations) * k);
+      if (t.pd2.deadline_misses != 0)
         std::printf("# unexpected PD2 miss (set %lld)\n", s);
     }
     std::printf("  %6.2f | %10.1f %10.1f %10.1f | %10.1f %10.1f | %5d/%lld\n", load,
@@ -76,5 +95,6 @@ int main(int argc, char** argv) {
   std::printf("# the ratio shrinks with affinity and the per-event cost (Sec. 4) is\n");
   std::printf("# what Figs. 3-4 charge against it.  EDF-FF's 'placed' column shows\n");
   std::printf("# sets lost to bin-packing before any runtime cost is paid.\n");
+  std::printf("# wall %.2fs (--jobs %d)\n", wall.seconds(), sweep.jobs());
   return h.finish();
 }

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
       }
       // --- PD2 (quantum-driven) ---
       {
-        SimConfig pc;
+        PfairConfig pc;
         pc.processors = 1;
         pc.algorithm = Algorithm::kPD2;
         pc.measure_overhead = true;

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
                               static_cast<std::uint64_t>(s));
         const std::vector<Task> tasks = fig2_taskset(
             rng, static_cast<std::size_t>(n), 0.95 * static_cast<double>(m), 20000);
-        SimConfig pc;
+        PfairConfig pc;
         pc.processors = m;
         pc.algorithm = Algorithm::kPD2;
         pc.measure_overhead = true;

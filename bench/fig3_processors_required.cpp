@@ -8,16 +8,21 @@
 // averages `--trials` random task sets; 99% CIs are printed.
 //
 // Usage: fig3_processors_required [--trials=200] [--seed=1] [--only_n=0]
-//                                 [--calibrate=0] [--json]
+//                                 [--calibrate=0] [--jobs=N] [--json]
 //
 // With --calibrate=1, the scheduling-cost tables are first measured on
 // this host (the paper's own Fig.-2 -> Fig.-3 pipeline) instead of
 // using the paper-magnitude defaults.
 //
+// Trials fan out across --jobs worker threads (default: all cores) with
+// counter-based per-trial RNG streams, so the report is byte-identical
+// for any --jobs value.
+//
 // Paper shape to check (Sec. 4): the two curves track closely at low
 // utilization; EDF-FF is slightly better in a middle band; PD2 wins at
 // high per-task utilizations where bin-packing fragmentation dominates.
 #include <cstdio>
+#include <optional>
 
 #include "bench/fig_common.h"
 
@@ -37,7 +42,8 @@ int main(int argc, char** argv) {
     params.sched = calibrate_sched_costs();
   }
 
-  Rng master(seed);
+  engine::ParallelSweep sweep(h.jobs(), seed);
+  const bench::WallTimer wall;
   const char inset[] = {'a', 'b', 'c', 'd'};
   int inset_idx = 0;
   for (const int n : {50, 100, 250, 500}) {
@@ -53,20 +59,29 @@ int main(int argc, char** argv) {
       const double u_hi = static_cast<double>(n) / 3.0;
       const double u = u_lo + (u_hi - u_lo) * static_cast<double>(pt) /
                                   static_cast<double>(kPoints - 1);
+      struct Trial {
+        std::optional<int> pd2;
+        std::optional<int> ff;
+      };
+      const std::uint64_t point = static_cast<std::uint64_t>(n) * 1000 +
+                                  static_cast<std::uint64_t>(pt);
+      const std::vector<Trial> trials =
+          sweep.run(point, sets, [&](long long, Rng& rng) {
+            OhWorkloadConfig cfg;
+            cfg.n_tasks = static_cast<std::size_t>(n);
+            cfg.total_utilization = u;
+            const std::vector<OhTask> tasks = generate_oh_tasks(cfg, rng);
+            Trial out;
+            out.pd2 = pd2_min_processors(tasks, params);
+            const EdfFfResult ff = edf_ff_partition(tasks, params);
+            if (ff.feasible) out.ff = ff.processors;
+            return out;
+          });
       RunningStats pd2_m;
       RunningStats ff_m;
-      for (long long s = 0; s < sets; ++s) {
-        Rng rng = master.fork(static_cast<std::uint64_t>(n) * 100000 +
-                              static_cast<std::uint64_t>(pt) * 1000 +
-                              static_cast<std::uint64_t>(s));
-        OhWorkloadConfig cfg;
-        cfg.n_tasks = static_cast<std::size_t>(n);
-        cfg.total_utilization = u;
-        const std::vector<OhTask> tasks = generate_oh_tasks(cfg, rng);
-        const auto m_pd2 = pd2_min_processors(tasks, params);
-        const EdfFfResult ff = edf_ff_partition(tasks, params);
-        if (m_pd2.has_value()) pd2_m.add(static_cast<double>(*m_pd2));
-        if (ff.feasible) ff_m.add(static_cast<double>(ff.processors));
+      for (const Trial& t : trials) {  // trial order: deterministic merge
+        if (t.pd2.has_value()) pd2_m.add(static_cast<double>(*t.pd2));
+        if (t.ff.has_value()) ff_m.add(static_cast<double>(*t.ff));
       }
       std::printf("  %10.2f %10.3f %10.3f %12.3f %10.3f %+10.3f\n", u, pd2_m.mean(),
                   pd2_m.ci99_halfwidth(), ff_m.mean(), ff_m.ci99_halfwidth(),
@@ -81,5 +96,6 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   std::printf("# negative PD2-EDFFF = PD2 needs fewer processors (PD2 wins).\n");
+  std::printf("# wall %.2fs (--jobs %d)\n", wall.seconds(), sweep.jobs());
   return h.finish();
 }

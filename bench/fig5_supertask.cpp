@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   const std::string lag_path = h.flag_string("lag", "");
 
   {
-    SimConfig cfg;
+    PfairConfig cfg;
     cfg.processors = 2;
     cfg.record_trace = true;
     cfg.lag_sample_every = 1;  // per-slot lag timeline for the sampler
@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
     check(sim.metrics().first_miss_time == 10, "first (component) miss at time 10");
   }
   {
-    SimConfig cfg;
+    PfairConfig cfg;
     cfg.processors = 2;
     PfairSimulator sim(cfg);
     sim.add_task(sys.normal_tasks[0]);

@@ -3,7 +3,9 @@
 
 #include "bench/bench_util.h"
 #include "engine/compare.h"
+#include "engine/factory.h"
 #include "engine/harness.h"
+#include "engine/parallel.h"
 #include "overhead/calibrate.h"
 #include "overhead/inflation.h"
 #include "overhead/params.h"

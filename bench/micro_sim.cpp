@@ -14,7 +14,7 @@ void bm_sim(benchmark::State& state, Algorithm alg, int m) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   Rng rng(static_cast<std::uint64_t>(n) * 31 + static_cast<std::uint64_t>(m));
   const TaskSet set = generate_feasible_taskset(rng, m, n, 64, /*fill=*/true);
-  SimConfig cfg;
+  PfairConfig cfg;
   cfg.processors = m;
   cfg.algorithm = alg;
   PfairSimulator sim(cfg);
@@ -48,7 +48,7 @@ void BM_Sim_Erfair(benchmark::State& state) {
   Rng rng(99);
   const TaskSet set =
       generate_feasible_taskset(rng, 4, n, 64, true, TaskKind::kEarlyRelease);
-  SimConfig cfg;
+  PfairConfig cfg;
   cfg.processors = 4;
   PfairSimulator sim(cfg);
   for (const Task& t : set.tasks()) sim.add_task(t);

@@ -10,7 +10,10 @@
 // the smallest at which it failed ("breakdown band"), alongside the
 // bounds.
 //
-// Usage: sec3_partition_bounds [--trials=200] [--seed=1] [--json]
+// Usage: sec3_partition_bounds [--trials=200] [--seed=1] [--jobs=N] [--json]
+//
+// Trials run across --jobs worker threads with counter-based per-trial
+// RNG streams; the report is byte-identical for any --jobs value.
 #include <algorithm>
 #include <cstdio>
 
@@ -29,36 +32,49 @@ int main(int argc, char** argv) {
   std::printf("# %4s %10s %10s %14s %14s %14s\n", "m", "worst", "lopez",
               "EDF-FF_fail_min", "RM-LL_fail_min", "RM-ex_fail_min");
 
-  Rng master(h.seed(1));
+  engine::ParallelSweep sweep(h.jobs(), h.seed(1));
+  const bench::WallTimer wall;
   for (const int m : {2, 4, 8, 16}) {
     // For each acceptance test, track the smallest total utilization of
     // a task set that failed to partition onto m processors.
+    struct Trial {
+      double total = 0.0;
+      bool edf_fail = false;
+      bool rmll_fail = false;
+      bool rmex_fail = false;
+    };
+    const std::vector<Trial> trials =
+        sweep.run(static_cast<std::uint64_t>(m), sets, [&](long long, Rng& rng) {
+          // Random set with per-task utilization <= 1/2, total near the
+          // interesting band [(m+1)/2 - 1, m].
+          std::vector<UniTask> tasks;
+          Trial out;
+          const double target = (static_cast<double>(m) + 1.0) / 2.0 - 1.0 +
+                                rng.uniform01() * (static_cast<double>(m) / 2.0 + 1.0);
+          while (out.total < target) {
+            const std::int64_t p = rng.uniform_int(10, 100);
+            const std::int64_t e = rng.uniform_int(1, p / 2);
+            tasks.push_back({e, p});
+            out.total += tasks.back().utilization();
+          }
+          out.edf_fail = !partition_uni(tasks, m, Heuristic::kFirstFit,
+                                        Acceptance::kEdfUtilization)
+                              .feasible;
+          out.rmll_fail = !partition_uni(tasks, m, Heuristic::kFirstFit,
+                                         Acceptance::kRmLiuLayland)
+                               .feasible;
+          out.rmex_fail =
+              !partition_uni(tasks, m, Heuristic::kFirstFit, Acceptance::kRmExact)
+                   .feasible;
+          return out;
+        });
     double fail_min_edf = 1e18;
     double fail_min_rmll = 1e18;
     double fail_min_rmex = 1e18;
-    for (long long s = 0; s < sets; ++s) {
-      Rng rng = master.fork(static_cast<std::uint64_t>(m) * 131071 +
-                            static_cast<std::uint64_t>(s));
-      // Random set with per-task utilization <= 1/2, total near the
-      // interesting band [(m+1)/2 - 1, m].
-      std::vector<UniTask> tasks;
-      double total = 0.0;
-      const double target = (static_cast<double>(m) + 1.0) / 2.0 - 1.0 +
-                            rng.uniform01() * (static_cast<double>(m) / 2.0 + 1.0);
-      while (total < target) {
-        const std::int64_t p = rng.uniform_int(10, 100);
-        const std::int64_t e = rng.uniform_int(1, p / 2);
-        tasks.push_back({e, p});
-        total += tasks.back().utilization();
-      }
-      const auto edf =
-          partition_uni(tasks, m, Heuristic::kFirstFit, Acceptance::kEdfUtilization);
-      if (!edf.feasible) fail_min_edf = std::min(fail_min_edf, total);
-      const auto rmll =
-          partition_uni(tasks, m, Heuristic::kFirstFit, Acceptance::kRmLiuLayland);
-      if (!rmll.feasible) fail_min_rmll = std::min(fail_min_rmll, total);
-      const auto rmex = partition_uni(tasks, m, Heuristic::kFirstFit, Acceptance::kRmExact);
-      if (!rmex.feasible) fail_min_rmex = std::min(fail_min_rmex, total);
+    for (const Trial& t : trials) {  // trial order: deterministic merge
+      if (t.edf_fail) fail_min_edf = std::min(fail_min_edf, t.total);
+      if (t.rmll_fail) fail_min_rmll = std::min(fail_min_rmll, t.total);
+      if (t.rmex_fail) fail_min_rmex = std::min(fail_min_rmex, t.total);
     }
     std::printf("  %4d %10.2f %10.2f %14.2f %14.2f %14.2f\n", m,
                 partitioning_worst_case_utilization(m), lopez_bound(m, 0.5), fail_min_edf,
@@ -75,5 +91,6 @@ int main(int argc, char** argv) {
   std::printf("# earliest (its guarantee degrades toward ~0.41*m); RM-exact sits\n");
   std::printf("# between RM-LL and EDF.  Adversarial sets can push every heuristic\n");
   std::printf("# down to (m+1)/2 (see partition tests).\n");
+  std::printf("# wall %.2fs (--jobs %d)\n", wall.seconds(), sweep.jobs());
   return h.finish();
 }

@@ -21,7 +21,7 @@
 int main() {
   using namespace pfair;
 
-  SimConfig cfg;
+  PfairConfig cfg;
   cfg.processors = 4;
   PfairSimulator sim(cfg);
 

@@ -21,7 +21,7 @@ namespace {
 
 void scenario_transparent() {
   std::printf("Scenario A: 4 processors, total weight 23/12 (~1.92), 2 fail at t=500\n");
-  SimConfig cfg;
+  PfairConfig cfg;
   cfg.processors = 4;
   PfairSimulator sim(cfg);
   sim.add_task(make_task(1, 2, TaskKind::kPeriodic, "ctl"));
@@ -39,7 +39,7 @@ void scenario_overload() {
 
   // B1: do nothing -> misses accumulate.
   {
-    SimConfig cfg;
+    PfairConfig cfg;
     cfg.processors = 2;
     PfairSimulator sim(cfg);
     sim.add_task(make_task(1, 2, TaskKind::kPeriodic, "critical"));
@@ -55,7 +55,7 @@ void scenario_overload() {
   // hits; the critical task is untouched and the post-switch system
   // (1/2 + 1/4 + 1/4 = 1) fits the surviving processor exactly.
   {
-    SimConfig cfg;
+    PfairConfig cfg;
     cfg.processors = 2;
     PfairSimulator sim(cfg);
     const TaskId critical = sim.add_task(make_task(1, 2, TaskKind::kPeriodic, "critical"));

@@ -29,7 +29,7 @@ int main() {
 
   constexpr Time kHorizon = 100000;
 
-  SimConfig cfg;
+  PfairConfig cfg;
   cfg.processors = 2;
   PfairSimulator sim(cfg);
 

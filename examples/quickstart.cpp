@@ -38,7 +38,7 @@ int main() {
   }
 
   // --- 3. Schedule the counterexample with PD2 ----------------------------
-  SimConfig cfg;
+  PfairConfig cfg;
   cfg.processors = 2;
   cfg.record_trace = true;
   cfg.check_lags = true;

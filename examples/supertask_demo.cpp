@@ -22,7 +22,7 @@ namespace {
 
 void run(const SupertaskSpec& spec, const char* label, Time horizon) {
   const Fig5System sys = fig5_system();
-  SimConfig cfg;
+  PfairConfig cfg;
   cfg.processors = 2;
   cfg.record_trace = true;
   PfairSimulator sim(cfg);

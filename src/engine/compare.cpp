@@ -2,8 +2,6 @@
 
 #include <utility>
 
-#include "sim/global_job_sim.h"
-
 namespace pfair::engine {
 
 std::vector<CompareResult> compare_schedulers(const std::vector<UniTask>& workload,
@@ -24,57 +22,55 @@ std::vector<CompareResult> compare_schedulers(const std::vector<UniTask>& worklo
   return out;
 }
 
-SchedulerSpec pfair_spec(std::string name, SimConfig config) {
+SchedulerSpec kind_spec(std::string name, SchedulerKind kind, SimulatorConfig config) {
   return {std::move(name),
-          [config](const std::vector<UniTask>& workload) -> std::unique_ptr<Simulator> {
-            auto sim = std::make_unique<PfairSimulator>(config);
+          [kind, config](const std::vector<UniTask>& workload) -> std::unique_ptr<Simulator> {
+            std::unique_ptr<Simulator> sim = make_simulator(kind, config);
             for (const UniTask& t : workload) {
+              // Rejected admission = the stack cannot take this workload
+              // (capacity, bin-packing failure, ...): infeasible.
               if (!sim->admit(t.execution, t.period)) return nullptr;
             }
             return sim;
           }};
 }
 
+SchedulerSpec pfair_spec(std::string name, PfairConfig config) {
+  SimulatorConfig sc;
+  sc.pfair = config;
+  return kind_spec(std::move(name), SchedulerKind::kPfair, std::move(sc));
+}
+
 SchedulerSpec pd2_spec(int processors) {
-  SimConfig config;
+  PfairConfig config;
   config.processors = processors;
   config.algorithm = Algorithm::kPD2;
   return pfair_spec("PD2", config);
 }
 
-SchedulerSpec partitioned_spec(std::string name, PartitionedConfig config) {
-  return {std::move(name),
-          [config](const std::vector<UniTask>& workload) -> std::unique_ptr<Simulator> {
-            auto sim = std::make_unique<PartitionedSimulator>(workload, config);
-            if (!sim->all_tasks_placed()) return nullptr;  // bin-packing failure
-            return sim;
-          }};
+SchedulerSpec partitioned_spec(std::string name, PartitionConfig config) {
+  SimulatorConfig sc;
+  sc.partitioned = config;
+  return kind_spec(std::move(name), SchedulerKind::kPartitioned, std::move(sc));
 }
 
 SchedulerSpec global_job_spec(int processors, UniAlgorithm algorithm) {
-  return {algorithm == UniAlgorithm::kEDF ? "global-EDF" : "global-RM",
-          [processors, algorithm](const std::vector<UniTask>& workload)
-              -> std::unique_ptr<Simulator> {
-            return std::make_unique<GlobalJobSimulator>(workload, processors, algorithm);
-          }};
+  SimulatorConfig sc;
+  sc.global_job = GlobalJobConfig{processors, algorithm};
+  return kind_spec(algorithm == UniAlgorithm::kEDF ? "global-EDF" : "global-RM",
+                   SchedulerKind::kGlobalJob, std::move(sc));
 }
 
 SchedulerSpec uniproc_spec(std::string name, UniSimConfig config) {
-  return {std::move(name),
-          [config](const std::vector<UniTask>& workload) -> std::unique_ptr<Simulator> {
-            return std::make_unique<UniprocSimulator>(workload, config);
-          }};
+  SimulatorConfig sc;
+  sc.uniproc = config;
+  return kind_spec(std::move(name), SchedulerKind::kUniproc, std::move(sc));
 }
 
 SchedulerSpec wrr_spec(WrrConfig config) {
-  return {"WRR",
-          [config](const std::vector<UniTask>& workload) -> std::unique_ptr<Simulator> {
-            auto sim = std::make_unique<WrrSimulator>(TaskSet{}, config);
-            for (const UniTask& t : workload) {
-              if (!sim->admit(t.execution, t.period)) return nullptr;
-            }
-            return sim;
-          }};
+  SimulatorConfig sc;
+  sc.wrr = config;
+  return kind_spec("WRR", SchedulerKind::kWrr, std::move(sc));
 }
 
 }  // namespace pfair::engine

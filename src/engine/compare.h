@@ -14,12 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "engine/factory.h"
 #include "engine/metrics.h"
 #include "engine/simulator.h"
-#include "sim/pfair_sim.h"
-#include "sim/wrr_sim.h"
-#include "uniproc/partitioned_sim.h"
-#include "uniproc/uni_sim.h"
 #include "uniproc/uni_task.h"
 
 namespace pfair::engine {
@@ -45,14 +42,21 @@ struct CompareResult {
     Time horizon);
 
 // --- standard specs for the repo's simulator stacks ---
+// All are thin wrappers over kind_spec(); every simulator is built
+// through engine::make_simulator, never a concrete constructor.
 
+/// Any registered scheduler kind with full config control.  The
+/// workload is loaded through Simulator::admit(); a rejected task makes
+/// the spec infeasible.
+[[nodiscard]] SchedulerSpec kind_spec(std::string name, SchedulerKind kind,
+                                      SimulatorConfig config);
 /// Global Pfair with full config control (name e.g. "PD2").
-[[nodiscard]] SchedulerSpec pfair_spec(std::string name, SimConfig config);
+[[nodiscard]] SchedulerSpec pfair_spec(std::string name, PfairConfig config);
 /// Global PD2 on `processors` (the common case).
 [[nodiscard]] SchedulerSpec pd2_spec(int processors);
 /// Partitioned EDF/RM behind a bin-packing front end; infeasible when
 /// not every task can be placed.
-[[nodiscard]] SchedulerSpec partitioned_spec(std::string name, PartitionedConfig config);
+[[nodiscard]] SchedulerSpec partitioned_spec(std::string name, PartitionConfig config);
 /// Global job-level EDF or RM on `processors` (the Dhall straw man).
 [[nodiscard]] SchedulerSpec global_job_spec(int processors, UniAlgorithm algorithm);
 /// Event-driven uniprocessor EDF/RM.

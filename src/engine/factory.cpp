@@ -1,0 +1,77 @@
+#include "engine/factory.h"
+
+#include <cassert>
+
+namespace pfair::engine {
+
+namespace {
+
+struct RegistryEntry {
+  SchedulerKind kind;
+  const char* name;
+  std::unique_ptr<Simulator> (*make)(const SimulatorConfig&);
+};
+
+// The registry: one row per simulator stack.  Rows construct *empty*
+// simulators — workloads arrive through Simulator::admit(), which every
+// stack accepts before its first slot/event runs.
+constexpr RegistryEntry kRegistry[] = {
+    {SchedulerKind::kPfair, "pfair",
+     [](const SimulatorConfig& c) -> std::unique_ptr<Simulator> {
+       return std::make_unique<PfairSimulator>(c.pfair);
+     }},
+    {SchedulerKind::kPartitioned, "partitioned",
+     [](const SimulatorConfig& c) -> std::unique_ptr<Simulator> {
+       return std::make_unique<PartitionedSimulator>(std::vector<UniTask>{}, c.partitioned);
+     }},
+    {SchedulerKind::kGlobalJob, "global-job",
+     [](const SimulatorConfig& c) -> std::unique_ptr<Simulator> {
+       return std::make_unique<GlobalJobSimulator>(std::vector<UniTask>{}, c.global_job);
+     }},
+    {SchedulerKind::kUniproc, "uniproc",
+     [](const SimulatorConfig& c) -> std::unique_ptr<Simulator> {
+       return std::make_unique<UniprocSimulator>(std::vector<UniTask>{}, c.uniproc);
+     }},
+    {SchedulerKind::kWrr, "wrr",
+     [](const SimulatorConfig& c) -> std::unique_ptr<Simulator> {
+       return std::make_unique<WrrSimulator>(TaskSet{}, c.wrr);
+     }},
+    {SchedulerKind::kCbs, "cbs",
+     [](const SimulatorConfig& c) -> std::unique_ptr<Simulator> {
+       return std::make_unique<CbsSimulator>(std::vector<UniTask>{}, c.cbs);
+     }},
+};
+
+const RegistryEntry& entry(SchedulerKind kind) noexcept {
+  for (const RegistryEntry& e : kRegistry) {
+    if (e.kind == kind) return e;
+  }
+  assert(false && "unregistered SchedulerKind");
+  return kRegistry[0];
+}
+
+}  // namespace
+
+const char* to_string(SchedulerKind kind) noexcept { return entry(kind).name; }
+
+std::optional<SchedulerKind> scheduler_kind_from_string(std::string_view name) noexcept {
+  for (const RegistryEntry& e : kRegistry) {
+    if (name == e.name) return e.kind;
+  }
+  return std::nullopt;
+}
+
+const std::vector<SchedulerKind>& all_scheduler_kinds() {
+  static const std::vector<SchedulerKind> kinds = [] {
+    std::vector<SchedulerKind> out;
+    for (const RegistryEntry& e : kRegistry) out.push_back(e.kind);
+    return out;
+  }();
+  return kinds;
+}
+
+std::unique_ptr<Simulator> make_simulator(SchedulerKind kind, const SimulatorConfig& config) {
+  return entry(kind).make(config);
+}
+
+}  // namespace pfair::engine

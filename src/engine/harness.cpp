@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "engine/parallel.h"
+
 namespace pfair::engine {
 
 namespace {
@@ -75,8 +77,8 @@ void append_value(std::string& out, const ExperimentHarness::Value& val) {
   }
 }
 
-void append_object(std::string& out,
-                   const std::vector<std::pair<std::string, ExperimentHarness::Value>>& kv) {
+template <typename KvContainer>  // vector<pair> rows / map params
+void append_object(std::string& out, const KvContainer& kv) {
   out += '{';
   bool first = true;
   for (const auto& [key, val] : kv) {
@@ -147,17 +149,22 @@ const std::string* ExperimentHarness::raw_flag(const std::string& key) const {
   return nullptr;
 }
 
+void ExperimentHarness::record_param(const std::string& key, Value v) const {
+  const std::lock_guard<std::mutex> lock(params_mutex_);
+  params_.emplace(key, std::move(v));  // first lookup wins; map keeps keys sorted
+}
+
 long long ExperimentHarness::flag(const std::string& key, long long fallback) const {
   long long out = fallback;
   if (const std::string* raw = raw_flag(key)) parse_ll(*raw, out);
-  params_.emplace_back(key, Value{out});
+  record_param(key, Value{out});
   return out;
 }
 
 double ExperimentHarness::flag_double(const std::string& key, double fallback) const {
   double out = fallback;
   if (const std::string* raw = raw_flag(key)) parse_double(*raw, out);
-  params_.emplace_back(key, Value{out});
+  record_param(key, Value{out});
   return out;
 }
 
@@ -165,8 +172,16 @@ std::string ExperimentHarness::flag_string(const std::string& key,
                                            const std::string& fallback) const {
   std::string out = fallback;
   if (const std::string* raw = raw_flag(key)) out = *raw;
-  params_.emplace_back(key, Value{out});
+  record_param(key, Value{out});
   return out;
+}
+
+int ExperimentHarness::jobs() const {
+  long long out = 0;
+  if (const std::string* raw = raw_flag("jobs")) parse_ll(*raw, out);
+  // Not recorded as a param (see header): the report must not depend on
+  // the worker count.
+  return out > 0 ? static_cast<int>(out) : ThreadPool::default_workers();
 }
 
 long long ExperimentHarness::trials(long long fallback) const {
@@ -216,7 +231,10 @@ std::string ExperimentHarness::json_path() const {
 
 std::string ExperimentHarness::to_json() const {
   std::string out = "{\"bench\":\"" + escape(name_) + "\",\"params\":";
-  append_object(out, params_);
+  {
+    const std::lock_guard<std::mutex> lock(params_mutex_);
+    append_object(out, params_);
+  }
   out += ",\"rows\":[";
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     if (i > 0) out += ',';

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <variant>
@@ -37,8 +39,19 @@ class ExperimentHarness {
   [[nodiscard]] std::uint64_t seed(std::uint64_t fallback = 1) const;
   [[nodiscard]] bool json() const noexcept { return json_; }
 
+  /// --jobs=N worker threads for parallel sweeps (engine/parallel.h);
+  /// absent or N <= 0 resolves to hardware_concurrency.  Deliberately
+  /// NOT echoed into the JSON params: the determinism guarantee is that
+  /// --jobs=1 and --jobs=N reports are byte-identical, so the worker
+  /// count must not appear in the report.
+  [[nodiscard]] int jobs() const;
+
   /// Any --key=value flag as integer / double; `fallback` when absent
-  /// or malformed.  Looked-up flags are echoed into the JSON "params".
+  /// or malformed.  Looked-up flags are echoed into the JSON "params"
+  /// (sorted by key, first lookup wins).  Lookups are thread-safe, so
+  /// flags may be read from ParallelSweep trial functions — though
+  /// flags read only after finish() wrote the report cannot appear in
+  /// it; read flags up front.
   [[nodiscard]] long long flag(const std::string& key, long long fallback) const;
   [[nodiscard]] double flag_double(const std::string& key, double fallback) const;
   [[nodiscard]] std::string flag_string(const std::string& key,
@@ -83,13 +96,19 @@ class ExperimentHarness {
 
  private:
   [[nodiscard]] const std::string* raw_flag(const std::string& key) const;
+  void record_param(const std::string& key, Value v) const;
 
   std::string name_;
   bool json_ = false;
   std::string json_file_;                                  ///< --json=FILE override
   std::vector<std::pair<std::string, std::string>> args_;  ///< parsed --key value pairs
-  // Flags looked up so far, with the values resolved (echoed as params).
-  mutable std::vector<std::pair<std::string, Value>> params_;
+  // Flags looked up so far, with the values resolved (echoed as
+  // params).  A sorted map guarded by a mutex: lookups can come from
+  // worker threads in any order, but the JSON echo must be identical
+  // run-to-run, so serialization order is the key order, not the
+  // lookup order, and repeat lookups collapse to one entry.
+  mutable std::mutex params_mutex_;
+  mutable std::map<std::string, Value> params_;
   std::vector<Row> rows_;
 };
 

@@ -1,0 +1,141 @@
+// Parallel trial execution for the experiment benches.
+//
+// The paper's headline evidence (Figs. 3-4) averages thousands of random
+// task sets per utilization point; until this layer existed every bench
+// ran those trials on one core.  Two pieces change that:
+//
+//   - ThreadPool: a fixed set of N workers draining one job queue.
+//     Destruction drains the queue (submitted work always runs); wait()
+//     blocks until every submitted job finished and rethrows the first
+//     exception any job raised.
+//
+//   - ParallelSweep: fans a trial function (trial_index, Rng&) -> Result
+//     out across the pool in chunks and returns the results *in trial
+//     order*.  Each trial draws from its own counter-based RNG stream
+//     (Rng::stream — a pure function of (seed, point, trial), never of
+//     scheduling order), so a sweep's output is bit-identical for
+//     --jobs=1 and --jobs=N.  Downstream accumulators (RunningStats,
+//     engine::Metrics, obs::Histogram) are merged serially by the caller
+//     over the ordered results, keeping every reported mean / CI /
+//     histogram byte-stable across worker counts.
+//
+// Thread-safety contract for trial functions: they may only touch their
+// arguments and read shared immutable state (configs, OverheadParams,
+// pre-built workloads).  All repo analysis and simulation entry points
+// satisfy this — simulators are built per trial, and the workload
+// generators draw only from the caller-owned Rng.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pfair::engine {
+
+class ThreadPool {
+ public:
+  /// `workers` <= 0 selects default_workers().
+  explicit ThreadPool(int workers = 0);
+
+  /// Drains the queue (pending jobs still run), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// std::thread::hardware_concurrency, clamped to >= 1 (the function is
+  /// allowed to return 0 on exotic platforms).
+  [[nodiscard]] static int default_workers() noexcept;
+
+  [[nodiscard]] int workers() const noexcept { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues a job.  Jobs run in submission order (per worker pickup).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished, then rethrows the
+  /// first exception a job raised (if any; later ones are dropped).
+  /// After a throwing wait() the pool is reusable — the error slot is
+  /// cleared.
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;   ///< queue became non-empty / stopping
+  std::condition_variable cv_done_;  ///< in_flight_ hit zero
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently running jobs
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+class ParallelSweep {
+ public:
+  /// `jobs` <= 1 runs trials inline on the calling thread (no pool, no
+  /// threads — the baseline for the speedup measurements); `jobs` > 1
+  /// builds a pool of that many workers, reused across run() calls.
+  ParallelSweep(int jobs, std::uint64_t seed);
+
+  [[nodiscard]] int jobs() const noexcept { return jobs_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Runs `trials` independent trials of sweep point `point` and returns
+  /// their results in trial order.  `fn` is invoked as fn(trial, rng)
+  /// where rng is the trial's private counter-based stream, derived as
+  /// Rng::stream(derive_stream_seed(seed, point), trial) — i.e. a pure
+  /// function of (seed, point, trial).  `point` keys the sweep point
+  /// (e.g. task-count * 1000 + point-index) so every point draws from a
+  /// disjoint stream family and adding points never shifts another
+  /// point's workloads.  Result must be default-constructible; `fn` must
+  /// be safe to invoke concurrently (see the header comment).
+  template <typename Fn>
+  auto run(std::uint64_t point, long long trials, Fn&& fn)
+      -> std::vector<std::decay_t<decltype(fn(0LL, std::declval<Rng&>()))>> {
+    using Result = std::decay_t<decltype(fn(0LL, std::declval<Rng&>()))>;
+    const std::uint64_t point_seed = Rng::derive_stream_seed(seed_, point);
+    std::vector<Result> out(trials > 0 ? static_cast<std::size_t>(trials) : 0);
+    if (trials <= 0) return out;
+    if (!pool_.has_value()) {
+      for (long long t = 0; t < trials; ++t) {
+        Rng rng = Rng::stream(point_seed, static_cast<std::uint64_t>(t));
+        out[static_cast<std::size_t>(t)] = fn(t, rng);
+      }
+      return out;
+    }
+    // Chunked dispatch: a few chunks per worker balances load without
+    // paying one queue round-trip per trial.
+    const long long per_worker = static_cast<long long>(pool_->workers()) * 4;
+    const long long chunk = std::max<long long>(1, (trials + per_worker - 1) / per_worker);
+    for (long long lo = 0; lo < trials; lo += chunk) {
+      const long long hi = std::min(trials, lo + chunk);
+      pool_->submit([point_seed, lo, hi, &out, &fn] {
+        for (long long t = lo; t < hi; ++t) {
+          Rng rng = Rng::stream(point_seed, static_cast<std::uint64_t>(t));
+          out[static_cast<std::size_t>(t)] = fn(t, rng);
+        }
+      });
+    }
+    pool_->wait();
+    return out;
+  }
+
+ private:
+  int jobs_;
+  std::uint64_t seed_;
+  std::optional<ThreadPool> pool_;  ///< engaged iff jobs_ > 1
+};
+
+}  // namespace pfair::engine

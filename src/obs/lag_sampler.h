@@ -2,7 +2,7 @@
 //
 // PD2's entire correctness story is "lag stays inside (-1, 1)"; this
 // sink turns the kLagSample events the Pfair simulator emits (when
-// SimConfig::lag_sample_every > 0) into per-task timelines, so the lag
+// PfairConfig::lag_sample_every > 0) into per-task timelines, so the lag
 // trajectory behind a miss — or behind WRR's growing allocation error —
 // can be plotted instead of inferred.  Export is a flat CSV
 // (task,name?,t,lag) that gnuplot/pandas load directly; the Perfetto

@@ -52,7 +52,7 @@ SchedCostModel calibrate_sched_costs(const CalibrationConfig& config) {
         const int m = static_cast<int>(SchedCostModel::kProcCounts[mi]);
         const std::vector<Task> tasks =
             calibration_taskset(rng, n, 0.95 * static_cast<double>(m));
-        SimConfig sc;
+        PfairConfig sc;
         sc.processors = m;
         sc.measure_overhead = true;
         PfairSimulator sim(sc);

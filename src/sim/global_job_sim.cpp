@@ -6,14 +6,12 @@
 
 namespace pfair {
 
-GlobalJobSimulator::GlobalJobSimulator(std::vector<UniTask> tasks, int processors,
-                                       UniAlgorithm algorithm)
+GlobalJobSimulator::GlobalJobSimulator(std::vector<UniTask> tasks, GlobalJobConfig config)
     : tasks_(std::move(tasks)),
-      processors_(processors),
-      algorithm_(algorithm),
+      config_(config),
       next_release_(tasks_.size(), 0),
       live_jobs_(tasks_.size(), 0) {
-  assert(processors_ >= 1);
+  assert(config_.processors >= 1);
 }
 
 bool GlobalJobSimulator::admit(std::int64_t execution, std::int64_t period) {
@@ -26,7 +24,7 @@ bool GlobalJobSimulator::admit(std::int64_t execution, std::int64_t period) {
 }
 
 bool GlobalJobSimulator::higher_priority(const Job& a, const Job& b) const {
-  if (algorithm_ == UniAlgorithm::kEDF) {
+  if (config_.algorithm == UniAlgorithm::kEDF) {
     if (a.deadline != b.deadline) return a.deadline < b.deadline;
   } else {
     if (tasks_[a.task].period != tasks_[b.task].period)
@@ -71,7 +69,7 @@ void GlobalJobSimulator::run_until(Time until) {
     std::sort(order.begin(), order.end(),
               [&](const Job* a, const Job* b) { return higher_priority(*a, *b); });
     const std::size_t running =
-        std::min<std::size_t>(order.size(), static_cast<std::size_t>(processors_));
+        std::min<std::size_t>(order.size(), static_cast<std::size_t>(config_.processors));
 
     // Preemption accounting: was running, still incomplete, now not.
     for (std::size_t k = running; k < order.size(); ++k) {
@@ -83,7 +81,7 @@ void GlobalJobSimulator::run_until(Time until) {
       order[k]->running_prev = false;
     }
     // Processor assignment with affinity among the selected jobs.
-    std::vector<bool> proc_taken(static_cast<std::size_t>(processors_), false);
+    std::vector<bool> proc_taken(static_cast<std::size_t>(config_.processors), false);
     std::vector<Job*> needs_proc;
     for (std::size_t k = 0; k < running; ++k) {
       Job* j = order[k];

@@ -27,10 +27,20 @@
 
 namespace pfair {
 
+struct GlobalJobConfig {
+  int processors = 1;
+  UniAlgorithm algorithm = UniAlgorithm::kEDF;
+};
+
 class GlobalJobSimulator : public engine::Simulator {
  public:
+  GlobalJobSimulator(std::vector<UniTask> tasks, GlobalJobConfig config);
+
+  /// Deprecated positional form, kept as a shim for one PR; use the
+  /// GlobalJobConfig overload (or engine::make_simulator).
   GlobalJobSimulator(std::vector<UniTask> tasks, int processors,
-                     UniAlgorithm algorithm = UniAlgorithm::kEDF);
+                     UniAlgorithm algorithm = UniAlgorithm::kEDF)
+      : GlobalJobSimulator(std::move(tasks), GlobalJobConfig{processors, algorithm}) {}
 
   GlobalJobSimulator(const GlobalJobSimulator&) = delete;
   GlobalJobSimulator& operator=(const GlobalJobSimulator&) = delete;
@@ -61,8 +71,7 @@ class GlobalJobSimulator : public engine::Simulator {
   [[nodiscard]] bool higher_priority(const Job& a, const Job& b) const;
 
   std::vector<UniTask> tasks_;
-  int processors_;
-  UniAlgorithm algorithm_;
+  GlobalJobConfig config_;
   std::vector<Time> next_release_;
   std::vector<std::int64_t> live_jobs_;
   std::vector<Job> ready_;  ///< all incomplete jobs (small sets: scans)

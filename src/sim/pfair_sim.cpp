@@ -7,7 +7,7 @@
 
 namespace pfair {
 
-PfairSimulator::PfairSimulator(SimConfig config)
+PfairSimulator::PfairSimulator(PfairConfig config)
     : config_(config),
       live_processors_(config.processors),
       ready_(SubtaskPriority(config.algorithm)),

@@ -6,13 +6,12 @@
 
 namespace pfair {
 
-CbsSimulator::CbsSimulator(std::vector<UniTask> hard_tasks,
-                           std::vector<CbsServerSpec> servers)
+CbsSimulator::CbsSimulator(std::vector<UniTask> hard_tasks, CbsConfig config)
     : hard_(std::move(hard_tasks)),
       hard_next_release_(hard_.size(), 0),
       hard_live_(hard_.size(), 0) {
-  servers_.reserve(servers.size());
-  for (CbsServerSpec& spec : servers) {
+  servers_.reserve(config.servers.size());
+  for (CbsServerSpec& spec : config.servers) {
     assert(spec.budget > 0 && spec.period > 0 && spec.budget <= spec.period);
     assert(std::is_sorted(spec.jobs.begin(), spec.jobs.end(),
                           [](const AperiodicJob& a, const AperiodicJob& b) {

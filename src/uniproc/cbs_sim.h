@@ -43,13 +43,22 @@ struct CbsServerSpec {
   std::vector<AperiodicJob> jobs;  ///< sorted by arrival
 };
 
+struct CbsConfig {
+  std::vector<CbsServerSpec> servers;
+};
+
 // Hard-task counters land in the generic engine::Metrics job fields
 // (jobs_released / jobs_completed / deadline_misses); the server-side
 // counters use the CBS section (served_jobs_completed, served_work,
 // deadline_postponements).
 class CbsSimulator : public engine::Simulator {
  public:
-  CbsSimulator(std::vector<UniTask> hard_tasks, std::vector<CbsServerSpec> servers);
+  CbsSimulator(std::vector<UniTask> hard_tasks, CbsConfig config);
+
+  /// Deprecated positional form, kept as a shim for one PR; use the
+  /// CbsConfig overload (or engine::make_simulator).
+  CbsSimulator(std::vector<UniTask> hard_tasks, std::vector<CbsServerSpec> servers)
+      : CbsSimulator(std::move(hard_tasks), CbsConfig{std::move(servers)}) {}
 
   CbsSimulator(const CbsSimulator&) = delete;
   CbsSimulator& operator=(const CbsSimulator&) = delete;

@@ -3,7 +3,7 @@
 namespace pfair {
 
 PartitionedSimulator::PartitionedSimulator(const std::vector<UniTask>& tasks,
-                                           PartitionedConfig config)
+                                           PartitionConfig config)
     : tasks_(tasks), config_(config) {
   rebuild();
 }

@@ -70,9 +70,33 @@ class Rng {
   }
 
   /// Derives an independent stream for a sub-experiment; deterministic in
-  /// (current seed material, `stream`).
+  /// (current seed material, `stream`).  NOTE: fork() advances this
+  /// generator, so the derived stream depends on how many forks happened
+  /// before it.  Parallel trial engines need the order-free stream()
+  /// below instead.
   [[nodiscard]] Rng fork(std::uint64_t stream) noexcept {
     return Rng(next() ^ (stream * 0xbf58476d1ce4e5b9ull + 0x94d049bb133111ebull));
+  }
+
+  /// Counter-based seed derivation: a pure function of (seed, stream) —
+  /// no generator state is consumed — so stream i can be reconstructed
+  /// independently, in any order, on any thread.  This is what makes a
+  /// parallel trial sweep bit-identical to its serial run: trial t
+  /// always sees Rng::stream(seed, t) no matter which worker runs it.
+  /// Mixing is a splitmix64 chain: hash the base seed once, offset by
+  /// the counter in mixed space, hash again (neighbouring counters land
+  /// in unrelated states; the Rng constructor expands further).
+  [[nodiscard]] static std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                                       std::uint64_t stream) noexcept {
+    std::uint64_t x = seed;
+    x = splitmix64(x) + stream;  // splitmix64 advances x, returns the hash
+    return splitmix64(x);
+  }
+
+  /// Generator for counter-based stream `stream` of `seed` (see
+  /// derive_stream_seed).
+  [[nodiscard]] static Rng stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+    return Rng(derive_stream_seed(seed, stream));
   }
 
  private:

@@ -7,6 +7,11 @@
 //     for the schedulability experiments (Figs. 3 and 4): N tasks with a
 //     prescribed total utilization, D(T) ~ U[0, 100 us], periods
 //     multiples of the 1 ms quantum.
+//
+// Thread-safety: every generator draws only from the caller-supplied
+// Rng and touches no mutable shared state, so concurrent calls with
+// distinct Rng instances are safe — engine::ParallelSweep trial
+// functions rely on this.
 #pragma once
 
 #include <vector>

@@ -77,7 +77,7 @@ TEST(SupertaskPacking, PackedSystemMeetsAllComponentDeadlines) {
     }
     const PackingResult packed = pack_into_supertasks(set, 2);
     if (Rational(2) < packed.total_weight) continue;  // reweighting overflow
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = 2;
     PfairSimulator sim(sc);
     std::vector<TaskId> servers;
@@ -100,7 +100,7 @@ TEST(SupertaskPacking, PackedSystemMeetsAllComponentDeadlines) {
 TEST(SupertaskPacking, BoundServersNeverMigrate) {
   const TaskSet set = light_set();
   const PackingResult packed = pack_into_supertasks(set, 1);
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 2;
   sc.record_trace = true;
   PfairSimulator sim(sc);
@@ -127,7 +127,7 @@ TEST(SupertaskPacking, PackingReducesContextSwitchesForLightTasks) {
   std::uint64_t plain_switches = 0;
   std::uint64_t packed_switches = 0;
   {
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = 1;
     PfairSimulator sim(sc);
     for (const Task& t : set.tasks()) sim.add_task(t);
@@ -137,7 +137,7 @@ TEST(SupertaskPacking, PackingReducesContextSwitchesForLightTasks) {
   {
     const PackingResult packed = pack_into_supertasks(set, 1);
     ASSERT_EQ(packed.supertasks.size(), 1u);
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = 1;
     PfairSimulator sim(sc);
     sim.add_supertask(packed.supertasks[0], 0);

@@ -52,7 +52,7 @@ TEST(EngineMetrics, ContextSwitchesDominatePreemptions) {
   WrrConfig wc;
   wc.processors = kProcessors;
   wc.frame = 16;
-  PartitionedConfig pc;
+  PartitionConfig pc;
   pc.max_processors = kProcessors;
   const std::vector<engine::SchedulerSpec> specs = {
       engine::pd2_spec(kProcessors), engine::wrr_spec(wc),

@@ -24,7 +24,7 @@ TEST(PaperClaims, Sec1CounterexampleSeparatesApproaches) {
                             Heuristic::kFirstFitDecreasing, Heuristic::kBestFitDecreasing}) {
     EXPECT_FALSE(partition(utils, 2, h).feasible) << heuristic_name(h);
   }
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 2;
   sc.record_trace = true;
   PfairSimulator sim(sc);
@@ -48,7 +48,7 @@ TEST(PaperClaims, Sec3WorstCaseUtilizationGap) {
     TaskSet set;
     for (const Rational& w : adversary) set.add(make_task(w.num(), w.den()));
     ASSERT_TRUE(set.feasible_on(m));
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = m;
     PfairSimulator sim(sc);
     for (const Task& t : set.tasks()) sim.add_task(t);
@@ -120,7 +120,7 @@ TEST(PaperClaims, Sec4AccountingBoundsAreSound) {
   EXPECT_LE(usim.metrics().context_switches, 2 * usim.metrics().jobs_released);
 
   const TaskSet set = generate_feasible_taskset(rng, 2, 8, 12, /*fill=*/true);
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 2;
   PfairSimulator sim(sc);
   std::vector<TaskId> ids;
@@ -138,7 +138,7 @@ TEST(PaperClaims, Sec4AccountingBoundsAreSound) {
 // and IS systems — one combined stress: a mixed system of all three
 // kinds at full utilization with a mid-run join and a legal leave.
 TEST(PaperClaims, MixedModelFullLoadStress) {
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 3;
   PfairSimulator sim(sc);
   sim.add_task(make_task(1, 2, TaskKind::kPeriodic));

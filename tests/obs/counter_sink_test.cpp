@@ -94,7 +94,7 @@ TEST(CounterSink, UniprocRmBitIdentical) {
 }
 
 TEST(CounterSink, PartitionedBitIdentical) {
-  PartitionedConfig pc;
+  PartitionConfig pc;
   pc.max_processors = 2;
   run_spec_and_compare(engine::partitioned_spec("EDF-FF", pc), mp_workload(), 420);
 }
@@ -130,7 +130,7 @@ TEST(CounterSink, CbsBitIdentical) {
 TEST(CounterSink, Pd2WithOverheadTimingAndLagChecksBitIdentical) {
   // measure_overhead makes sched_ns_total a nontrivial sum of
   // steady_clock samples: the strongest order-sensitivity test.
-  SimConfig cfg;
+  PfairConfig cfg;
   cfg.processors = 2;
   cfg.measure_overhead = true;
   cfg.check_lags = true;
@@ -149,7 +149,7 @@ TEST(CounterSink, Pd2WithOverheadTimingAndLagChecksBitIdentical) {
 TEST(CounterSink, SupertaskComponentMissesBitIdentical) {
   // Fig. 5 system: V = 1/2, W = X = 1/3, Y = 2/9, S = {T: 1/5, U: 1/45}
   // competing at 2/9 — the canonical component-miss scenario.
-  SimConfig cfg;
+  PfairConfig cfg;
   cfg.processors = 2;
   PfairSimulator sim(cfg);
   sim.add_task({1, 2, 0, TaskKind::kPeriodic, "V"});

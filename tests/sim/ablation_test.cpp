@@ -36,7 +36,7 @@ TEST(Ablation, TieBreaksMatter_EpdfMissesWherePd2DoesNot) {
   const TaskSet set = epdf_counterexample();
   ASSERT_EQ(set.total_weight(), Rational(6));
   for (const Algorithm alg : {Algorithm::kPD2, Algorithm::kEPDF}) {
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = 6;
     sc.algorithm = alg;
     PfairSimulator sim(sc);
@@ -56,7 +56,7 @@ TEST(Ablation, VerifierFlagsTheEpdfScheduleAsInvalid) {
   // schedule of the counterexample and accept PD2's.
   const TaskSet set = epdf_counterexample();
   for (const Algorithm alg : {Algorithm::kPD2, Algorithm::kEPDF}) {
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = 6;
     sc.algorithm = alg;
     sc.record_trace = true;
@@ -73,7 +73,7 @@ TEST(Ablation, VerifierFlagsTheEpdfScheduleAsInvalid) {
 TEST(Ablation, PdAndPfAlsoScheduleTheCounterexample) {
   const TaskSet set = epdf_counterexample();
   for (const Algorithm alg : {Algorithm::kPD, Algorithm::kPF}) {
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = 6;
     sc.algorithm = alg;
     PfairSimulator sim(sc);
@@ -93,7 +93,7 @@ TEST(Ablation, AffinityReducesMigrationsWithoutAffectingCorrectness) {
     std::uint64_t sw_with = 0;
     std::uint64_t sw_without = 0;
     for (const bool affinity : {true, false}) {
-      SimConfig sc;
+      PfairConfig sc;
       sc.processors = 4;
       sc.affinity = affinity;
       PfairSimulator sim(sc);
@@ -130,7 +130,7 @@ TEST(Ablation, ErfairImprovesMeanResponseTimeInLightLoad) {
     double mean_pfair = 0.0;
     double mean_er = 0.0;
     for (const bool early : {false, true}) {
-      SimConfig sc;
+      PfairConfig sc;
       sc.processors = 4;  // ample slack
       PfairSimulator sim(sc);
       for (const Task& t : (early ? er : periodic).tasks()) sim.add_task(t);
@@ -148,7 +148,7 @@ TEST(Ablation, ErfairImprovesMeanResponseTimeInLightLoad) {
 TEST(Ablation, ResponseTimeNeverExceedsPeriodWhenFeasible) {
   Rng rng(0x4e5);
   const TaskSet set = generate_feasible_taskset(rng, 3, 10, 10, /*fill=*/true);
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 3;
   PfairSimulator sim(sc);
   for (const Task& t : set.tasks()) sim.add_task(t);

@@ -18,7 +18,7 @@ TEST(Consistency, IdenticalRunsProduceIdenticalMetrics) {
     const TaskSet set = sample_set(100 + static_cast<std::uint64_t>(trial), 3);
     engine::Metrics first;
     for (int run = 0; run < 2; ++run) {
-      SimConfig sc;
+      PfairConfig sc;
       sc.processors = 3;
       PfairSimulator sim(sc);
       for (const Task& t : set.tasks()) sim.add_task(t);
@@ -38,7 +38,7 @@ TEST(Consistency, IdenticalRunsProduceIdenticalMetrics) {
 
 TEST(Consistency, SteppedRunEqualsOneShotRun) {
   const TaskSet set = sample_set(55, 2);
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 2;
   sc.record_trace = true;
   PfairSimulator once(sc);
@@ -62,7 +62,7 @@ TEST(Consistency, SteppedRunEqualsOneShotRun) {
 
 TEST(Consistency, TraceAgreesWithCounters) {
   const TaskSet set = sample_set(77, 3);
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 3;
   sc.record_trace = true;
   PfairSimulator sim(sc);
@@ -103,7 +103,7 @@ TEST(Consistency, FuzzedLegalOperationSequencesNeverMiss) {
   Rng rng(0xf022);
   for (int trial = 0; trial < 6; ++trial) {
     Rng trial_rng = rng.fork(static_cast<std::uint64_t>(trial));
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = 4;
     PfairSimulator sim(sc);
     std::vector<TaskId> live;

@@ -9,7 +9,7 @@ namespace pfair {
 namespace {
 
 TEST(Dynamics, JoinRejectedWhenCapacityExceeded) {
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator sim(sc);
   sim.add_task(make_task(2, 3));
@@ -19,7 +19,7 @@ TEST(Dynamics, JoinRejectedWhenCapacityExceeded) {
 }
 
 TEST(Dynamics, MidstreamJoinMeetsAllItsDeadlines) {
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 2;
   PfairSimulator sim(sc);
   sim.add_task(make_task(1, 2));
@@ -37,7 +37,7 @@ TEST(Dynamics, MidstreamJoinMeetsAllItsDeadlines) {
 }
 
 TEST(Dynamics, LegalLeaveThenRejoinCannotOverclaim) {
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator sim(sc);
   const TaskId a = sim.add_task(make_task(1, 2));
@@ -56,7 +56,7 @@ TEST(Dynamics, LegalLeaveThenRejoinCannotOverclaim) {
 }
 
 TEST(Dynamics, RequestLeaveFreesCapacityOnlyAtRuleTime) {
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator sim(sc);
   const TaskId a = sim.add_task(make_task(1, 2));  // heavy (weight 1/2)
@@ -73,7 +73,7 @@ TEST(Dynamics, RequestLeaveFreesCapacityOnlyAtRuleTime) {
 }
 
 TEST(Dynamics, LeaveBlockedBeforeEarliestLeaveTime) {
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator sim(sc);
   const TaskId a = sim.add_task(make_task(1, 10));
@@ -96,7 +96,7 @@ TEST(Dynamics, PrematureLeaveAndRejoinCanCauseMisses) {
   // 1/10 tasks (deadline 10, b = 0) in every slot up to and including
   // slot 8, leaving only slot 9 for the two honest subtasks — one of
   // them misses at time 10.
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator sim(sc);
   TaskId cheat = sim.add_task(make_task(4, 5));
@@ -119,7 +119,7 @@ TEST(Dynamics, PrematureLeaveAndRejoinCanCauseMisses) {
 TEST(Dynamics, ForceLeaveCancelsPendingReweight) {
   // A task force-removed while a reweight is in flight must stay gone —
   // the switch-over must not resurrect it.
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator sim(sc);
   const TaskId a = sim.add_task(make_task(1, 2));
@@ -139,7 +139,7 @@ TEST(Dynamics, ForceLeaveCancelsPendingReweight) {
 }
 
 TEST(Dynamics, ReweightingTakesEffect) {
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator sim(sc);
   const TaskId a = sim.add_task(make_task(1, 4));
@@ -153,7 +153,7 @@ TEST(Dynamics, ReweightingTakesEffect) {
 }
 
 TEST(Dynamics, ReweightRejectedWhenItWouldOverload) {
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator sim(sc);
   const TaskId a = sim.add_task(make_task(1, 4));
@@ -167,7 +167,7 @@ TEST(Dynamics, ManyRandomJoinsAndLegalLeavesNeverMiss) {
   Rng rng(0xd1ce);
   for (int trial = 0; trial < 6; ++trial) {
     Rng trial_rng = rng.fork(static_cast<std::uint64_t>(trial));
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = 3;
     PfairSimulator sim(sc);
     std::vector<TaskId> live;

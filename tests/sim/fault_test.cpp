@@ -12,7 +12,7 @@ namespace {
 TEST(Faults, ProcessorLossToleratedWhenSlackSuffices) {
   // Total weight 17/12 <= 2: losing one of three processors at t = 50
   // is transparent.
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 3;
   PfairSimulator sim(sc);
   sim.add_task(make_task(1, 2));
@@ -32,7 +32,7 @@ TEST(Faults, RandomisedKProcessorLossTransparency) {
     const int k = static_cast<int>(trial_rng.uniform_int(1, 2));
     // Build a set feasible on m - k processors.
     const TaskSet set = generate_feasible_taskset(trial_rng, m - k, 12, 12, /*fill=*/true);
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = m;
     PfairSimulator sim(sc);
     for (const Task& t : set.tasks()) sim.add_task(t);
@@ -44,7 +44,7 @@ TEST(Faults, RandomisedKProcessorLossTransparency) {
 
 TEST(Faults, OverloadCausesMissesWithoutReweighting) {
   // Weight 2 on 2 processors; one dies at t = 30 with no mitigation.
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 2;
   PfairSimulator sim(sc);
   sim.add_task(make_task(1, 1));
@@ -60,7 +60,7 @@ TEST(Faults, ReweightingProtectsCriticalTaskThroughOverload) {
   // Critical 1/2 task plus two non-critical 3/4 tasks on 2 processors.
   // When one processor fails, reweight the non-critical tasks down to
   // 1/4 each: the critical task keeps every deadline afterwards.
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 2;
   PfairSimulator sim(sc);
   const TaskId critical = sim.add_task(make_task(1, 2, TaskKind::kPeriodic, "crit"));
@@ -90,7 +90,7 @@ TEST(Faults, RepairRestoresCapacity) {
   // repair each task can run above its rate (up to weight 1), so the
   // ScheduleLate backlog drains and the steady state is miss-free: no
   // new misses between t = 150 and t = 200.
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 2;
   PfairSimulator sim(sc);
   sim.add_task(make_task(3, 4));

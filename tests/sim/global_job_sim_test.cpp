@@ -47,7 +47,7 @@ TEST(GlobalJob, Pd2SchedulesTheDhallSetWithoutMisses) {
   // The same task set, quantum-level PD2: no misses (the paper's
   // argument for Pfair over naive global scheduling).
   for (const int m : {2, 4, 8}) {
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = m;
     PfairSimulator sim(sc);
     for (int k = 0; k < m; ++k) sim.add_task(make_task(2, 10));

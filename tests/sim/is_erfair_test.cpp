@@ -11,7 +11,7 @@ namespace pfair {
 namespace {
 
 TEST(IntraSporadic, OnTimeArrivalsBehaveLikePeriodic) {
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator periodic(sc);
   const TaskId a = periodic.add_task(make_task(3, 7));
@@ -26,7 +26,7 @@ TEST(IntraSporadic, OnTimeArrivalsBehaveLikePeriodic) {
 TEST(IntraSporadic, LateArrivalDelaysExecutionWithoutMiss) {
   // Fig. 1(b): subtask T5 of an 8/11 task becomes eligible one slot
   // late; its window (and all later windows) shift by one slot.
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   sc.record_trace = true;
   PfairSimulator sim(sc);
@@ -47,7 +47,7 @@ TEST(IntraSporadic, BurstyLateArrivalsNeverMissShiftedDeadlines) {
   Rng rng(0x15);
   for (int trial = 0; trial < 8; ++trial) {
     Rng trial_rng = rng.fork(static_cast<std::uint64_t>(trial));
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = 2;
     PfairSimulator sim(sc);
     // Two IS tasks with random delays plus periodic background load.
@@ -72,7 +72,7 @@ TEST(IntraSporadic, EarlyArrivalRunsBeforePfairRelease) {
   // A lightly loaded system: subtask 2 arrives at time 0 (early, base
   // release is 5 for weight 1/5... use weight 2/10 -> r(2) = 5).  With
   // an idle processor it may run before slot 5.
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   sc.record_trace = true;
   PfairSimulator sim(sc);
@@ -88,7 +88,7 @@ TEST(Erfair, ImprovesResponseTimeVersusPfair) {
   // Response time of the first job of a 4/12 task alone on 1 CPU:
   // Pfair spreads the 4 quanta across the period (finishes at 12);
   // ERfair runs them immediately (finishes at 4).
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   sc.record_trace = true;
   PfairSimulator pf(sc);
@@ -103,7 +103,7 @@ TEST(Erfair, ImprovesResponseTimeVersusPfair) {
 }
 
 TEST(Erfair, LagMayGoBelowMinusOneButNeverAboveOne) {
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator sim(sc);
   const TaskId id = sim.add_task(make_task(5, 25, TaskKind::kEarlyRelease));

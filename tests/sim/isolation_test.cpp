@@ -14,7 +14,7 @@ namespace pfair {
 namespace {
 
 TEST(Isolation, GreedyBurstCannotExceedItsWeight) {
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator sim(sc);
   // Misbehaver: weight 1/4, every subtask "arrives" at time 0 (it would
@@ -38,7 +38,7 @@ TEST(Isolation, BurstOnlyAbsorbsOtherwiseIdleCapacity) {
   std::vector<std::int64_t> honest_alone;
   std::vector<std::int64_t> honest_with_burst;
   for (const bool with_burst : {false, true}) {
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = 2;
     sc.record_trace = true;
     PfairSimulator sim(sc);
@@ -59,7 +59,7 @@ TEST(Isolation, BurstOnlyAbsorbsOtherwiseIdleCapacity) {
 TEST(Isolation, ReweightedMisbehaverStillContained) {
   // A task that keeps (legally) growing its weight can only claim what
   // admission grants; the honest task's share survives every change.
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator sim(sc);
   const TaskId honest = sim.add_task(make_task(1, 2, TaskKind::kPeriodic));

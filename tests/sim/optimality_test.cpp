@@ -30,7 +30,7 @@ TEST_P(OptimalityTest, RandomFeasibleSetsNeverMiss) {
     const TaskSet set = generate_feasible_taskset(
         trial_rng, c.processors, /*max_tasks=*/static_cast<std::size_t>(4 * c.processors + 4),
         /*max_period=*/16, c.fill);
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = c.processors;
     sc.algorithm = c.alg;
     sc.check_lags = !c.fill ? true : true;  // lags checked in all cases
@@ -90,7 +90,7 @@ TEST_P(ErfairOptimalityTest, FullyLoadedErfairSetsNeverMiss) {
     const TaskSet set =
         generate_feasible_taskset(trial_rng, m, static_cast<std::size_t>(4 * m + 4), 16,
                                   /*fill=*/true, TaskKind::kEarlyRelease);
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = m;
     sc.algorithm = Algorithm::kPD2;
     PfairSimulator sim(sc);
@@ -112,7 +112,7 @@ TEST(Optimality, AsynchronousPhasesNeverMiss) {
     Rng trial_rng = rng.fork(static_cast<std::uint64_t>(trial));
     const int m = 1 + trial % 4;
     TaskSet set = generate_feasible_taskset(trial_rng, m, 16, 14, /*fill=*/true);
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = m;
     PfairSimulator sim(sc);
     for (Task t : set.tasks()) {
@@ -133,7 +133,7 @@ TEST(Optimality, LargeFullyLoadedSixteenProcessorSystem) {
   Rng rng(7952);
   const TaskSet set = generate_feasible_taskset(rng, 16, 300, 64, /*fill=*/true);
   ASSERT_EQ(set.total_weight(), Rational(16));
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 16;
   PfairSimulator sim(sc);
   for (const Task& t : set.tasks()) sim.add_task(t);
@@ -151,7 +151,7 @@ TEST(Optimality, FullUtilizationMeansZeroIdle) {
     const int m = 1 + trial % 4;
     const TaskSet set = generate_feasible_taskset(trial_rng, m, 20, 12, /*fill=*/true);
     ASSERT_EQ(set.total_weight(), Rational(m));
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = m;
     PfairSimulator sim(sc);
     for (const Task& t : set.tasks()) sim.add_task(t);

@@ -7,8 +7,8 @@
 namespace pfair {
 namespace {
 
-SimConfig cfg(int m, Algorithm alg = Algorithm::kPD2) {
-  SimConfig c;
+PfairConfig cfg(int m, Algorithm alg = Algorithm::kPD2) {
+  PfairConfig c;
   c.processors = m;
   c.algorithm = alg;
   return c;
@@ -32,7 +32,7 @@ TEST(PfairSim, HalfWeightTaskGetsExactlyHalf) {
 }
 
 TEST(PfairSim, AllocationTracksFluidRateOverAnyPrefix) {
-  SimConfig c = cfg(1);
+  PfairConfig c = cfg(1);
   c.check_lags = true;
   PfairSimulator sim(c);
   sim.add_task(make_task(3, 7));
@@ -45,7 +45,7 @@ TEST(PfairSim, AllocationTracksFluidRateOverAnyPrefix) {
 TEST(PfairSim, ThreeTwoThirdTasksOnTwoProcessors) {
   // The paper's Sec.-1 example: impossible under partitioning, trivial
   // under Pfair.
-  SimConfig c = cfg(2);
+  PfairConfig c = cfg(2);
   c.check_lags = true;
   PfairSimulator sim(c);
   TaskSet set = two_processor_counterexample();
@@ -58,7 +58,7 @@ TEST(PfairSim, ThreeTwoThirdTasksOnTwoProcessors) {
 }
 
 TEST(PfairSim, NoTaskRunsTwiceInOneSlot) {
-  SimConfig c = cfg(4);
+  PfairConfig c = cfg(4);
   c.record_trace = true;
   PfairSimulator sim(c);
   sim.add_task(make_task(9, 10));
@@ -75,7 +75,7 @@ TEST(PfairSim, NoTaskRunsTwiceInOneSlot) {
 }
 
 TEST(PfairSim, TraceAllocationMatchesCounter) {
-  SimConfig c = cfg(2);
+  PfairConfig c = cfg(2);
   c.record_trace = true;
   PfairSimulator sim(c);
   const TaskId a = sim.add_task(make_task(3, 5));
@@ -101,7 +101,7 @@ TEST(PfairSim, PeriodicPfairIsNotWorkConserving) {
 TEST(PfairSim, ErfairIsWorkConservingWithinJobs) {
   // Same task, early-release: all 3 quanta of each job run back-to-back
   // at the start of each period.
-  SimConfig c = cfg(1);
+  PfairConfig c = cfg(1);
   c.record_trace = true;
   PfairSimulator sim(c);
   const TaskId id = sim.add_task(make_task(3, 6, TaskKind::kEarlyRelease));
@@ -150,7 +150,7 @@ TEST(PfairSim, OverloadedSystemMissesAndReportsFirstMissTime) {
 }
 
 TEST(PfairSim, DropPolicySkipsLateSubtasks) {
-  SimConfig c = cfg(1);
+  PfairConfig c = cfg(1);
   c.miss_policy = MissPolicy::kDrop;
   PfairSimulator sim(c);
   const TaskId a = sim.add_task(make_task(1, 1));
@@ -162,7 +162,7 @@ TEST(PfairSim, DropPolicySkipsLateSubtasks) {
 }
 
 TEST(PfairSim, WeightOneTaskAlwaysScheduledEvenAmongHeavyCompetitors) {
-  SimConfig c = cfg(2);
+  PfairConfig c = cfg(2);
   c.check_lags = true;
   PfairSimulator sim(c);
   const TaskId full = sim.add_task(make_task(1, 1));

@@ -13,7 +13,7 @@ namespace {
 TEST(PreemptionBound, DensePfairTaskHasAtMostPMinusEPreemptionsPerJob) {
   // The paper's example: period 6, cost 5 -> at most one preemption per
   // job.
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 2;
   PfairSimulator sim(sc);
   const TaskId id = sim.add_task(make_task(5, 6));
@@ -30,7 +30,7 @@ TEST(PreemptionBound, HoldsForRandomFeasibleSets) {
     Rng trial_rng = rng.fork(static_cast<std::uint64_t>(trial));
     const int m = 1 + trial % 4;
     const TaskSet set = generate_feasible_taskset(trial_rng, m, 16, 14, /*fill=*/true);
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = m;
     PfairSimulator sim(sc);
     std::vector<TaskId> ids;
@@ -52,7 +52,7 @@ TEST(PreemptionBound, ContextSwitchesAreBoundedByQuantaPlusJobs) {
   // smaller whenever tasks run multi-quantum stretches.
   Rng rng(0xc0ffee);
   const TaskSet set = generate_feasible_taskset(rng, 2, 10, 10, /*fill=*/true);
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 2;
   PfairSimulator sim(sc);
   for (const Task& t : set.tasks()) sim.add_task(t);
@@ -63,7 +63,7 @@ TEST(PreemptionBound, ContextSwitchesAreBoundedByQuantaPlusJobs) {
 TEST(PreemptionBound, AffinityKeepsLongRunsOnOneProcessor) {
   // A single heavy task alone on 2 processors never migrates and is
   // never preempted.
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 2;
   PfairSimulator sim(sc);
   const TaskId id = sim.add_task(make_task(9, 10));
@@ -79,7 +79,7 @@ TEST(PreemptionBound, AffinityKeepsLongRunsOnOneProcessor) {
 TEST(PreemptionBound, MigrationsOnlyHappenWithMultipleProcessors) {
   Rng rng(0xabc);
   const TaskSet set = generate_feasible_taskset(rng, 1, 8, 10, /*fill=*/true);
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator sim(sc);
   for (const Task& t : set.tasks()) sim.add_task(t);

@@ -20,7 +20,7 @@ TEST(SupertaskSim, Fig5ComponentTMissesAtTimeTen) {
   // (T's second job is not released until time 5), receives nothing in
   // [5, 10), and T misses at 10.
   const Fig5System sys = fig5_system();
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 2;
   sc.record_trace = true;
   PfairSimulator sim(sc);
@@ -40,7 +40,7 @@ TEST(SupertaskSim, Fig5ComponentTMissesAtTimeTen) {
 TEST(SupertaskSim, ReweightingRestoresComponentDeadlines) {
   const Fig5System sys = fig5_system();
   const SupertaskSpec reweighted = make_reweighted_supertask(sys.supertask.components, "S'");
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 2;
   PfairSimulator sim(sc);
   for (const Task& t : sys.normal_tasks.tasks()) sim.add_task(t);
@@ -70,7 +70,7 @@ TEST(SupertaskSim, ReweightedRandomSupertasksMeetComponentDeadlines) {
     }
     const SupertaskSpec spec = make_reweighted_supertask(components);
     if (Rational(1) < spec.competing_weight()) continue;  // would be invalid
-    SimConfig sc;
+    PfairConfig sc;
     sc.processors = 2;
     PfairSimulator sim(sc);
     const TaskId s = sim.add_supertask(spec);
@@ -90,7 +90,7 @@ TEST(SupertaskSim, BoundServerSurvivesLossOfItsProcessor) {
   // processor fails (the binding degrades to normal placement) and
   // re-pins once it returns.
   SupertaskSpec spec = make_reweighted_supertask({make_task(1, 5), make_task(1, 10)});
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 2;
   sc.record_trace = true;
   PfairSimulator sim(sc);
@@ -113,7 +113,7 @@ TEST(SupertaskSim, SupertaskQuantaGoToComponents) {
   // receives is consumed by some component (EDF never idles a granted
   // quantum while component work is pending).
   SupertaskSpec spec = make_supertask({make_task(1, 4), make_task(1, 4)});
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator sim(sc);
   const TaskId s = sim.add_supertask(spec);
@@ -129,7 +129,7 @@ TEST(SupertaskSim, InternalEdfPrefersEarlierComponentDeadline) {
   // pending jobs, the 1/3 component is served first.  If EDF were
   // wrong, the 1/3 component would miss within the first period.
   SupertaskSpec spec = make_supertask({make_task(1, 3), make_task(1, 9)});
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = 1;
   PfairSimulator sim(sc);
   const TaskId s = sim.add_supertask(spec);

@@ -10,7 +10,7 @@ namespace {
 
 ScheduleTrace run_pd2(const TaskSet& set, int m, Time horizon,
                       Algorithm alg = Algorithm::kPD2) {
-  SimConfig sc;
+  PfairConfig sc;
   sc.processors = m;
   sc.algorithm = alg;
   sc.record_trace = true;

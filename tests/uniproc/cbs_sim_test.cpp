@@ -93,7 +93,7 @@ TEST(Cbs, WithoutServerOverrunWouldSinkHardTasks) {
 
   // Same demand declared as a periodic task (4 every 4 = utilization 1)
   // next to the 0.5 hard task: overload, the hard task misses.
-  CbsSimulator no_cbs({{1, 2}, {4, 4}}, {});
+  CbsSimulator no_cbs({{1, 2}, {4, 4}}, CbsConfig{});
   no_cbs.run_until(4000);
   EXPECT_GT(no_cbs.metrics().deadline_misses, 0u);
 }
@@ -113,7 +113,7 @@ TEST(Cbs, SchedulerInvocationsGrowWithServers) {
   // The paper's remark that CBS "increases scheduling overhead": the
   // event count with servers strictly exceeds the plain-EDF event count
   // of the hard tasks alone.
-  CbsSimulator plain({{1, 4}, {1, 8}}, {});
+  CbsSimulator plain({{1, 4}, {1, 8}}, CbsConfig{});
   plain.run_until(2000);
   CbsSimulator with_server({{1, 4}, {1, 8}},
                            {CbsServerSpec{1, 8, flood(2000, 1, 8)}});

@@ -10,7 +10,7 @@ namespace {
 TEST(PartitionedSim, PlacesAndSchedulesFeasibleSet) {
   // 4 x 0.5: needs 2 processors, no misses once placed.
   std::vector<UniTask> tasks(4, UniTask{1, 2});
-  PartitionedConfig cfg;
+  PartitionConfig cfg;
   PartitionedSimulator sim(tasks, cfg);
   EXPECT_TRUE(sim.all_tasks_placed());
   EXPECT_EQ(sim.processors(), 2);
@@ -22,7 +22,7 @@ TEST(PartitionedSim, PlacesAndSchedulesFeasibleSet) {
 
 TEST(PartitionedSim, ReportsUnplacedTasksUnderProcessorCap) {
   std::vector<UniTask> tasks(3, UniTask{2, 3});  // 3 x 2/3 on 2 procs
-  PartitionedConfig cfg;
+  PartitionConfig cfg;
   cfg.max_processors = 2;
   PartitionedSimulator sim(tasks, cfg);
   EXPECT_FALSE(sim.all_tasks_placed());
@@ -39,7 +39,7 @@ TEST(PartitionedSim, NoMigrationsByConstruction) {
   // total and stable instead.)
   Rng rng(0x77a);
   const std::vector<UniTask> tasks = generate_uni_tasks(rng, 12, 3.0, 60);
-  PartitionedConfig cfg;
+  PartitionConfig cfg;
   PartitionedSimulator sim(tasks, cfg);
   ASSERT_TRUE(sim.all_tasks_placed());
   for (const int a : sim.assignment()) EXPECT_GE(a, 0);
@@ -50,7 +50,7 @@ TEST(PartitionedSim, RandomFeasibleSystemsRunCleanly) {
   for (int trial = 0; trial < 10; ++trial) {
     Rng trial_rng = rng.fork(static_cast<std::uint64_t>(trial));
     const std::vector<UniTask> tasks = generate_uni_tasks(trial_rng, 16, 3.5, 80);
-    PartitionedConfig cfg;
+    PartitionConfig cfg;
     cfg.heuristic = trial % 2 == 0 ? Heuristic::kFirstFit : Heuristic::kBestFit;
     PartitionedSimulator sim(tasks, cfg);
     ASSERT_TRUE(sim.all_tasks_placed());
@@ -63,7 +63,7 @@ TEST(PartitionedSim, RmBackendHonoursRmAcceptance) {
   // Tasks accepted under RM-exact must run without misses under RM.
   Rng rng(0x77c);
   const std::vector<UniTask> tasks = generate_uni_tasks(rng, 10, 2.5, 40);
-  PartitionedConfig cfg;
+  PartitionConfig cfg;
   cfg.acceptance = Acceptance::kRmExact;
   cfg.algorithm = UniAlgorithm::kRM;
   PartitionedSimulator sim(tasks, cfg);
@@ -74,7 +74,7 @@ TEST(PartitionedSim, RmBackendHonoursRmAcceptance) {
 
 TEST(PartitionedSim, AggregateSumsPerProcessorMetrics) {
   std::vector<UniTask> tasks = {{1, 2}, {1, 2}, {1, 4}};
-  PartitionedConfig cfg;
+  PartitionConfig cfg;
   PartitionedSimulator sim(tasks, cfg);
   sim.run_until(400);
   const engine::Metrics agg = sim.metrics();
