@@ -48,6 +48,25 @@ struct SubtaskRef {
 /// beats b = 0; then (both b = 1) later group deadline; then task id.
 [[nodiscard]] bool pd2_higher_priority(const SubtaskRef& a, const SubtaskRef& b) noexcept;
 
+/// Test-only fault injection: when set, pd2_higher_priority resolves
+/// deadline ties toward b = 0 instead of b = 1 — a deliberately wrong
+/// PD2 that the qa fuzzing layer must catch and shrink (the end-to-end
+/// self-test of the oracle/shrinker pipeline; see qa/campaign.h).  PF
+/// and PD are unaffected, so the differential oracle sees the optimal
+/// algorithms disagree.  Never set outside tests or `pfair_fuzz
+/// --inject-pd2-b-bit-flip`.
+void set_pd2_b_bit_flip_for_test(bool flipped) noexcept;
+[[nodiscard]] bool pd2_b_bit_flip_for_test() noexcept;
+
+/// RAII guard around the flip flag for exception-safe tests.
+class ScopedPd2BBitFlip {
+ public:
+  ScopedPd2BBitFlip() noexcept { set_pd2_b_bit_flip_for_test(true); }
+  ~ScopedPd2BBitFlip() { set_pd2_b_bit_flip_for_test(false); }
+  ScopedPd2BBitFlip(const ScopedPd2BBitFlip&) = delete;
+  ScopedPd2BBitFlip& operator=(const ScopedPd2BBitFlip&) = delete;
+};
+
 /// Strict "higher priority than" under PF (lexicographic successor
 /// comparison, capped — see .cpp).
 [[nodiscard]] bool pf_higher_priority(const SubtaskRef& a, const SubtaskRef& b) noexcept;

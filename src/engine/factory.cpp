@@ -1,6 +1,8 @@
 #include "engine/factory.h"
 
 #include <cassert>
+#include <sstream>
+#include <stdexcept>
 
 namespace pfair::engine {
 
@@ -50,6 +52,48 @@ const RegistryEntry& entry(SchedulerKind kind) noexcept {
   return kRegistry[0];
 }
 
+[[noreturn]] void reject(SchedulerKind kind, const char* field, long long got) {
+  std::ostringstream os;
+  os << "make_simulator(" << entry(kind).name << "): " << field << " must be >= 1 (got "
+     << got << ")";
+  throw std::invalid_argument(os.str());
+}
+
+// Rejects configs no stack can run on — the mistakes a kind-keyed sweep
+// table makes silently (a zero in an unused column picked up by the
+// wrong kind).  Checked here, once, instead of in six constructors.
+void validate(SchedulerKind kind, const SimulatorConfig& c) {
+  switch (kind) {
+    case SchedulerKind::kPfair:
+      if (c.pfair.processors < 1) reject(kind, "processors", c.pfair.processors);
+      break;
+    case SchedulerKind::kPartitioned:
+      if (c.partitioned.max_processors < 1)
+        reject(kind, "max_processors", c.partitioned.max_processors);
+      break;
+    case SchedulerKind::kGlobalJob:
+      if (c.global_job.processors < 1) reject(kind, "processors", c.global_job.processors);
+      break;
+    case SchedulerKind::kUniproc:
+      break;  // nothing configurable can be out of range
+    case SchedulerKind::kWrr:
+      if (c.wrr.processors < 1) reject(kind, "processors", c.wrr.processors);
+      if (c.wrr.frame < 1) reject(kind, "frame", c.wrr.frame);
+      break;
+    case SchedulerKind::kCbs:
+      for (std::size_t i = 0; i < c.cbs.servers.size(); ++i) {
+        const CbsServerSpec& s = c.cbs.servers[i];
+        if (s.budget < 1 || s.period < 1) {
+          std::ostringstream os;
+          os << "make_simulator(cbs): server " << i << " must have budget >= 1 and "
+             << "period >= 1 (got Q=" << s.budget << ", T=" << s.period << ")";
+          throw std::invalid_argument(os.str());
+        }
+      }
+      break;
+  }
+}
+
 }  // namespace
 
 const char* to_string(SchedulerKind kind) noexcept { return entry(kind).name; }
@@ -71,6 +115,7 @@ const std::vector<SchedulerKind>& all_scheduler_kinds() {
 }
 
 std::unique_ptr<Simulator> make_simulator(SchedulerKind kind, const SimulatorConfig& config) {
+  validate(kind, config);
   return entry(kind).make(config);
 }
 

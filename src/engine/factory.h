@@ -70,7 +70,12 @@ struct SimulatorConfig {
 };
 
 /// Builds an empty simulator of `kind`; load it via Simulator::admit()
-/// (all six stacks accept admission at time 0).  Never returns nullptr.
+/// (all six stacks accept admission at time 0).  Never returns nullptr;
+/// throws std::invalid_argument — with a message naming the kind, the
+/// field, and the offending value — when the kind's config section is
+/// unusable (processors/frame < 1, max_processors < 1, CBS server with
+/// Q < 1 or T < 1).  Exact messages are part of the tested contract
+/// (tests/engine/factory_test.cpp).
 [[nodiscard]] std::unique_ptr<Simulator> make_simulator(SchedulerKind kind,
                                                         const SimulatorConfig& config = {});
 

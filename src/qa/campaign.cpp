@@ -1,0 +1,90 @@
+#include "qa/campaign.h"
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "engine/parallel.h"
+
+namespace pfair::qa {
+
+namespace {
+
+/// What a worker ships back per case: per-oracle flags in registry
+/// order plus the first violation.  Cases themselves are NOT shipped —
+/// they are pure functions of (seed, index) and are regenerated
+/// serially for the failures that need them.
+struct CaseOutcome {
+  std::vector<std::uint8_t> applied;
+  std::vector<std::uint8_t> violated;
+  CaseVerdict verdict;
+};
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  const TaskSetGen gen(config.gen, config.seed);
+  const std::vector<Oracle>& registry = oracle_registry();
+
+  CampaignResult result;
+  result.cases = config.cases;
+  result.oracles.reserve(registry.size());
+  for (const Oracle& o : registry) {
+    OracleStats s;
+    s.name = o.name;
+    result.oracles.push_back(std::move(s));
+  }
+
+  // Fan out.  The sweep's per-trial rng is unused: make_case derives its
+  // own stream from (seed, index) so a case replays without a campaign.
+  engine::ParallelSweep sweep(config.jobs, config.seed);
+  const std::vector<CaseOutcome> outcomes = sweep.run(
+      /*point=*/0, static_cast<long long>(config.cases), [&](long long t, Rng&) {
+        const FuzzCase c = gen.make_case(static_cast<std::uint64_t>(t));
+        const std::vector<OracleReport> reports = run_oracles(c);
+        CaseOutcome out;
+        out.applied.resize(registry.size(), 0);
+        out.violated.resize(registry.size(), 0);
+        for (const OracleReport& r : reports) {
+          for (std::size_t i = 0; i < registry.size(); ++i) {
+            if (r.name != registry[i].name) continue;
+            out.applied[i] = r.applied ? 1 : 0;
+            out.violated[i] = r.violated ? 1 : 0;
+          }
+          if (r.violated && out.verdict.ok) {
+            out.verdict.ok = false;
+            out.verdict.oracle = r.name;
+            out.verdict.detail = r.detail;
+          }
+        }
+        return out;
+      });
+
+  // Merge serially in case order; shrink failures serially afterwards so
+  // the report never depends on worker scheduling.
+  for (std::uint64_t index = 0; index < config.cases; ++index) {
+    const CaseOutcome& out = outcomes[static_cast<std::size_t>(index)];
+    for (std::size_t i = 0; i < registry.size(); ++i) {
+      result.oracles[i].applied += out.applied[i];
+      result.oracles[i].violated += out.violated[i];
+    }
+    if (out.verdict.ok) continue;
+
+    CampaignFailure failure;
+    failure.original = gen.make_case(index);
+    failure.verdict = out.verdict;
+    if (result.failures.size() < config.max_shrunk) {
+      const Shrinker shrinker(same_oracle_predicate(out.verdict.oracle));
+      ShrinkResult shrunk = shrinker.shrink(failure.original);
+      failure.shrunk = std::move(shrunk.minimal);
+      failure.verdict = std::move(shrunk.verdict);
+      failure.transformations = shrunk.transformations;
+    } else {
+      failure.shrunk = failure.original;
+    }
+    result.failures.push_back(std::move(failure));
+  }
+  return result;
+}
+
+}  // namespace pfair::qa

@@ -1,0 +1,57 @@
+// Fuzzing campaigns: generate, check, and shrink at scale.
+//
+// A campaign is the loop the CLI (tools/pfair_fuzz.cpp) and the CI jobs
+// drive: fan `cases` generated cases across an engine::ThreadPool, run
+// every applicable oracle on each, then serially shrink whatever failed.
+// Determinism is end-to-end: cases come from Rng::stream(seed, index),
+// workers only compute (never accumulate), results are merged in case
+// order, and shrinking is a pure function of the failing case — so the
+// campaign report is byte-identical for --jobs=1 and --jobs=N, and any
+// failure replays from its (seed, index) pair alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qa/gen.h"
+#include "qa/oracle.h"
+#include "qa/shrink.h"
+
+namespace pfair::qa {
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t cases = 1000;
+  int jobs = 1;  ///< <= 1 runs inline; > 1 uses a worker pool
+  GenConfig gen;
+  /// Failures beyond this many are still reported, but not shrunk
+  /// (shrinking replays the simulators many times per failure).
+  std::size_t max_shrunk = 8;
+};
+
+/// Per-oracle tallies across a campaign, in registry order.
+struct OracleStats {
+  std::string name;
+  std::uint64_t applied = 0;
+  std::uint64_t violated = 0;
+};
+
+struct CampaignFailure {
+  FuzzCase original;        ///< as generated (replay: seed + index)
+  FuzzCase shrunk;          ///< minimised repro (== original when not shrunk)
+  CaseVerdict verdict;      ///< the shrunk case's violation
+  int transformations = 0;  ///< accepted shrinking steps (0 when not shrunk)
+};
+
+struct CampaignResult {
+  std::uint64_t cases = 0;
+  std::vector<OracleStats> oracles;       ///< registry order
+  std::vector<CampaignFailure> failures;  ///< case-index order
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// Runs the campaign described by `config`.
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace pfair::qa

@@ -1,0 +1,99 @@
+// Invariant oracles: the paper's claims as executable checks.
+//
+// Every oracle states one property the schedulers must uphold on every
+// input the generator can produce:
+//
+//   window-containment        every PD2 quantum inside its Pfair window
+//   lag-bounds                per-task lag in (-1, 1) at every slot
+//   quantum-capacity          <= M allocations per slot, <= 1 per task
+//   verifier-agreement        simulator miss accounting == trace verifier
+//   optimal-differential      PD2 / PF / PD all miss-free on feasible
+//                             sets (they are provably optimal, so ANY
+//                             miss is a bug); EPDF miss-free on M = 1
+//   partitioned-lopez         EDF-FF places and misses nothing strictly
+//                             below the Lopez (beta*M+1)/(beta+1) bound
+//   erfair-deadline           ERfair keeps lag < 1 (no misses)
+//   erfair-work-conservation  ERfair never idles a processor while an
+//                             eligible subtask waits
+//   dynamic-safety            rule-respecting joins/leaves never cause
+//                             a miss
+//
+// Oracles are registered in a fixed-order table so campaign statistics,
+// JSON reports, and CLI listings are stable across runs and builds.
+// Checks re-derive everything from replayed simulator runs (cached per
+// case in OracleContext), never from fuzzer-side bookkeeping.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/priority.h"
+#include "engine/metrics.h"
+#include "qa/fuzz_case.h"
+#include "sim/trace.h"
+
+namespace pfair::qa {
+
+struct OracleOutcome {
+  bool violated = false;
+  std::string detail;  ///< human-readable, set when violated
+};
+
+/// One oracle's result for one case.
+struct OracleReport {
+  std::string name;
+  bool applied = false;  ///< the oracle's precondition held for the case
+  bool violated = false;
+  std::string detail;
+};
+
+/// First violation across all applicable oracles (ok when none).
+struct CaseVerdict {
+  bool ok = true;
+  std::string oracle;
+  std::string detail;
+};
+
+/// Caches replayed simulator runs so several oracles over one case pay
+/// for each (algorithm, script) execution once.
+class OracleContext {
+ public:
+  explicit OracleContext(const FuzzCase& c) : case_(c) {}
+
+  [[nodiscard]] const FuzzCase& fuzz_case() const noexcept { return case_; }
+
+  struct Run {
+    ScheduleTrace trace;
+    engine::Metrics metrics;
+    std::size_t total_tasks = 0;  ///< initial tasks + accepted joins
+  };
+
+  /// The case replayed under `alg` (trace recorded, script applied).
+  const Run& pfair_run(Algorithm alg);
+
+ private:
+  const FuzzCase& case_;
+  std::map<Algorithm, Run> runs_;
+};
+
+struct Oracle {
+  const char* name;
+  bool (*applies)(const FuzzCase&);
+  OracleOutcome (*check)(OracleContext&);
+};
+
+/// All registered oracles, in fixed registry order.
+[[nodiscard]] const std::vector<Oracle>& oracle_registry();
+
+/// Runs every applicable oracle over `c`; reports in registry order
+/// (non-applicable oracles are included with applied = false).  An
+/// invalid case (validate() non-empty) yields a single synthetic
+/// "case-validation" violation instead.
+[[nodiscard]] std::vector<OracleReport> run_oracles(const FuzzCase& c);
+
+/// First violation of run_oracles(c), or ok.
+[[nodiscard]] CaseVerdict check_case(const FuzzCase& c);
+
+}  // namespace pfair::qa

@@ -1,0 +1,55 @@
+// Deterministic greedy minimisation of failing cases.
+//
+// A campaign failure is only as useful as its smallest reproduction:
+// nobody debugs a 10-task, 300-slot trace when a 4-task, 40-slot one
+// fails the same oracle.  The shrinker applies a fixed sequence of
+// shrinking transformations — drop a task, drop a script event, halve
+// then trim the horizon, round a weight down, drop a processor — and
+// keeps each one iff the shrunk case (a) is still well-formed and
+// feasible and (b) still fails.  Passes repeat until a full pass
+// changes nothing, so the result is a local fixpoint: shrinking a
+// minimal case again is a no-op (tested), and the whole process is a
+// pure function of the input case and predicate — no randomness, no
+// timing.
+//
+// The predicate decides what "still fails" means.  Campaigns pin it to
+// "the same oracle still reports a violation", which prevents the
+// shrinker from wandering onto a different bug mid-minimisation.
+#pragma once
+
+#include <functional>
+
+#include "qa/fuzz_case.h"
+#include "qa/oracle.h"
+
+namespace pfair::qa {
+
+/// Returns the verdict when `c` still fails (in the sense the caller
+/// cares about), or std::nullopt when it passes.
+using FailPredicate = std::function<std::optional<CaseVerdict>(const FuzzCase&)>;
+
+/// The campaign predicate: `c` fails iff check_case flags the named
+/// oracle (violations of other oracles do not count).
+[[nodiscard]] FailPredicate same_oracle_predicate(std::string oracle);
+
+struct ShrinkResult {
+  FuzzCase minimal;      ///< the fixpoint case (== input when nothing shrank)
+  CaseVerdict verdict;   ///< the minimal case's failure
+  int transformations = 0;  ///< accepted shrinking steps
+};
+
+class Shrinker {
+ public:
+  /// `still_fails` is consulted after every candidate transformation.
+  explicit Shrinker(FailPredicate still_fails)
+      : still_fails_(std::move(still_fails)) {}
+
+  /// Minimises `failing` (which must satisfy the predicate; if it does
+  /// not, the input is returned unchanged with verdict.ok = true).
+  [[nodiscard]] ShrinkResult shrink(const FuzzCase& failing) const;
+
+ private:
+  FailPredicate still_fails_;
+};
+
+}  // namespace pfair::qa

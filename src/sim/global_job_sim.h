@@ -36,12 +36,6 @@ class GlobalJobSimulator : public engine::Simulator {
  public:
   GlobalJobSimulator(std::vector<UniTask> tasks, GlobalJobConfig config);
 
-  /// Deprecated positional form, kept as a shim for one PR; use the
-  /// GlobalJobConfig overload (or engine::make_simulator).
-  GlobalJobSimulator(std::vector<UniTask> tasks, int processors,
-                     UniAlgorithm algorithm = UniAlgorithm::kEDF)
-      : GlobalJobSimulator(std::move(tasks), GlobalJobConfig{processors, algorithm}) {}
-
   GlobalJobSimulator(const GlobalJobSimulator&) = delete;
   GlobalJobSimulator& operator=(const GlobalJobSimulator&) = delete;
 

@@ -58,11 +58,6 @@ struct PfairConfig {
                                 ///< slots (0 = off; needs an attached observer)
 };
 
-/// Deprecated spelling, kept as a shim for one PR (engine/factory.h is
-/// the supported construction path; all in-repo call sites use
-/// PfairConfig).
-using SimConfig = PfairConfig;
-
 /// Scheduled change of the number of live processors (fault injection /
 /// repair, Sec. 5.4).  Applied at the start of slot `at`.
 struct ProcessorEvent {

@@ -11,12 +11,30 @@ namespace {
 
 /// ±3 slots of the raw trace around the failing slot, one row per task,
 /// with a caret under the slot in question — enough context to see *why*
-/// the property failed without re-running the simulation.
+/// the property failed without re-running the simulation.  For window
+/// violations the excerpt is widened to cover the violated window [r, d)
+/// and a '~' ruler marks it: a before-release violation's window lies
+/// strictly *after* the failing slot, so a symmetric ±3 excerpt would
+/// show no window at all.  The total width is capped; the failing slot
+/// always stays visible.
 std::string render_excerpt(const ScheduleTrace& trace, std::size_t n_tasks,
-                           std::size_t t) {
+                           std::size_t t, Time win_r = -1, Time win_d = -1) {
   constexpr std::size_t kContext = 3;
-  const std::size_t lo = t >= kContext ? t - kContext : 0;
-  const std::size_t hi = std::min(trace.size(), t + kContext + 1);
+  constexpr std::size_t kMaxWidth = 32;
+  std::size_t lo = t >= kContext ? t - kContext : 0;
+  std::size_t hi = std::min(trace.size(), t + kContext + 1);
+  const bool have_window = win_r >= 0 && win_d > win_r;
+  if (have_window) {
+    lo = std::min(lo, static_cast<std::size_t>(win_r));
+    hi = std::max(hi, std::min(trace.size(), static_cast<std::size_t>(win_d)));
+    if (hi - lo > kMaxWidth) {  // trim the side away from the caret
+      if (t - lo < kMaxWidth) {
+        hi = lo + kMaxWidth;
+      } else {
+        lo = hi - kMaxWidth;
+      }
+    }
+  }
   std::size_t width = 1;
   for (std::size_t v = n_tasks > 0 ? n_tasks - 1 : 0; v >= 10; v /= 10) ++width;
   std::ostringstream os;
@@ -30,6 +48,14 @@ std::string render_excerpt(const ScheduleTrace& trace, std::size_t n_tasks,
   }
   os << "    " << std::string(width + 3, ' ') << std::string(t - lo, ' ')
      << "^ slot " << t;
+  if (have_window) {
+    const std::size_t r = std::max(lo, static_cast<std::size_t>(win_r));
+    const std::size_t d = std::min(hi, static_cast<std::size_t>(win_d));
+    if (r < d) {
+      os << "\n    " << std::string(width + 3, ' ') << std::string(r - lo, ' ')
+         << std::string(d - r, '~') << " window [" << win_r << ", " << win_d << ")";
+    }
+  }
   return os.str();
 }
 
@@ -80,10 +106,10 @@ VerifyResult verify_schedule(const ScheduleTrace& trace, const TaskSet& tasks,
         };
         if (static_cast<Time>(t) < r)
           res.fail(describe("subtask scheduled before its pseudo-release", t, id) +
-                   window() + render_excerpt(trace, n, t));
+                   window() + render_excerpt(trace, n, t, r, d));
         if (static_cast<Time>(t) >= d)
           res.fail(describe("subtask scheduled at/after its pseudo-deadline", t, id) +
-                   window() + render_excerpt(trace, n, t));
+                   window() + render_excerpt(trace, n, t, r, d));
       }
       ++allocated[id];
     }

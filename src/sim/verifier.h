@@ -11,9 +11,14 @@
 //     lies inside [r(T_k), d(T_k)) — equivalent to all deadlines met
 //     AND no subtask running before its release;
 //   - the lag bounds -1 < lag(T, t) < 1 at every integer time
-//     (implied by the window property, but checked independently);
-//   - work conservation (optional, for ERfair traces): no processor
-//     idles while some task has unfinished-job work pending.
+//     (implied by the window property, but checked independently).
+//
+// Both window edges are reported with an excerpt covering the violated
+// window: a deadline-side miss shows the slots up to and past d(T_k); a
+// before-release violation shows the (future) window the quantum jumped
+// ahead of.  Work conservation is a property of *eligibility*, not of
+// the trace alone, so it lives in the qa layer's
+// erfair-work-conservation oracle (qa/oracle.h), not here.
 #pragma once
 
 #include <string>

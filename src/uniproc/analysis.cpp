@@ -52,4 +52,20 @@ bool rm_schedulable_exact(const std::vector<UniTask>& tasks) {
   return true;
 }
 
+Rational lopez_edf_ff_bound(int m, std::int64_t beta) {
+  assert(m >= 1 && beta >= 1);
+  return Rational(beta * m + 1, beta + 1);
+}
+
+std::int64_t lopez_beta(const std::vector<UniTask>& tasks) {
+  std::int64_t beta = 1;
+  bool first = true;
+  for (const UniTask& t : tasks) {
+    const std::int64_t b = t.period / t.execution;  // floor(1/u)
+    if (first || b < beta) beta = b;
+    first = false;
+  }
+  return beta < 1 ? 1 : beta;
+}
+
 }  // namespace pfair

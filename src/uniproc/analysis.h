@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "uniproc/uni_task.h"
+#include "util/rational.h"
 
 namespace pfair {
 
@@ -27,5 +28,16 @@ namespace pfair {
 /// past the deadline.
 [[nodiscard]] std::int64_t rm_response_time(const std::vector<UniTask>& tasks,
                                             std::size_t index);
+
+/// The Lopez et al. EDF-FF utilization bound (beta*m + 1)/(beta + 1):
+/// any implicit-deadline set with per-task utilization <= 1/beta and
+/// total utilization not above this is schedulable by first-fit EDF
+/// partitioning on m processors.  Exact rational so boundary cases are
+/// decidable; beta >= 1, m >= 1.
+[[nodiscard]] Rational lopez_edf_ff_bound(int m, std::int64_t beta);
+
+/// The largest beta for `tasks`: floor(1/u_max) = min over tasks of
+/// floor(p/e).  Returns 1 for an empty set (the weakest bound).
+[[nodiscard]] std::int64_t lopez_beta(const std::vector<UniTask>& tasks);
 
 }  // namespace pfair

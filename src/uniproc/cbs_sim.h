@@ -55,11 +55,6 @@ class CbsSimulator : public engine::Simulator {
  public:
   CbsSimulator(std::vector<UniTask> hard_tasks, CbsConfig config);
 
-  /// Deprecated positional form, kept as a shim for one PR; use the
-  /// CbsConfig overload (or engine::make_simulator).
-  CbsSimulator(std::vector<UniTask> hard_tasks, std::vector<CbsServerSpec> servers)
-      : CbsSimulator(std::move(hard_tasks), CbsConfig{std::move(servers)}) {}
-
   CbsSimulator(const CbsSimulator&) = delete;
   CbsSimulator& operator=(const CbsSimulator&) = delete;
 

@@ -28,11 +28,6 @@ struct PartitionConfig {
   bool measure_overhead = false;
 };
 
-/// Deprecated spelling, kept as a shim for one PR (engine/factory.h is
-/// the supported construction path; all in-repo call sites use
-/// PartitionConfig).
-using PartitionedConfig = PartitionConfig;
-
 class PartitionedSimulator : public engine::Simulator {
  public:
   /// Partitions `tasks` (failing tasks are dropped and reported) and

@@ -114,7 +114,7 @@ TEST(CounterSink, GlobalJobRmBitIdentical) {
 TEST(CounterSink, CbsBitIdentical) {
   std::vector<AperiodicJob> jobs;
   for (Time t = 0; t < 400; t += 7) jobs.push_back({t, 2});
-  CbsSimulator sim({{3, 10}, {1, 4}}, {CbsServerSpec{1, 4, jobs}});
+  CbsSimulator sim({{3, 10}, {1, 4}}, CbsConfig{{CbsServerSpec{1, 4, jobs}}});
   obs::EventBus bus;
   obs::CounterSink counters;
   bus.add_sink(&counters);

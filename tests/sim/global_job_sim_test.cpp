@@ -10,7 +10,7 @@ namespace {
 
 TEST(GlobalJob, MatchesUniprocessorEdfOnOneProcessor) {
   const std::vector<UniTask> ts = {{2, 4}, {3, 6}};  // U = 1, EDF-feasible
-  GlobalJobSimulator sim(ts, 1, UniAlgorithm::kEDF);
+  GlobalJobSimulator sim(ts, GlobalJobConfig{1, UniAlgorithm::kEDF});
   sim.run_until(1200);
   EXPECT_EQ(sim.metrics().deadline_misses, 0u);
   EXPECT_EQ(sim.metrics().jobs_completed, sim.metrics().jobs_released);
@@ -26,7 +26,7 @@ TEST(GlobalJob, DhallEffectGlobalEdfMissesAtLowUtilization) {
   for (const int m : {2, 4, 8}) {
     std::vector<UniTask> ts(static_cast<std::size_t>(m), UniTask{2, 10});
     ts.push_back({10, 11});
-    GlobalJobSimulator sim(ts, m, UniAlgorithm::kEDF);
+    GlobalJobSimulator sim(ts, GlobalJobConfig{m, UniAlgorithm::kEDF});
     sim.run_until(200);
     EXPECT_GT(sim.metrics().deadline_misses, 0u) << "m=" << m;
     EXPECT_LE(sim.metrics().first_miss_time, 22) << "m=" << m;
@@ -37,7 +37,7 @@ TEST(GlobalJob, DhallEffectHitsGlobalRmToo) {
   for (const int m : {2, 4}) {
     std::vector<UniTask> ts(static_cast<std::size_t>(m), UniTask{2, 10});
     ts.push_back({10, 11});
-    GlobalJobSimulator sim(ts, m, UniAlgorithm::kRM);
+    GlobalJobSimulator sim(ts, GlobalJobConfig{m, UniAlgorithm::kRM});
     sim.run_until(200);
     EXPECT_GT(sim.metrics().deadline_misses, 0u) << "m=" << m;
   }
@@ -66,7 +66,7 @@ TEST(GlobalJob, LightLoadsScheduleFine) {
     const std::vector<UniTask> ts =
         generate_uni_tasks(trial_rng, static_cast<std::size_t>(3 * m),
                            0.45 * static_cast<double>(m), 60);
-    GlobalJobSimulator sim(ts, m, UniAlgorithm::kEDF);
+    GlobalJobSimulator sim(ts, GlobalJobConfig{m, UniAlgorithm::kEDF});
     sim.run_until(5000);
     EXPECT_EQ(sim.metrics().deadline_misses, 0u) << "trial " << trial;
   }
@@ -75,7 +75,7 @@ TEST(GlobalJob, LightLoadsScheduleFine) {
 TEST(GlobalJob, AffinityAvoidsSpuriousMigrations) {
   // Two long-running jobs on two processors never migrate.
   const std::vector<UniTask> ts = {{50, 100}, {50, 100}};
-  GlobalJobSimulator sim(ts, 2, UniAlgorithm::kEDF);
+  GlobalJobSimulator sim(ts, GlobalJobConfig{2, UniAlgorithm::kEDF});
   sim.run_until(1000);
   EXPECT_EQ(sim.metrics().migrations, 0u);
   EXPECT_EQ(sim.metrics().preemptions, 0u);

@@ -178,6 +178,60 @@ TEST(Verifier, ExcerptClampsAtTraceBoundaries) {
       << res.first_violation;
 }
 
+TEST(Verifier, ExcerptCoversFutureWindowOnBeforeRelease) {
+  // Before-release violations point at a window *after* the failing
+  // slot; the excerpt must extend forward to show it, with a '~' ruler
+  // marking the window slots.  Task of weight 1/4 run in slots 0 and 1:
+  // the second quantum belongs to subtask 2, window [4, 8).
+  TaskSet set;
+  set.add(make_task(1, 4));
+  ScheduleTrace trace;
+  for (int t = 0; t < 10; ++t) {
+    trace.begin_slot(1);
+    if (t < 2) trace.record(0, 0);
+  }
+  VerifyOptions opt;
+  opt.processors = 1;
+  const VerifyResult res = verify_schedule(trace, set, opt);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.first_violation.find("before its pseudo-release"), std::string::npos)
+      << res.first_violation;
+  EXPECT_NE(res.first_violation.find("^ slot 1"), std::string::npos)
+      << res.first_violation;
+  // The ±3 default would stop at slot 5; the window pulls it to 8.
+  EXPECT_NE(res.first_violation.find("trace slots [0, 8)"), std::string::npos)
+      << res.first_violation;
+  EXPECT_NE(res.first_violation.find("~~~~ window [4, 8)"), std::string::npos)
+      << res.first_violation;
+}
+
+TEST(Verifier, ExcerptCoversWindowOnDeadlineMiss) {
+  // Deadline-side violations point at a window *before* the failing
+  // slot; the excerpt must extend backward to show it.  Weight-1/2 task
+  // first scheduled at slot 5: subtask 1's window was [0, 2).
+  TaskSet set;
+  set.add(make_task(1, 2));
+  ScheduleTrace trace;
+  for (int t = 0; t < 6; ++t) {
+    trace.begin_slot(1);
+    if (t == 5) trace.record(0, 0);
+  }
+  VerifyOptions opt;
+  opt.processors = 1;
+  opt.check_lags = false;  // isolate the window check
+  const VerifyResult res = verify_schedule(trace, set, opt);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.first_violation.find("at/after its pseudo-deadline"), std::string::npos)
+      << res.first_violation;
+  EXPECT_NE(res.first_violation.find("^ slot 5"), std::string::npos)
+      << res.first_violation;
+  // The ±3 default would start at slot 2; the window pulls it to 0.
+  EXPECT_NE(res.first_violation.find("trace slots [0, 6)"), std::string::npos)
+      << res.first_violation;
+  EXPECT_NE(res.first_violation.find("~~ window [0, 2)"), std::string::npos)
+      << res.first_violation;
+}
+
 TEST(Verifier, CountsEveryViolation) {
   TaskSet set;
   set.add(make_task(1, 2));

@@ -67,5 +67,38 @@ TEST(RmExact, ImpliesLl) {
   EXPECT_TRUE(rm_schedulable_exact(ts));
 }
 
+TEST(LopezBound, KnownValues) {
+  // Lopez et al.: EDF-FF schedules any set with U <= (beta*m + 1) /
+  // (beta + 1) on m processors, beta = floor(1/u_max).
+  EXPECT_EQ(lopez_edf_ff_bound(4, 1), Rational(5, 2));
+  EXPECT_EQ(lopez_edf_ff_bound(4, 3), Rational(13, 4));
+  EXPECT_EQ(lopez_edf_ff_bound(2, 2), Rational(5, 3));
+  // m = 1 collapses to the uniprocessor EDF bound U <= 1 for every beta.
+  EXPECT_EQ(lopez_edf_ff_bound(1, 1), Rational(1));
+  EXPECT_EQ(lopez_edf_ff_bound(1, 7), Rational(1));
+}
+
+TEST(LopezBound, TightensAsTasksGetLighter) {
+  // Larger beta (lighter tasks) raises the guaranteed utilization,
+  // approaching m as beta -> infinity.
+  for (const int m : {2, 4, 8}) {
+    Rational prev(0);
+    for (std::int64_t beta = 1; beta <= 16; ++beta) {
+      const Rational bound = lopez_edf_ff_bound(m, beta);
+      EXPECT_TRUE(prev < bound) << "m=" << m << " beta=" << beta;
+      EXPECT_TRUE(bound < Rational(m)) << "m=" << m << " beta=" << beta;
+      prev = bound;
+    }
+  }
+}
+
+TEST(LopezBeta, MinFloorOfInverseUtilization) {
+  EXPECT_EQ(lopez_beta({}), 1);                  // weakest bound for no tasks
+  EXPECT_EQ(lopez_beta({{1, 1}}), 1);            // u_max = 1
+  EXPECT_EQ(lopez_beta({{1, 10}}), 10);          // light task
+  EXPECT_EQ(lopez_beta({{2, 4}, {1, 3}}), 2);    // min(floor(4/2), floor(3/1))
+  EXPECT_EQ(lopez_beta({{2, 7}, {1, 9}}), 3);    // floor(7/2) = 3
+}
+
 }  // namespace
 }  // namespace pfair

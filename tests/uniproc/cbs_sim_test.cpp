@@ -16,7 +16,7 @@ std::vector<AperiodicJob> flood(Time until, std::int64_t exec, Time gap) {
 TEST(Cbs, WellBehavedServerServesEverything) {
   // Demand 1 unit every 10 (= 0.1) into a server of bandwidth 0.2.
   CbsServerSpec server{2, 10, flood(1000, 1, 10)};
-  CbsSimulator sim({{3, 10}}, {server});
+  CbsSimulator sim({{3, 10}}, CbsConfig{{server}});
   sim.run_until(2000);
   EXPECT_EQ(sim.metrics().deadline_misses, 0u);
   EXPECT_EQ(sim.metrics().served_jobs_completed, 100u);
@@ -29,7 +29,7 @@ TEST(Cbs, OverrunningServerIsThrottledToItsBandwidth) {
   // hard load there is none spare beyond its reservation, and long-run
   // service pins to exactly its 25% bandwidth.
   CbsServerSpec server{1, 4, flood(4000, 4, 4)};  // 4 units every 4 slots
-  CbsSimulator sim({{3, 4}}, {server});           // hard load 0.75
+  CbsSimulator sim({{3, 4}}, CbsConfig{{server}});  // hard load 0.75
   sim.run_until(4000);
   EXPECT_EQ(sim.metrics().deadline_misses, 0u);
   EXPECT_NEAR(static_cast<double>(sim.server_work(0)) / 4000.0, 0.25, 0.01);
@@ -42,7 +42,7 @@ TEST(Cbs, WorkConservingServerSoaksIdleCapacityOnly) {
   // task stays untouched (the CBS guarantee is about interference, not
   // a hard throughput cap).
   CbsServerSpec server{1, 4, flood(4000, 4, 4)};
-  CbsSimulator sim({{1, 2}}, {server});
+  CbsSimulator sim({{1, 2}}, CbsConfig{{server}});
   sim.run_until(4000);
   EXPECT_EQ(sim.metrics().deadline_misses, 0u);
   EXPECT_NEAR(static_cast<double>(sim.server_work(0)) / 4000.0, 0.5, 0.01);
@@ -75,7 +75,7 @@ TEST(Cbs, HardTasksIsolatedFromServerOverrunRandomised) {
     // Both servers flooded far beyond their bandwidth.
     CbsServerSpec s1{q1, t1, flood(3000, trial_rng.uniform_int(3, 9), 5)};
     CbsServerSpec s2{q2, t2, flood(3000, trial_rng.uniform_int(3, 9), 7)};
-    CbsSimulator sim(hard, {s1, s2});
+    CbsSimulator sim(hard, CbsConfig{{s1, s2}});
     sim.run_until(6000);
     EXPECT_EQ(sim.metrics().deadline_misses, 0u) << "trial " << trial;
   }
@@ -87,7 +87,7 @@ TEST(Cbs, WithoutServerOverrunWouldSinkHardTasks) {
   // miss — the contrast motivating CBS (and, on multiprocessors, the
   // built-in isolation of Pfair).
   CbsServerSpec honest_server{1, 4, flood(4000, 4, 4)};
-  CbsSimulator with_cbs({{1, 2}}, {honest_server});
+  CbsSimulator with_cbs({{1, 2}}, CbsConfig{{honest_server}});
   with_cbs.run_until(4000);
   EXPECT_EQ(with_cbs.metrics().deadline_misses, 0u);
 
@@ -102,7 +102,7 @@ TEST(Cbs, IdleServerReusesBudgetWhenConsistent) {
   // A single short job, then a long gap, then another: the second
   // arrival resets (c, d) because the old pair is stale.
   CbsServerSpec server{2, 10, {{0, 1}, {100, 1}}};
-  CbsSimulator sim({}, {server});
+  CbsSimulator sim({}, CbsConfig{{server}});
   sim.run_until(200);
   EXPECT_EQ(sim.metrics().served_jobs_completed, 2u);
   EXPECT_EQ(sim.server_work(0), 2);
@@ -116,7 +116,7 @@ TEST(Cbs, SchedulerInvocationsGrowWithServers) {
   CbsSimulator plain({{1, 4}, {1, 8}}, CbsConfig{});
   plain.run_until(2000);
   CbsSimulator with_server({{1, 4}, {1, 8}},
-                           {CbsServerSpec{1, 8, flood(2000, 1, 8)}});
+                           CbsConfig{{CbsServerSpec{1, 8, flood(2000, 1, 8)}}});
   with_server.run_until(2000);
   EXPECT_GT(with_server.metrics().scheduler_invocations,
             plain.metrics().scheduler_invocations);
