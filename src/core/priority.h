@@ -25,9 +25,31 @@ enum class Algorithm : std::uint8_t { kPD2, kPF, kPD, kEPDF, kWRR };
 
 [[nodiscard]] const char* algorithm_name(Algorithm a) noexcept;
 
+/// A 128-bit totally ordered priority key, compared lexicographically as
+/// (hi, lo).  Packing a comparator's whole decision chain into one key
+/// turns the 4-branch tie-break cascade into a single two-word integer
+/// compare — the dominant operation of every heap sift on the simulator
+/// hot path.  Layouts are algorithm-specific (see priority.cpp); a key
+/// is only meaningful against keys packed for the same algorithm.
+struct PackedKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] friend constexpr bool operator<(const PackedKey& a,
+                                                const PackedKey& b) noexcept {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+  [[nodiscard]] friend constexpr bool operator==(const PackedKey& a,
+                                                 const PackedKey& b) noexcept = default;
+};
+
+/// Sentinel marking SubtaskRef::key as "no exact packed key" (the ref
+/// falls back to the legacy comparator chain).
+inline constexpr std::uint8_t kKeyNone = 0xff;
+
 /// A schedulable subtask instance in the ready queue.  Carries the task
 /// parameters so comparators are self-contained (PF recursion needs
-/// them), plus cached absolute timing.
+/// them), plus cached absolute timing and the precomputed priority key.
 struct SubtaskRef {
   TaskId task = kNoTask;
   SubtaskIndex index = 1;   ///< i (1-based within the task's subtask chain)
@@ -38,11 +60,43 @@ struct SubtaskRef {
   Time deadline = 1;        ///< absolute pseudo-deadline offset + d(T_i)
   int b = 0;                ///< b-bit
   Time group_dl = 0;        ///< absolute group deadline (0 for light tasks)
+  PackedKey key;            ///< precomputed priority key (see key_alg)
+  std::uint8_t key_alg = kKeyNone;  ///< Algorithm the key was packed for,
+                                    ///< or kKeyNone when no exact key fits
 };
 
-/// Builds a SubtaskRef with all derived fields filled in.
+/// Builds a SubtaskRef with all derived fields filled in, including the
+/// packed priority key for `alg` when every field fits the key layout
+/// exactly (key_alg records which; kKeyNone means the comparators use
+/// the legacy tie-break chain — always correct, just slower).  PF and
+/// WRR never pack: PF ties need the recursive successor-chain
+/// comparison, WRR has no subtask priorities.
 [[nodiscard]] SubtaskRef make_subtask_ref(TaskId task, std::int64_t e, std::int64_t p,
-                                          SubtaskIndex i, Time offset) noexcept;
+                                          SubtaskIndex i, Time offset,
+                                          Algorithm alg = Algorithm::kPD2) noexcept;
+
+/// Offset-relative window of one subtask, precomputed by the caller
+/// (e.g. by a WindowCursor, which derives them without divisions).
+/// group_dl is 0 for light tasks, otherwise the relative group deadline.
+struct SubtaskWindows {
+  Time release = 0;
+  Time deadline = 1;
+  int b = 0;
+  Time group_dl = 0;
+};
+
+/// make_subtask_ref with the window arithmetic already done.  Produces a
+/// ref bit-identical to the closed-form overload above for matching
+/// (e, p, i, offset, alg) — the simulator's cursor fast path asserts
+/// exactly that in debug builds.
+[[nodiscard]] SubtaskRef make_subtask_ref(TaskId task, std::int64_t e, std::int64_t p,
+                                          SubtaskIndex i, Time offset,
+                                          const SubtaskWindows& w, Algorithm alg) noexcept;
+
+/// Recomputes s.key / s.key_alg from the ordering fields already in `s`
+/// (the in-place counterpart of make_subtask_ref's packing step, for
+/// callers that mutate a ref's windows instead of rebuilding it).
+void pack_subtask_ref(SubtaskRef& s, Algorithm alg) noexcept;
 
 /// Strict "higher priority than" under PD2: earlier deadline; then b = 1
 /// beats b = 0; then (both b = 1) later group deadline; then task id.
@@ -80,12 +134,31 @@ class ScopedPd2BBitFlip {
 [[nodiscard]] bool epdf_higher_priority(const SubtaskRef& a, const SubtaskRef& b) noexcept;
 
 /// Comparator functor selecting one of the rules at construction; usable
-/// as the Less parameter of BinaryHeap.
+/// as the Less parameter of BinaryHeap.  When both operands carry a
+/// packed key for this comparator's algorithm (and packing is not
+/// disabled), the comparison is a single PackedKey compare; the packing
+/// in priority.cpp guarantees that path returns exactly what the legacy
+/// chain below would, so mixing keyed and keyless refs stays a
+/// consistent strict weak ordering.
 class SubtaskPriority {
  public:
-  explicit SubtaskPriority(Algorithm alg = Algorithm::kPD2) noexcept : alg_(alg) {}
+  explicit SubtaskPriority(Algorithm alg = Algorithm::kPD2, bool packed = true) noexcept
+      : alg_(alg), packed_(packed) {}
 
   [[nodiscard]] bool operator()(const SubtaskRef& a, const SubtaskRef& b) const noexcept {
+    if (packed_ && a.key_alg == static_cast<std::uint8_t>(alg_) &&
+        b.key_alg == static_cast<std::uint8_t>(alg_)) {
+      if (alg_ != Algorithm::kPD2 || !pd2_b_bit_flip_for_test()) [[likely]] {
+        return a.key < b.key;
+      }
+    }
+    return compare_legacy(a, b);
+  }
+
+  /// The pre-packed-key comparator chain (the reference semantics the
+  /// packed path must reproduce bit-exactly; differential tests compare
+  /// heaps driven by each).
+  [[nodiscard]] bool compare_legacy(const SubtaskRef& a, const SubtaskRef& b) const noexcept {
     switch (alg_) {
       case Algorithm::kPF:
         return pf_higher_priority(a, b);
@@ -101,9 +174,17 @@ class SubtaskPriority {
   }
 
   [[nodiscard]] Algorithm algorithm() const noexcept { return alg_; }
+  [[nodiscard]] bool packed() const noexcept { return packed_; }
 
  private:
   Algorithm alg_;
+  bool packed_ = true;
 };
 
 }  // namespace pfair
+
+// The ready-queue heap specialization (sifts on PackedKey instead of
+// whole SubtaskRefs).  Included here, after the types it specializes
+// over, so no translation unit can instantiate the primary
+// BinaryHeap<SubtaskRef, SubtaskPriority> and split the ODR.
+#include "core/subtask_heap.h"  // IWYU pragma: keep

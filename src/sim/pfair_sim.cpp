@@ -10,10 +10,18 @@ namespace pfair {
 PfairSimulator::PfairSimulator(PfairConfig config)
     : config_(config),
       live_processors_(config.processors),
-      ready_(SubtaskPriority(config.algorithm)),
+      ready_(SubtaskPriority(config.algorithm, config.packed_keys)),
       timer_(config.measure_overhead) {
   assert(config_.processors >= 1);
   prev_slot_tasks_.assign(static_cast<std::size_t>(live_processors_), kNoTask);
+}
+
+Algorithm PfairSimulator::ref_algorithm() const noexcept {
+  // The algorithm make_subtask_ref packs keys for.  With packing
+  // disabled (the differential reference mode) refs are built keyless
+  // via kWRR, which never packs, so the heap exercises the legacy
+  // comparator chain end to end.
+  return config_.packed_keys ? config_.algorithm : Algorithm::kWRR;
 }
 
 bool PfairSimulator::admit(std::int64_t execution, std::int64_t period) {
@@ -32,7 +40,9 @@ TaskId PfairSimulator::add_task(const Task& t, std::vector<Time> arrivals) {
   rt.offset = now_ + t.phase;  // asynchronous release: windows shift by the phase
   rt.join_time = now_;
   rt.arrivals = std::move(arrivals);
+  rt.cursor.reset(t.execution, t.period, 1);
   tasks_.push_back(std::move(rt));
+  active_weight_ += t.weight();
   enqueue_next_subtask(id, now_);
   obs::emit(bus_, obs::EventKind::kTaskJoin, now_, id, kNoProc, t.weight().to_double());
   return id;
@@ -51,6 +61,7 @@ TaskId PfairSimulator::add_supertask(const SupertaskSpec& spec, ProcId bound_pro
       assert(other.bound_proc != bound_proc || &other == &tasks_[id]);
 #endif
     tasks_[id].bound_proc = bound_proc;
+    ++bound_count_;
   }
   SupertaskRuntime srt;
   srt.owner = id;
@@ -67,10 +78,15 @@ TaskId PfairSimulator::add_supertask(const SupertaskSpec& spec, ProcId bound_pro
 
 void PfairSimulator::add_processor_event(ProcessorEvent ev) {
   assert(ev.at >= now_ && ev.processors >= 0);
-  proc_events_.push_back(ev);
-  std::sort(proc_events_.begin() + static_cast<std::ptrdiff_t>(next_proc_event_),
-            proc_events_.end(),
-            [](const ProcessorEvent& a, const ProcessorEvent& b) { return a.at < b.at; });
+  // One O(log n) probe + O(n) insert into the unconsumed suffix instead
+  // of re-sorting it wholesale on every registration.  upper_bound keeps
+  // equal-time events in insertion order, so the last one registered for
+  // a slot wins — the order the apply loop in simulate_slot relies on.
+  const auto pos = std::upper_bound(
+      proc_events_.begin() + static_cast<std::ptrdiff_t>(next_proc_event_),
+      proc_events_.end(), ev,
+      [](const ProcessorEvent& a, const ProcessorEvent& b) { return a.at < b.at; });
+  proc_events_.insert(pos, ev);
 }
 
 std::optional<TaskId> PfairSimulator::join(const Task& t) {
@@ -100,6 +116,7 @@ void PfairSimulator::force_leave(TaskId id) {
   if (!rt.active) return;
   remove_from_queues(rt);
   rt.active = false;
+  active_weight_ -= rt.spec.weight();
   obs::emit(bus_, obs::EventKind::kTaskLeave, now_, id);
   // Cancel any in-flight departure/reweight so the task cannot be
   // resurrected when its switch-over time arrives.
@@ -119,6 +136,7 @@ Time PfairSimulator::request_leave(TaskId id) {
   rt.pending_p = 0;
   if (freed <= now_) {
     rt.active = false;
+    active_weight_ -= rt.spec.weight();
     rt.leave_at = -1;
     obs::emit(bus_, obs::EventKind::kTaskLeave, now_, id);
     return now_;
@@ -167,9 +185,12 @@ void PfairSimulator::process_pending_departures(Time t) {
       // Reweight: restart with the new weight at the switch-over time
       // (observed as a leave immediately followed by a re-join).
       obs::emit(bus_, obs::EventKind::kTaskLeave, t, pending_departures_[k]);
+      active_weight_ -= rt.spec.weight();
       rt.spec.execution = rt.pending_e;
       rt.spec.period = rt.pending_p;
+      active_weight_ += rt.spec.weight();
       rt.next_index = 1;
+      rt.cursor.reset(rt.spec.execution, rt.spec.period, 1);
       rt.last_sched_index = 0;
       rt.offset = t;
       rt.allocated = 0;
@@ -182,6 +203,7 @@ void PfairSimulator::process_pending_departures(Time t) {
                 rt.spec.weight().to_double());
     } else {
       rt.active = false;
+      active_weight_ -= rt.spec.weight();
       rt.leave_at = -1;
       obs::emit(bus_, obs::EventKind::kTaskLeave, t, pending_departures_[k]);
     }
@@ -198,9 +220,12 @@ bool PfairSimulator::reweight(TaskId id, std::int64_t new_e, std::int64_t new_p)
   if (!may_join(active_weight() - rt.spec.weight(), new_w, live_processors_)) return false;
   remove_from_queues(rt);
   obs::emit(bus_, obs::EventKind::kTaskLeave, now_, id);
+  active_weight_ -= rt.spec.weight();
   rt.spec.execution = new_e;
   rt.spec.period = new_p;
+  active_weight_ += rt.spec.weight();
   rt.next_index = 1;
+  rt.cursor.reset(new_e, new_p, 1);
   rt.last_sched_index = 0;
   rt.offset = now_;
   rt.allocated = 0;
@@ -210,7 +235,7 @@ bool PfairSimulator::reweight(TaskId id, std::int64_t new_e, std::int64_t new_p)
   return true;
 }
 
-Rational PfairSimulator::active_weight() const {
+Rational PfairSimulator::recompute_active_weight() const {
   Rational sum(0);
   for (const TaskRuntime& rt : tasks_)
     if (rt.active) sum += rt.spec.weight();
@@ -240,17 +265,16 @@ std::uint64_t PfairSimulator::component_miss_count(TaskId id, std::size_t compon
 
 Time PfairSimulator::eligibility_time(const TaskRuntime& rt, SubtaskIndex i,
                                       Time prev_slot) const {
+  assert(rt.cursor.index == i);
   const Time earliest = prev_slot + 1;
-  const std::int64_t e = rt.spec.execution;
-  const std::int64_t p = rt.spec.period;
-  const Time release = rt.offset + subtask_release(e, p, i);
+  const Time release = rt.offset + rt.cursor.rel;
   switch (rt.spec.kind) {
     case TaskKind::kPeriodic:
       return std::max(release, earliest);
     case TaskKind::kEarlyRelease: {
       // Early release applies within a job only; a job's first subtask
       // still waits for the job release (= its Pfair release).
-      const bool first_of_job = (i - 1) % e == 0;
+      const bool first_of_job = rt.cursor.idx_in_job == 1;
       return first_of_job ? std::max(release, earliest) : earliest;
     }
     case TaskKind::kIntraSporadic: {
@@ -270,23 +294,56 @@ Time PfairSimulator::eligibility_time(const TaskRuntime& rt, SubtaskIndex i,
 void PfairSimulator::enqueue_next_subtask(TaskId id, Time earliest_slot) {
   TaskRuntime& rt = tasks_[id];
   const SubtaskIndex i = rt.next_index;
+  assert(rt.cursor.index == i);
   // IS late arrivals shift the remaining window chain: enlarge the offset
   // so the subtask's Pfair release coincides with its arrival.
   if (rt.spec.kind == TaskKind::kIntraSporadic) {
     const std::size_t idx = static_cast<std::size_t>(i - 1);
     if (idx < rt.arrivals.size()) {
-      const Time base_release =
-          rt.offset + subtask_release(rt.spec.execution, rt.spec.period, i);
+      const Time base_release = rt.offset + rt.cursor.rel;
       if (rt.arrivals[idx] > base_release) rt.offset += rt.arrivals[idx] - base_release;
     }
   }
   const Time eligible = eligibility_time(rt, i, earliest_slot - 1);
   rt.miss_counted = false;
+  // Build the ref once, here, from the cursor's division-free window
+  // values; the release path pushes it unchanged.  Everything the ref
+  // depends on (e, p, offset, alg) is invariant until the subtask leaves
+  // the queues — any mutation goes through remove_from_queues + a fresh
+  // enqueue.  The ref is refreshed field-wise in pending_ref rather than
+  // rebuilt: task/e/p never change and offset only moves for IS shifts.
+  const std::int64_t e = rt.spec.execution;
+  const std::int64_t p = rt.spec.period;
+  SubtaskRef& ref = rt.pending_ref;
+  ref.task = id;
+  ref.index = i;
+  ref.e = e;
+  ref.p = p;
+  ref.offset = rt.offset;
+  ref.release = rt.offset + rt.cursor.rel;
+  ref.deadline = rt.offset + rt.cursor.deadline();
+  ref.b = rt.cursor.b();
+  // Light tasks keep group_dl = 0: the comparators treat zero as "no
+  // group deadline".
+  const Time gdl = is_heavy(e, p) ? group_deadline(e, p, i) : 0;
+  ref.group_dl = gdl == 0 ? 0 : rt.offset + gdl;
+  pack_subtask_ref(ref, ref_algorithm());
+#ifndef NDEBUG
+  {
+    const SubtaskRef check = make_subtask_ref(id, e, p, i, rt.offset, ref_algorithm());
+    assert(check.release == rt.pending_ref.release);
+    assert(check.deadline == rt.pending_ref.deadline);
+    assert(check.b == rt.pending_ref.b);
+    assert(check.group_dl == rt.pending_ref.group_dl);
+    assert(check.key == rt.pending_ref.key && check.key_alg == rt.pending_ref.key_alg);
+  }
+#endif
   if (eligible <= now_) {
-    SubtaskRef ref = make_subtask_ref(id, rt.spec.execution, rt.spec.period, i, rt.offset);
-    rt.ready_handle = ready_.push(ref);
+    rt.ready_handle = ready_.push(rt.pending_ref);
   } else {
-    rt.calendar_handle = calendar_.push(CalendarEntry{eligible, id});
+    rt.calendar_when = eligible;
+    ++calendar_live_;
+    wheel_.push(eligible, now_, id);
   }
 }
 
@@ -295,49 +352,56 @@ void PfairSimulator::remove_from_queues(TaskRuntime& rt) {
     ready_.erase(rt.ready_handle);
   }
   rt.ready_handle = kInvalidHandle;
-  if (rt.calendar_handle != kInvalidHandle && calendar_.contains(rt.calendar_handle)) {
-    calendar_.erase(rt.calendar_handle);
+  if (rt.calendar_when >= 0) {
+    // Lazy wheel erase: the abandoned bucket entry no longer matches
+    // calendar_when and is dropped whenever its bucket next drains.
+    rt.calendar_when = -1;
+    --calendar_live_;
   }
-  rt.calendar_handle = kInvalidHandle;
 }
 
 void PfairSimulator::release_eligible(Time t) {
-  while (!calendar_.empty() && calendar_.top().when <= t) {
-    const CalendarEntry entry = calendar_.pop();
-    TaskRuntime& rt = tasks_[entry.task];
-    rt.calendar_handle = kInvalidHandle;
-    if (!rt.active) continue;
-    SubtaskRef ref =
-        make_subtask_ref(entry.task, rt.spec.execution, rt.spec.period, rt.next_index, rt.offset);
-    rt.ready_handle = ready_.push(ref);
-  }
+  if (calendar_live_ == 0) return;
+  wheel_.drain_due(t, [&](TaskId id) {
+    TaskRuntime& rt = tasks_[id];
+    if (rt.calendar_when != t) return;  // stale entry (erased / re-targeted)
+    rt.calendar_when = -1;
+    --calendar_live_;
+    if (!rt.active) return;
+    rt.ready_handle = ready_.push(rt.pending_ref);
+  });
 }
 
 void PfairSimulator::detect_misses(Time t) {
   // Entries with deadline <= t sit at the top of the queue (every
-  // priority rule orders by deadline first).  Pop them, count each miss
-  // once, and either drop the subtask or requeue it for late execution.
-  picked_.clear();  // reuse as scratch for requeue
+  // priority rule orders by deadline first).  Pop them in priority order
+  // (the obs event order is part of the simulator's contract), count
+  // each miss once, and either drop the subtask or requeue it for late
+  // execution.  A queued entry is always the task's pending_ref,
+  // unchanged, so the requeue pushes that instead of hauling popped
+  // copies around.
+  requeue_.clear();
   while (!ready_.empty() && ready_.top().deadline <= t) {
-    SubtaskRef ref = ready_.pop();
-    TaskRuntime& rt = tasks_[ref.task];
+    const TaskId id = ready_.top().task;
+    ready_.erase(ready_.top_handle());
+    TaskRuntime& rt = tasks_[id];
     rt.ready_handle = kInvalidHandle;
     if (!rt.miss_counted) {
       rt.miss_counted = true;
       metrics_.record_miss(t);
-      obs::emit(bus_, obs::EventKind::kDeadlineMiss, t, ref.task);
+      obs::emit(bus_, obs::EventKind::kDeadlineMiss, t, id);
     }
     if (config_.miss_policy == MissPolicy::kDrop) {
       ++rt.next_index;
-      enqueue_next_subtask(ref.task, t);
+      rt.cursor.advance();
+      enqueue_next_subtask(id, t);
     } else {
-      picked_.push_back(ref);
+      requeue_.push_back(id);
     }
   }
-  for (const SubtaskRef& ref : picked_) {
-    tasks_[ref.task].ready_handle = ready_.push(ref);
+  for (const TaskId id : requeue_) {
+    tasks_[id].ready_handle = ready_.push(tasks_[id].pending_ref);
   }
-  picked_.clear();
 }
 
 void PfairSimulator::dispatch_supertask_quantum(TaskRuntime& rt, Time t) {
@@ -447,54 +511,65 @@ void PfairSimulator::simulate_slot() {
   picked_.clear();
   const std::size_t want = static_cast<std::size_t>(std::max(live_processors_, 0));
   while (picked_.size() < want && !ready_.empty()) {
-    SubtaskRef ref = ready_.pop();
-    tasks_[ref.task].ready_handle = kInvalidHandle;
-    picked_.push_back(ref);
-  }
-  for (const SubtaskRef& ref : picked_) {
+    const HeapHandle h = ready_.top_handle();
+    const SubtaskRef& ref = ready_.get(h);
     TaskRuntime& rt = tasks_[ref.task];
+    rt.ready_handle = kInvalidHandle;
     rt.last_sched_index = ref.index;
+    picked_.push_back(Pick{ref.task, ref.release, 0});
+    ready_.erase(h);
+  }
+  for (const Pick& pick : picked_) {
+    TaskRuntime& rt = tasks_[pick.task];
+    rt.picked_slot = t;
     ++rt.next_index;
+    rt.cursor.advance();
     ++rt.allocated;
-    enqueue_next_subtask(ref.task, t + 1);
+    enqueue_next_subtask(pick.task, t + 1);
   }
 
   const double sched_ns = timer_.stop(metrics_);
   ++metrics_.scheduler_invocations;
   obs::emit(bus_, obs::EventKind::kSchedInvoke, t, kNoTask, kNoProc, sched_ns);
 
-  // 5. Processor assignment with affinity.
+  // 5. Processor assignment with affinity.  assign_ maps processor ->
+  // index into picked_ (-1 = idle) so every later lookup (task id,
+  // dispatch latency) is a direct picked_ access; all scratch lives in
+  // reused members, so the kernel allocates nothing at steady state.
   const std::size_t m = static_cast<std::size_t>(std::max(live_processors_, 0));
-  std::vector<TaskId> cur(m, kNoTask);
-  std::vector<bool> task_placed(picked_.size(), false);
+  constexpr std::int32_t kIdle = -1;
+  assign_.assign(m, kIdle);
   // Pass 0: bound tasks (supertask binding) always take their fixed
   // processor; at most one task binds to any processor, so no conflict.
-  for (std::size_t k = 0; k < picked_.size(); ++k) {
-    TaskRuntime& rt = tasks_[picked_[k].task];
-    if (rt.bound_proc != kNoProc && rt.bound_proc < m) {
-      assert(cur[rt.bound_proc] == kNoTask);
-      cur[rt.bound_proc] = picked_[k].task;
-      task_placed[k] = true;
+  // Skipped entirely when nothing is bound (the common case).
+  if (bound_count_ > 0) {
+    for (std::size_t k = 0; k < picked_.size(); ++k) {
+      TaskRuntime& rt = tasks_[picked_[k].task];
+      if (rt.bound_proc != kNoProc && rt.bound_proc < m) {
+        assert(assign_[rt.bound_proc] == kIdle);
+        assign_[rt.bound_proc] = static_cast<std::int32_t>(k);
+        picked_[k].placed = 1;
+      }
     }
   }
   if (config_.affinity) {
     // Pass 1: tasks that ran in slot t-1 keep their processor.
     for (std::size_t k = 0; k < picked_.size(); ++k) {
-      if (task_placed[k]) continue;
+      if (picked_[k].placed != 0) continue;
       TaskRuntime& rt = tasks_[picked_[k].task];
       if (rt.last_sched_slot == t - 1 && rt.last_proc != kNoProc && rt.last_proc < m &&
-          cur[rt.last_proc] == kNoTask) {
-        cur[rt.last_proc] = picked_[k].task;
-        task_placed[k] = true;
+          assign_[rt.last_proc] == kIdle) {
+        assign_[rt.last_proc] = static_cast<std::int32_t>(k);
+        picked_[k].placed = 1;
       }
     }
     // Pass 2: idle-resuming tasks prefer their previous processor.
     for (std::size_t k = 0; k < picked_.size(); ++k) {
-      if (task_placed[k]) continue;
+      if (picked_[k].placed != 0) continue;
       TaskRuntime& rt = tasks_[picked_[k].task];
-      if (rt.last_proc != kNoProc && rt.last_proc < m && cur[rt.last_proc] == kNoTask) {
-        cur[rt.last_proc] = picked_[k].task;
-        task_placed[k] = true;
+      if (rt.last_proc != kNoProc && rt.last_proc < m && assign_[rt.last_proc] == kIdle) {
+        assign_[rt.last_proc] = static_cast<std::int32_t>(k);
+        picked_[k].placed = 1;
       }
     }
   }
@@ -502,30 +577,26 @@ void PfairSimulator::simulate_slot() {
   {
     std::size_t next_free = 0;
     for (std::size_t k = 0; k < picked_.size(); ++k) {
-      if (task_placed[k]) continue;
-      while (next_free < m && cur[next_free] != kNoTask) ++next_free;
+      if (picked_[k].placed != 0) continue;
+      while (next_free < m && assign_[next_free] != kIdle) ++next_free;
       assert(next_free < m);
-      cur[next_free] = picked_[k].task;
+      assign_[next_free] = static_cast<std::int32_t>(k);
     }
   }
 
   // 6. Metrics + state updates.
   if (config_.record_trace) trace_.begin_slot(m);
   for (std::size_t proc = 0; proc < m; ++proc) {
-    const TaskId id = cur[proc];
-    if (id == kNoTask) continue;
+    const std::int32_t ki = assign_[proc];
+    if (ki == kIdle) continue;
+    const Pick& picked_ref = picked_[static_cast<std::size_t>(ki)];
+    const TaskId id = picked_ref.task;
     TaskRuntime& rt = tasks_[id];
     const ProcId old_proc = rt.last_proc;
     if (bus_ != nullptr) {
       // Dispatch latency: slots between the subtask's pseudo-release and
-      // this quantum (picked_ holds the slot's scheduled refs).
-      double latency = -1.0;
-      for (const SubtaskRef& ref : picked_) {
-        if (ref.task == id) {
-          latency = static_cast<double>(t - ref.release);
-          break;
-        }
-      }
+      // this quantum.
+      const double latency = static_cast<double>(t - picked_ref.release);
       bus_->emit(obs::EventKind::kDispatch, t, id, static_cast<ProcId>(proc), latency);
     }
     if (proc < prev_slot_tasks_.size() && prev_slot_tasks_[proc] != id) {
@@ -541,13 +612,15 @@ void PfairSimulator::simulate_slot() {
     if (config_.record_trace) trace_.record(static_cast<ProcId>(proc), id);
     if (rt.is_supertask) dispatch_supertask_quantum(rt, t);
     // Job completion bookkeeping (the job of subtask i ends when
-    // i % e == 0).
-    if (rt.last_sched_index % rt.spec.execution == 0) {
+    // i % e == 0, i.e. exactly when the cursor — already advanced to
+    // i + 1 by the scheduler pass — wrapped to a new job).
+    if (rt.cursor.idx_in_job == 1) {
       ++metrics_.jobs_completed;
       // Response time of the completed job (the paper motivates ERfair
       // with improved response times; measured here for the ablation).
-      const std::int64_t job = rt.last_sched_index / rt.spec.execution;  // 1-based
-      const Time release = rt.offset + (job - 1) * rt.spec.period;
+      // The cursor's job_rel is the *next* job's relative release; the
+      // completed job released one period earlier.
+      const Time release = rt.offset + rt.cursor.job_rel - rt.spec.period;
       metrics_.response_time.add(static_cast<double>(t + 1 - release));
       obs::emit(bus_, obs::EventKind::kJobComplete, t, id, static_cast<ProcId>(proc),
                 static_cast<double>(t + 1 - release));
@@ -556,14 +629,15 @@ void PfairSimulator::simulate_slot() {
       rt.cur_job_preemptions = 0;
     }
   }
-  // Preemptions: ran in t-1, job incomplete, not running now.
+  // Preemptions: ran in t-1, job incomplete, not running now.  Every
+  // picked task was stamped picked_slot = t above, so "runs now" is one
+  // field test instead of an O(M) scan per previous-slot task.
   for (const TaskId id : prev_slot_tasks_) {
     if (id == kNoTask) continue;
     TaskRuntime& rt = tasks_[id];
     if (!rt.active) continue;
     if (rt.last_sched_slot != t - 1) continue;  // stale entry
-    const bool runs_now =
-        std::find(cur.begin(), cur.end(), id) != cur.end();
+    const bool runs_now = rt.picked_slot == t;
     const bool job_incomplete = rt.last_sched_index % rt.spec.execution != 0;
     if (!runs_now && job_incomplete) {
       ++metrics_.preemptions;
@@ -571,20 +645,26 @@ void PfairSimulator::simulate_slot() {
       if (bus_ != nullptr) {
         // Attribute the preemption to whoever took the victim's processor.
         double preemptor = -1.0;
-        if (rt.last_proc != kNoProc && rt.last_proc < m && cur[rt.last_proc] != kNoTask)
-          preemptor = static_cast<double>(cur[rt.last_proc]);
+        if (rt.last_proc != kNoProc && rt.last_proc < m && assign_[rt.last_proc] != kIdle)
+          preemptor =
+              static_cast<double>(picked_[static_cast<std::size_t>(assign_[rt.last_proc])].task);
         bus_->emit(obs::EventKind::kPreemption, t, id, rt.last_proc, preemptor);
       }
     }
   }
+  prev_slot_tasks_.assign(m, kNoTask);
   for (std::size_t proc = 0; proc < m; ++proc) {
-    if (cur[proc] != kNoTask) tasks_[cur[proc]].last_sched_slot = t;
+    const std::int32_t ki = assign_[proc];
+    if (ki == kIdle) continue;
+    const TaskId id = picked_[static_cast<std::size_t>(ki)].task;
+    tasks_[id].last_sched_slot = t;
+    prev_slot_tasks_[proc] = id;
   }
 
   metrics_.busy_quanta += picked_.size();
   metrics_.idle_quanta += m - picked_.size();
   ++metrics_.slots;
-  prev_slot_tasks_ = std::move(cur);
+  last_slot_allocated_ = !picked_.empty();
   obs::emit(bus_, obs::EventKind::kSlotEnd, t, kNoTask, kNoProc,
             static_cast<double>(picked_.size()));
 
@@ -604,8 +684,58 @@ void PfairSimulator::simulate_slot() {
   }
 }
 
+Time PfairSimulator::fast_forward_target(Time until) const {
+  // Eligibility: a slot may be skipped only when the per-slot kernel
+  // would provably (a) schedule nothing and (b) produce no observable
+  // per-slot effect beyond bulk-accountable idle metrics.  Anything
+  // that needs per-slot work disables the jump:
+  //   - an attached observer (kSlotBegin/kSlotEnd/etc. per slot),
+  //   - per-slot lag checking or overhead timing,
+  //   - supertasks (component jobs release and miss on their own clock),
+  //   - pending orderly departures (their switch-over must fire on time),
+  //   - a non-empty ready queue (something would be scheduled),
+  //   - an allocation in the immediately preceding slot (its preemption
+  //     accounting can still fire one slot later).
+  // The jump then stops at the next release-calendar entry or processor
+  // event, whichever comes first.
+  if (last_slot_allocated_ || !ready_.empty()) return now_;
+  if (bus_ != nullptr || config_.check_lags || config_.measure_overhead) return now_;
+  if (!supertasks_.empty() || !pending_departures_.empty()) return now_;
+  Time target = until;
+  if (next_proc_event_ < proc_events_.size())
+    target = std::min(target, proc_events_[next_proc_event_].at);
+  if (calendar_live_ > 0) {
+    const Time ev = wheel_.next_event(now_, target, [this](TaskId id, Time when) {
+      return tasks_[id].calendar_when == when;
+    });
+    target = std::min(target, ev);
+  }
+  return std::max(target, now_);
+}
+
+void PfairSimulator::account_idle_slots(Time count) {
+  const std::size_t m = static_cast<std::size_t>(std::max(live_processors_, 0));
+  metrics_.slots += static_cast<std::uint64_t>(count);
+  metrics_.idle_quanta += static_cast<std::uint64_t>(count) * m;
+  metrics_.scheduler_invocations += static_cast<std::uint64_t>(count);
+  fast_forwarded_slots_ += static_cast<std::uint64_t>(count);
+  if (config_.record_trace) trace_.idle_slots(m, static_cast<std::size_t>(count));
+  // What one simulated idle slot would leave behind for the next slot's
+  // context-switch / preemption accounting.
+  prev_slot_tasks_.assign(m, kNoTask);
+  last_slot_allocated_ = false;
+}
+
 void PfairSimulator::run_until(Time until) {
   while (now_ < until) {
+    if (config_.idle_fast_forward) {
+      const Time target = fast_forward_target(until);
+      if (target > now_) {
+        account_idle_slots(target - now_);
+        now_ = target;
+        continue;
+      }
+    }
     simulate_slot();
     ++now_;
   }

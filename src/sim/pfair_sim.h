@@ -31,7 +31,9 @@
 #include "engine/metrics.h"
 #include "engine/overhead_timer.h"
 #include "engine/simulator.h"
+#include "core/windows.h"
 #include "obs/bus.h"
+#include "sim/release_wheel.h"
 #include "sim/trace.h"
 #include "util/binary_heap.h"
 #include "util/rational.h"
@@ -56,6 +58,13 @@ struct PfairConfig {
   bool measure_overhead = false;  ///< steady_clock-time each scheduler invocation
   Time lag_sample_every = 0;    ///< emit an obs kLagSample per task every N
                                 ///< slots (0 = off; needs an attached observer)
+  bool packed_keys = true;      ///< precompute PackedKeys so ready-queue sifts
+                                ///< are single integer compares (false = legacy
+                                ///< comparator chain; differential-test reference)
+  bool idle_fast_forward = true;  ///< jump over provably idle slot runs in
+                                  ///< run_until (auto-disabled whenever any
+                                  ///< per-slot work could observe them; see
+                                  ///< fast_forward_target)
 };
 
 /// Scheduled change of the number of live processors (fault injection /
@@ -143,8 +152,21 @@ class PfairSimulator : public engine::Simulator {
   [[nodiscard]] const ScheduleTrace& trace() const noexcept { return trace_; }
   [[nodiscard]] const PfairConfig& config() const noexcept { return config_; }
 
-  /// Total weight of currently active tasks.
-  [[nodiscard]] Rational active_weight() const;
+  /// Total weight of currently active tasks.  Maintained incrementally
+  /// on join/leave/reweight/departure, so admission checks are O(1)
+  /// instead of an O(N) Rational sum per call.
+  [[nodiscard]] Rational active_weight() const noexcept { return active_weight_; }
+
+  /// O(N) recomputation of active_weight() from scratch; test/debug hook
+  /// asserting the incremental sum never drifts.
+  [[nodiscard]] Rational recompute_active_weight() const;
+
+  /// Slots skipped by the idle fast-forward (run_until jumping straight
+  /// to the next calendar/processor-event boundary); test hook for the
+  /// eligibility rule.
+  [[nodiscard]] std::uint64_t fast_forwarded_slots() const noexcept {
+    return fast_forwarded_slots_;
+  }
 
   /// Quanta allocated to `id` so far.
   [[nodiscard]] std::int64_t allocated(TaskId id) const { return tasks_[id].allocated; }
@@ -195,25 +217,23 @@ class PfairSimulator : public engine::Simulator {
     std::int64_t allocated = 0;
     ProcId last_proc = kNoProc;
     Time last_sched_slot = -2;         ///< slot of most recent allocation
+    Time picked_slot = -2;             ///< slot the scheduler last picked this
+                                       ///< task (replaces the O(M) runs-now scan)
     HeapHandle ready_handle = kInvalidHandle;
-    HeapHandle calendar_handle = kInvalidHandle;
+    Time calendar_when = -1;           ///< slot of this task's release-wheel
+                                       ///< entry (-1 = none); clearing it is
+                                       ///< how wheel entries are erased
+    WindowCursor cursor;               ///< windows of subtask next_index,
+                                       ///< advanced in O(1) per subtask
+    SubtaskRef pending_ref;            ///< prebuilt ref for subtask next_index
+                                       ///< (built once at enqueue; the release
+                                       ///< path pushes it as-is)
     Time leave_at = -1;          ///< pending departure (weight frees then)
     std::int64_t pending_e = 0;  ///< pending reweight (0 = plain leave)
     std::int64_t pending_p = 0;
     bool miss_counted = false;         ///< current queued subtask already counted as missed
     std::int64_t cur_job_preemptions = 0;
     std::int64_t max_job_preemptions = 0;
-  };
-
-  struct CalendarEntry {
-    Time when = 0;
-    TaskId task = kNoTask;
-  };
-  struct CalendarLess {
-    bool operator()(const CalendarEntry& a, const CalendarEntry& b) const noexcept {
-      if (a.when != b.when) return a.when < b.when;
-      return a.task < b.task;
-    }
   };
 
   void simulate_slot();
@@ -230,24 +250,52 @@ class PfairSimulator : public engine::Simulator {
   void remove_from_queues(TaskRuntime& rt);
   void check_lags(Time t_next);
   void process_pending_departures(Time t);
+  /// Algorithm passed to make_subtask_ref for key packing (kWRR = no
+  /// keys when packed_keys is off).
+  [[nodiscard]] Algorithm ref_algorithm() const noexcept;
+  /// Latest time in (now_, until] the simulation can jump to with every
+  /// skipped slot provably idle and unobserved, or now_ when fast-forward
+  /// is not eligible.
+  [[nodiscard]] Time fast_forward_target(Time until) const;
+  /// Bulk-accounts `count` idle slots (metrics, trace) without running
+  /// the per-slot kernel.
+  void account_idle_slots(Time count);
 
   PfairConfig config_;
   Time now_ = 0;
   int live_processors_ = 1;
   std::vector<TaskRuntime> tasks_;
   std::vector<SupertaskRuntime> supertasks_;
+  std::int64_t bound_count_ = 0;             ///< tasks with a fixed processor
   BinaryHeap<SubtaskRef, SubtaskPriority> ready_;
-  BinaryHeap<CalendarEntry, CalendarLess> calendar_;
+  ReleaseWheel wheel_;                       ///< release calendar (O(1) push/drain)
+  std::int64_t calendar_live_ = 0;           ///< tasks with calendar_when >= 0
   std::vector<ProcessorEvent> proc_events_;  ///< sorted by time, applied in order
   std::size_t next_proc_event_ = 0;
   std::vector<TaskId> pending_departures_;   ///< tasks with leave_at set
+  Rational active_weight_ = Rational(0);     ///< cached sum over active tasks
   engine::Metrics metrics_;
   engine::OverheadTimer timer_;
   obs::EventBus* bus_ = nullptr;  ///< borrowed; nullptr = observation off
   ScheduleTrace trace_;
-  // Scratch buffers reused every slot (avoid per-slot allocation).
-  std::vector<SubtaskRef> picked_;
+  std::uint64_t fast_forwarded_slots_ = 0;
+  bool last_slot_allocated_ = false;  ///< the preceding simulated slot scheduled
+                                      ///< something (its preemption accounting
+                                      ///< may still fire one slot later)
+  // Scratch buffers reused every slot (the slot kernel is allocation-free
+  // once they reach steady-state capacity).
+  /// What the assignment/accounting passes need from a scheduled subtask
+  /// — the full SubtaskRef stays in the task's pending_ref and never
+  /// crosses the kernel by value.
+  struct Pick {
+    TaskId task;
+    Time release;
+    std::uint8_t placed;  ///< assignment passes: already given a processor
+  };
+  std::vector<Pick> picked_;
+  std::vector<TaskId> requeue_;              ///< kScheduleLate miss re-inserts
   std::vector<TaskId> prev_slot_tasks_;      ///< proc -> task of previous slot
+  std::vector<std::int32_t> assign_;         ///< proc -> index into picked_ (-1 idle)
 };
 
 }  // namespace pfair

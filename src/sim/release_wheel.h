@@ -1,0 +1,148 @@
+// Timing-wheel release calendar for the Pfair simulator.
+//
+// The release calendar holds at most one entry per task ("the slot in
+// which this task's next subtask becomes eligible"), and the simulator
+// drains every due slot in time order.  A binary heap serves that access
+// pattern with an O(log n) sift per push and per pop — on the hot path
+// that was one full-depth sift per scheduled quantum.  A timing wheel
+// exploits the structure instead: entries land in a power-of-two ring of
+// per-slot buckets (O(1) push), and draining slot t empties exactly the
+// bucket t & mask (O(entries) total, no comparisons).
+//
+// Deletion is lazy: the simulator marks an entry dead by clearing the
+// task's `calendar_when` field and simply abandons the bucket entry.
+// Stale entries are dropped when their bucket is next examined — the
+// drain callback receives every entry whose time matches and the caller
+// filters against `calendar_when`, which also de-duplicates the
+// erase-then-repush-for-the-same-slot case (the first match consumes
+// `calendar_when`; later duplicates no longer match).
+//
+// Entries further ahead than the wheel covers go to a small overflow
+// heap (plain make/push/pop_heap over a vector).  The wheel grows to
+// cover what it sees, up to kMaxWheelBits, so overflow is reserved for
+// genuinely far-future releases (e.g. intra-sporadic arrival plans) and
+// stays near-empty in steady state.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pfair {
+
+class ReleaseWheel {
+ public:
+  struct Entry {
+    Time when = 0;
+    TaskId task = kNoTask;
+  };
+
+  /// Returned by next_event() when no live entry exists in range.
+  static constexpr Time kNoEvent = std::numeric_limits<Time>::max();
+
+  /// Registers `task` for slot `when` (strictly after `now`).  O(1)
+  /// amortized; grows the wheel when `when` is beyond the horizon it
+  /// currently covers (rare, geometric).
+  void push(Time when, Time now, TaskId task) {
+    assert(when > now);
+    const Time delta = when - now;
+    if (buckets_.empty()) buckets_.resize(kInitialSize);
+    if (delta >= static_cast<Time>(buckets_.size()) && !grow_to(delta)) {
+      overflow_.push_back(Entry{when, task});
+      std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+      return;
+    }
+    buckets_[static_cast<std::size_t>(when) & (buckets_.size() - 1)].push_back(
+        Entry{when, task});
+  }
+
+  /// Calls f(task) for every entry registered for slot `t` (including
+  /// entries the caller has since marked dead — the caller filters).
+  /// Entries for earlier slots can only be dead (live ones are always
+  /// drained at their exact slot) and are dropped; later (wrapped)
+  /// entries stay.
+  template <typename F>
+  void drain_due(Time t, F&& f) {
+    if (!buckets_.empty()) {
+      std::vector<Entry>& b = buckets_[static_cast<std::size_t>(t) & (buckets_.size() - 1)];
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        if (b[i].when > t) {
+          b[keep++] = b[i];
+        } else if (b[i].when == t) {
+          f(b[i].task);
+        }
+      }
+      b.resize(keep);
+    }
+    while (!overflow_.empty() && overflow_.front().when <= t) {
+      const Entry e = overflow_.front();
+      std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+      overflow_.pop_back();
+      if (e.when == t) f(e.task);
+    }
+  }
+
+  /// Earliest slot in [now, limit] holding an entry for which
+  /// live(task, when) is true, or kNoEvent.  `now` itself is included:
+  /// an entry due in the very slot about to be simulated must report as
+  /// the next event (it blocks any fast-forward jump).  O(slots scanned
+  /// + entries seen); only called from the idle fast-forward, whose jump
+  /// saves at least the slots scanned.
+  template <typename P>
+  [[nodiscard]] Time next_event(Time now, Time limit, P&& live) const {
+    Time best = kNoEvent;
+    for (const Entry& e : overflow_) {
+      if (e.when >= now && e.when < best && live(e.task, e.when)) best = e.when;
+    }
+    if (!buckets_.empty()) {
+      // All live wheel entries are within buckets_.size() - 1 of `now`
+      // (the push-time distance only shrinks as time advances).
+      const Time hi =
+          std::min(limit, now + static_cast<Time>(buckets_.size()) - 1);
+      for (Time t = now; t <= hi && t < best; ++t) {
+        const std::vector<Entry>& b =
+            buckets_[static_cast<std::size_t>(t) & (buckets_.size() - 1)];
+        for (const Entry& e : b) {
+          if (e.when == t && live(e.task, t)) return std::min(best, t);
+        }
+      }
+    }
+    return best;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.when > b.when;  // min-heap on when
+    }
+  };
+
+  static constexpr std::size_t kInitialSize = 256;  // power of two
+  static constexpr int kMaxWheelBits = 16;          // beyond: overflow heap
+
+  /// Grows to the next power of two covering `delta`; false if capped.
+  bool grow_to(Time delta) {
+    std::size_t want = buckets_.size();
+    while (static_cast<Time>(want) <= delta) {
+      if (want >= (std::size_t{1} << kMaxWheelBits)) return false;
+      want <<= 1;
+    }
+    std::vector<std::vector<Entry>> grown(want);
+    for (std::vector<Entry>& b : buckets_) {
+      for (const Entry& e : b) {
+        grown[static_cast<std::size_t>(e.when) & (want - 1)].push_back(e);
+      }
+    }
+    buckets_ = std::move(grown);
+    return true;
+  }
+
+  std::vector<std::vector<Entry>> buckets_;  ///< ring, size a power of two
+  std::vector<Entry> overflow_;              ///< min-heap of far-future entries
+};
+
+}  // namespace pfair

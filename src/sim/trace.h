@@ -23,6 +23,15 @@ class ScheduleTrace {
     slots_.emplace_back();
     slots_.back().proc_to_task.assign(processors, kNoTask);
   }
+
+  /// Bulk-appends `count` all-idle slots — what `count` begin_slot()
+  /// calls with no record() would produce.  Used by the simulator's
+  /// idle-slot fast-forward so traced runs stay bit-identical to the
+  /// slot-by-slot path.
+  void idle_slots(std::size_t processors, std::size_t count) {
+    slots_.reserve(slots_.size() + count);
+    for (std::size_t i = 0; i < count; ++i) begin_slot(processors);
+  }
   void record(ProcId proc, TaskId task) {
     const std::size_t t = slots_.size() - 1;
     TaskId& cell = slots_.back().proc_to_task[proc];

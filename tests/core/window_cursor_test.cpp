@@ -1,0 +1,62 @@
+// WindowCursor must reproduce the closed-form window arithmetic exactly:
+// it is the division-free incremental form the simulator's enqueue fast
+// path runs every quantum.
+#include <gtest/gtest.h>
+
+#include "core/windows.h"
+
+namespace pfair {
+namespace {
+
+TEST(WindowCursor, MatchesClosedFormsAcrossAdvances) {
+  for (std::int64_t p = 1; p <= 24; ++p) {
+    for (std::int64_t e = 1; e <= p; ++e) {
+      WindowCursor c;
+      c.reset(e, p, 1);
+      for (SubtaskIndex i = 1; i <= 4 * e + 3; ++i) {
+        ASSERT_EQ(c.index, i);
+        ASSERT_EQ(c.rel, subtask_release(e, p, i)) << e << "/" << p << " i=" << i;
+        ASSERT_EQ(c.deadline(), subtask_deadline(e, p, i)) << e << "/" << p << " i=" << i;
+        ASSERT_EQ(c.b(), b_bit(e, p, i)) << e << "/" << p << " i=" << i;
+        // Job bookkeeping: position within the job and the job's release.
+        ASSERT_EQ(c.idx_in_job, (i - 1) % e + 1);
+        ASSERT_EQ(c.job_rel, (i - 1) / e * p);
+        c.advance();
+      }
+    }
+  }
+}
+
+TEST(WindowCursor, ResetAtArbitraryIndexEqualsAdvancedCursor) {
+  const std::int64_t e = 7;
+  const std::int64_t p = 19;
+  WindowCursor walked;
+  walked.reset(e, p, 1);
+  for (SubtaskIndex i = 1; i <= 60; ++i) {
+    WindowCursor jumped;
+    jumped.reset(e, p, i);
+    EXPECT_EQ(jumped.rel, walked.rel) << i;
+    EXPECT_EQ(jumped.rel_next, walked.rel_next) << i;
+    EXPECT_EQ(jumped.rem_next, walked.rem_next) << i;
+    EXPECT_EQ(jumped.idx_in_job, walked.idx_in_job) << i;
+    EXPECT_EQ(jumped.job_rel, walked.job_rel) << i;
+    walked.advance();
+  }
+}
+
+TEST(WindowCursor, LargeValuesStayExact) {
+  // A long walk on a weight near 1 exercises the remainder carry often.
+  const std::int64_t e = 999;
+  const std::int64_t p = 1000;
+  WindowCursor c;
+  c.reset(e, p, 1);
+  for (SubtaskIndex i = 1; i <= 5000; ++i) {
+    ASSERT_EQ(c.rel, subtask_release(e, p, i));
+    ASSERT_EQ(c.deadline(), subtask_deadline(e, p, i));
+    ASSERT_EQ(c.b(), b_bit(e, p, i));
+    c.advance();
+  }
+}
+
+}  // namespace
+}  // namespace pfair
