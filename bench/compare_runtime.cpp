@@ -10,12 +10,19 @@
 // unified metrics read-out per scheduler.
 //
 // Usage: compare_runtime [--processors=4] [--horizon=20000] [--trials=10]
-//                        [--seed=1] [--jobs=N] [--json]
+//                        [--seed=1] [--jobs=N] [--shards=N] [--soa=0|1]
+//                        [--simd=0|1] [--json]
+//
+// --shards shards the PD2 SoA slot kernel inside each quantum; --soa=0
+// selects the legacy heap+wheel kernel and --simd=0 the scalar sweeps.
+// All three leave the report byte-identical (only wall time moves) —
+// the CI shard-parity leg cmp's --shards=1 against --shards=2.
 //
 // Trials (full simulator runs — the heaviest per-trial work in the
 // bench suite) fan out across --jobs worker threads with counter-based
 // per-trial RNG streams; the report is byte-identical for any --jobs
 // value.
+#include <cstdint>
 #include <cstdio>
 
 #include "bench/fig_common.h"
@@ -36,8 +43,14 @@ int main(int argc, char** argv) {
 
   PartitionConfig pc;
   pc.max_processors = m;
+  PfairConfig pd2c;
+  pd2c.processors = m;
+  pd2c.algorithm = Algorithm::kPD2;
+  pd2c.shards = h.shards();
+  pd2c.soa_kernel = h.flag("soa", 1) != 0;
+  pd2c.simd = h.flag("simd", 1) != 0;
   const std::vector<engine::SchedulerSpec> specs = {
-      engine::pd2_spec(m), engine::partitioned_spec("EDF-FF", pc)};
+      engine::pfair_spec("PD2", pd2c), engine::partitioned_spec("EDF-FF", pc)};
 
   engine::ParallelSweep sweep(h.jobs(), h.seed(1));
   const bench::WallTimer wall;
@@ -64,10 +77,12 @@ int main(int argc, char** argv) {
     RunningStats pd2_pre, pd2_sw, pd2_mig, ff_pre, ff_sw;
     int placed = 0;
     long long s = -1;
+    std::uint64_t pd2_ff_slots = 0;
     for (const Trial& t : trials) {  // trial order: deterministic merge
       ++s;
       if (!t.placed) continue;
       ++placed;
+      pd2_ff_slots += t.pd2.fast_forwarded_slots;
       const double k = 1000.0 / static_cast<double>(horizon);
       ff_pre.add(static_cast<double>(t.ff.preemptions) * k);
       ff_sw.add(static_cast<double>(t.ff.context_switches) * k);
@@ -89,7 +104,8 @@ int main(int argc, char** argv) {
         .set("pd2_migrations", pd2_mig)
         .set("ff_preemptions", ff_pre)
         .set("ff_switches", ff_sw)
-        .set("placed", static_cast<long long>(placed));
+        .set("placed", static_cast<long long>(placed))
+        .set("pd2_fast_forwarded_slots", static_cast<long long>(pd2_ff_slots));
   }
   std::printf("# expectations: PD2 preempts/migrates more (the paper's concession);\n");
   std::printf("# the ratio shrinks with affinity and the per-event cost (Sec. 4) is\n");

@@ -67,6 +67,10 @@ struct SimulatorConfig {
   UniSimConfig uniproc;
   WrrConfig wrr;
   CbsConfig cbs;
+  int shards = 0;  ///< kind-independent shard override: > 0 replaces
+                   ///< pfair.shards (the SoA slot-kernel parallelism;
+                   ///< other kinds ignore it), 0 defers to the per-kind
+                   ///< config.  Output is byte-identical for any value.
 };
 
 /// Builds an empty simulator of `kind`; load it via Simulator::admit()

@@ -184,6 +184,14 @@ int ExperimentHarness::jobs() const {
   return out > 0 ? static_cast<int>(out) : ThreadPool::default_workers();
 }
 
+int ExperimentHarness::shards() const {
+  long long out = 0;
+  if (const std::string* raw = raw_flag("shards")) parse_ll(*raw, out);
+  // Not recorded as a param (see header): shard-parity checks cmp the
+  // --shards=1 and --shards=N reports byte for byte.
+  return out > 0 ? static_cast<int>(out) : 1;
+}
+
 long long ExperimentHarness::trials(long long fallback) const {
   return flag("trials", fallback);
 }

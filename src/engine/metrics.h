@@ -32,6 +32,8 @@ struct Metrics {
   std::uint64_t slots = 0;               ///< slots simulated
   std::uint64_t busy_quanta = 0;         ///< processor-quanta allocated
   std::uint64_t idle_quanta = 0;         ///< processor-quanta left idle
+  std::uint64_t fast_forwarded_slots = 0;  ///< slots skipped by idle fast-forward
+                                           ///< (subset of `slots`)
 
   // --- job accounting (all simulators) ---
   std::uint64_t jobs_released = 0;
@@ -93,6 +95,7 @@ struct Metrics {
   void merge(const Metrics& o) noexcept {
     if (o.slots > slots) slots = o.slots;
     busy_quanta += o.busy_quanta;
+    fast_forwarded_slots += o.fast_forwarded_slots;
     idle_quanta += o.idle_quanta;
     jobs_released += o.jobs_released;
     jobs_completed += o.jobs_completed;

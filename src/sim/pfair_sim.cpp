@@ -4,17 +4,23 @@
 #include <cassert>
 
 #include "core/lag.h"
+#include "core/simd.h"
+#include "engine/parallel.h"
 
 namespace pfair {
 
 PfairSimulator::PfairSimulator(PfairConfig config)
     : config_(config),
-      live_processors_(config.processors),
+      cmp_(config.algorithm, config.packed_keys),
       ready_(SubtaskPriority(config.algorithm, config.packed_keys)),
       timer_(config.measure_overhead) {
   assert(config_.processors >= 1);
+  if (config_.shards < 1) config_.shards = 1;
+  live_processors_ = config_.processors;
   prev_slot_tasks_.assign(static_cast<std::size_t>(live_processors_), kNoTask);
 }
+
+PfairSimulator::~PfairSimulator() = default;
 
 Algorithm PfairSimulator::ref_algorithm() const noexcept {
   // The algorithm make_subtask_ref packs keys for.  With packing
@@ -40,8 +46,9 @@ TaskId PfairSimulator::add_task(const Task& t, std::vector<Time> arrivals) {
   rt.offset = now_ + t.phase;  // asynchronous release: windows shift by the phase
   rt.join_time = now_;
   rt.arrivals = std::move(arrivals);
-  rt.cursor.reset(t.execution, t.period, 1);
   tasks_.push_back(std::move(rt));
+  soa_.grow(tasks_.size());
+  soa_.cursor[id].reset(t.execution, t.period, 1);
   active_weight_ += t.weight();
   enqueue_next_subtask(id, now_);
   obs::emit(bus_, obs::EventKind::kTaskJoin, now_, id, kNoProc, t.weight().to_double());
@@ -114,7 +121,7 @@ bool PfairSimulator::leave(TaskId id) {
 void PfairSimulator::force_leave(TaskId id) {
   TaskRuntime& rt = tasks_[id];
   if (!rt.active) return;
-  remove_from_queues(rt);
+  remove_from_queues(id);
   rt.active = false;
   active_weight_ -= rt.spec.weight();
   obs::emit(bus_, obs::EventKind::kTaskLeave, now_, id);
@@ -130,7 +137,7 @@ Time PfairSimulator::request_leave(TaskId id) {
   if (!rt.active) return now_;
   if (rt.leave_at >= 0) return rt.leave_at;  // already departing
   const Time freed = std::max(now_, earliest_leave(id));
-  remove_from_queues(rt);  // stops executing immediately, freezing the rule
+  remove_from_queues(id);  // stops executing immediately, freezing the rule
   rt.leave_at = freed;
   rt.pending_e = 0;
   rt.pending_p = 0;
@@ -156,7 +163,7 @@ std::optional<Time> PfairSimulator::request_reweight(TaskId id, std::int64_t new
   if (!may_join(active_weight() - rt.spec.weight(), new_w, live_processors_))
     return std::nullopt;
   const Time freed = std::max(now_, earliest_leave(id));
-  remove_from_queues(rt);
+  remove_from_queues(id);
   rt.leave_at = freed;
   rt.pending_e = new_e;
   rt.pending_p = new_p;
@@ -190,11 +197,10 @@ void PfairSimulator::process_pending_departures(Time t) {
       rt.spec.period = rt.pending_p;
       active_weight_ += rt.spec.weight();
       rt.next_index = 1;
-      rt.cursor.reset(rt.spec.execution, rt.spec.period, 1);
+      soa_.cursor[pending_departures_[k]].reset(rt.spec.execution, rt.spec.period, 1);
       rt.last_sched_index = 0;
       rt.offset = t;
       rt.allocated = 0;
-      rt.miss_counted = false;
       rt.leave_at = -1;
       rt.pending_e = 0;
       rt.pending_p = 0;
@@ -218,18 +224,17 @@ bool PfairSimulator::reweight(TaskId id, std::int64_t new_e, std::int64_t new_p)
   if (rt.allocated > 0 && earliest_leave(id) > now_) return false;
   const Rational new_w(new_e, new_p);
   if (!may_join(active_weight() - rt.spec.weight(), new_w, live_processors_)) return false;
-  remove_from_queues(rt);
+  remove_from_queues(id);
   obs::emit(bus_, obs::EventKind::kTaskLeave, now_, id);
   active_weight_ -= rt.spec.weight();
   rt.spec.execution = new_e;
   rt.spec.period = new_p;
   active_weight_ += rt.spec.weight();
   rt.next_index = 1;
-  rt.cursor.reset(new_e, new_p, 1);
+  soa_.cursor[id].reset(new_e, new_p, 1);
   rt.last_sched_index = 0;
   rt.offset = now_;
   rt.allocated = 0;
-  rt.miss_counted = false;
   enqueue_next_subtask(id, now_);
   obs::emit(bus_, obs::EventKind::kTaskJoin, now_, id, kNoProc, rt.spec.weight().to_double());
   return true;
@@ -263,18 +268,19 @@ std::uint64_t PfairSimulator::component_miss_count(TaskId id, std::size_t compon
   return supertasks_[static_cast<std::size_t>(rt.super_index)].components[component].misses;
 }
 
-Time PfairSimulator::eligibility_time(const TaskRuntime& rt, SubtaskIndex i,
-                                      Time prev_slot) const {
-  assert(rt.cursor.index == i);
+Time PfairSimulator::eligibility_time(TaskId id, SubtaskIndex i, Time prev_slot) const {
+  const TaskRuntime& rt = tasks_[id];
+  const WindowCursor& cursor = soa_.cursor[id];
+  assert(cursor.index == i);
   const Time earliest = prev_slot + 1;
-  const Time release = rt.offset + rt.cursor.rel;
+  const Time release = rt.offset + cursor.rel;
   switch (rt.spec.kind) {
     case TaskKind::kPeriodic:
       return std::max(release, earliest);
     case TaskKind::kEarlyRelease: {
       // Early release applies within a job only; a job's first subtask
       // still waits for the job release (= its Pfair release).
-      const bool first_of_job = rt.cursor.idx_in_job == 1;
+      const bool first_of_job = cursor.idx_in_job == 1;
       return first_of_job ? std::max(release, earliest) : earliest;
     }
     case TaskKind::kIntraSporadic: {
@@ -293,36 +299,37 @@ Time PfairSimulator::eligibility_time(const TaskRuntime& rt, SubtaskIndex i,
 
 void PfairSimulator::enqueue_next_subtask(TaskId id, Time earliest_slot) {
   TaskRuntime& rt = tasks_[id];
+  const WindowCursor& cursor = soa_.cursor[id];
   const SubtaskIndex i = rt.next_index;
-  assert(rt.cursor.index == i);
+  assert(cursor.index == i);
   // IS late arrivals shift the remaining window chain: enlarge the offset
   // so the subtask's Pfair release coincides with its arrival.
   if (rt.spec.kind == TaskKind::kIntraSporadic) {
     const std::size_t idx = static_cast<std::size_t>(i - 1);
     if (idx < rt.arrivals.size()) {
-      const Time base_release = rt.offset + rt.cursor.rel;
+      const Time base_release = rt.offset + cursor.rel;
       if (rt.arrivals[idx] > base_release) rt.offset += rt.arrivals[idx] - base_release;
     }
   }
-  const Time eligible = eligibility_time(rt, i, earliest_slot - 1);
-  rt.miss_counted = false;
+  const Time eligible = eligibility_time(id, i, earliest_slot - 1);
   // Build the ref once, here, from the cursor's division-free window
-  // values; the release path pushes it unchanged.  Everything the ref
-  // depends on (e, p, offset, alg) is invariant until the subtask leaves
-  // the queues — any mutation goes through remove_from_queues + a fresh
-  // enqueue.  The ref is refreshed field-wise in pending_ref rather than
-  // rebuilt: task/e/p never change and offset only moves for IS shifts.
+  // values; the release/selection paths read it unchanged.  Everything
+  // the ref depends on (e, p, offset, alg) is invariant until the
+  // subtask leaves the queues — any mutation goes through
+  // remove_from_queues + a fresh enqueue.  The ref is refreshed
+  // field-wise rather than rebuilt: task/e/p never change and offset
+  // only moves for IS shifts.
   const std::int64_t e = rt.spec.execution;
   const std::int64_t p = rt.spec.period;
-  SubtaskRef& ref = rt.pending_ref;
+  SubtaskRef& ref = soa_.ref[id];
   ref.task = id;
   ref.index = i;
   ref.e = e;
   ref.p = p;
   ref.offset = rt.offset;
-  ref.release = rt.offset + rt.cursor.rel;
-  ref.deadline = rt.offset + rt.cursor.deadline();
-  ref.b = rt.cursor.b();
+  ref.release = rt.offset + cursor.rel;
+  ref.deadline = rt.offset + cursor.deadline();
+  ref.b = cursor.b();
   // Light tasks keep group_dl = 0: the comparators treat zero as "no
   // group deadline".
   const Time gdl = is_heavy(e, p) ? group_deadline(e, p, i) : 0;
@@ -331,31 +338,36 @@ void PfairSimulator::enqueue_next_subtask(TaskId id, Time earliest_slot) {
 #ifndef NDEBUG
   {
     const SubtaskRef check = make_subtask_ref(id, e, p, i, rt.offset, ref_algorithm());
-    assert(check.release == rt.pending_ref.release);
-    assert(check.deadline == rt.pending_ref.deadline);
-    assert(check.b == rt.pending_ref.b);
-    assert(check.group_dl == rt.pending_ref.group_dl);
-    assert(check.key == rt.pending_ref.key && check.key_alg == rt.pending_ref.key_alg);
+    assert(check.release == ref.release);
+    assert(check.deadline == ref.deadline);
+    assert(check.b == ref.b);
+    assert(check.group_dl == ref.group_dl);
+    assert(check.key == ref.key && check.key_alg == ref.key_alg);
   }
 #endif
+  soa_.publish(id, eligible);
+  if (config_.soa_kernel) return;  // lanes are the only queue state
   if (eligible <= now_) {
-    rt.ready_handle = ready_.push(rt.pending_ref);
+    soa_.ready_handle[id] = ready_.push(ref);
   } else {
-    rt.calendar_when = eligible;
+    soa_.calendar_when[id] = eligible;
     ++calendar_live_;
     wheel_.push(eligible, now_, id);
   }
 }
 
-void PfairSimulator::remove_from_queues(TaskRuntime& rt) {
-  if (rt.ready_handle != kInvalidHandle && ready_.contains(rt.ready_handle)) {
-    ready_.erase(rt.ready_handle);
+void PfairSimulator::remove_from_queues(TaskId id) {
+  soa_.park(id);
+  if (config_.soa_kernel) return;
+  HeapHandle& handle = soa_.ready_handle[id];
+  if (handle != kInvalidHandle && ready_.contains(handle)) {
+    ready_.erase(handle);
   }
-  rt.ready_handle = kInvalidHandle;
-  if (rt.calendar_when >= 0) {
+  handle = kInvalidHandle;
+  if (soa_.calendar_when[id] >= 0) {
     // Lazy wheel erase: the abandoned bucket entry no longer matches
     // calendar_when and is dropped whenever its bucket next drains.
-    rt.calendar_when = -1;
+    soa_.calendar_when[id] = -1;
     --calendar_live_;
   }
 }
@@ -363,12 +375,11 @@ void PfairSimulator::remove_from_queues(TaskRuntime& rt) {
 void PfairSimulator::release_eligible(Time t) {
   if (calendar_live_ == 0) return;
   wheel_.drain_due(t, [&](TaskId id) {
-    TaskRuntime& rt = tasks_[id];
-    if (rt.calendar_when != t) return;  // stale entry (erased / re-targeted)
-    rt.calendar_when = -1;
+    if (soa_.calendar_when[id] != t) return;  // stale entry (erased / re-targeted)
+    soa_.calendar_when[id] = -1;
     --calendar_live_;
-    if (!rt.active) return;
-    rt.ready_handle = ready_.push(rt.pending_ref);
+    if (!tasks_[id].active) return;
+    soa_.ready_handle[id] = ready_.push(soa_.ref[id]);
   });
 }
 
@@ -377,7 +388,7 @@ void PfairSimulator::detect_misses(Time t) {
   // priority rule orders by deadline first).  Pop them in priority order
   // (the obs event order is part of the simulator's contract), count
   // each miss once, and either drop the subtask or requeue it for late
-  // execution.  A queued entry is always the task's pending_ref,
+  // execution.  A queued entry is always the task's pending ref,
   // unchanged, so the requeue pushes that instead of hauling popped
   // copies around.
   requeue_.clear();
@@ -385,22 +396,22 @@ void PfairSimulator::detect_misses(Time t) {
     const TaskId id = ready_.top().task;
     ready_.erase(ready_.top_handle());
     TaskRuntime& rt = tasks_[id];
-    rt.ready_handle = kInvalidHandle;
-    if (!rt.miss_counted) {
-      rt.miss_counted = true;
+    soa_.ready_handle[id] = kInvalidHandle;
+    if (soa_.miss_counted[id] == 0) {
+      soa_.miss_counted[id] = 1;
       metrics_.record_miss(t);
       obs::emit(bus_, obs::EventKind::kDeadlineMiss, t, id);
     }
     if (config_.miss_policy == MissPolicy::kDrop) {
       ++rt.next_index;
-      rt.cursor.advance();
+      soa_.cursor[id].advance();
       enqueue_next_subtask(id, t);
     } else {
       requeue_.push_back(id);
     }
   }
   for (const TaskId id : requeue_) {
-    tasks_[id].ready_handle = ready_.push(tasks_[id].pending_ref);
+    soa_.ready_handle[id] = ready_.push(soa_.ref[id]);
   }
 }
 
@@ -501,36 +512,43 @@ void PfairSimulator::simulate_slot() {
     }
   }
 
-  // 3. Deadline misses among queued subtasks.
-  detect_misses(t);
+  if (config_.soa_kernel) {
+    // 3+4 (SoA): one sharded sweep does miss detection, top-M selection
+    // and advancement; emission happens in the same order as the legacy
+    // path (kDeadlineMiss in priority order, then kSchedInvoke).
+    soa_schedule(t);
+  } else {
+    // 3. Deadline misses among queued subtasks.
+    detect_misses(t);
 
-  // 4. Scheduler invocation: pop the M highest-priority subtasks and
-  //    advance each task to its next subtask.
-  timer_.start();
+    // 4. Scheduler invocation: pop the M highest-priority subtasks and
+    //    advance each task to its next subtask.
+    timer_.start();
 
-  picked_.clear();
-  const std::size_t want = static_cast<std::size_t>(std::max(live_processors_, 0));
-  while (picked_.size() < want && !ready_.empty()) {
-    const HeapHandle h = ready_.top_handle();
-    const SubtaskRef& ref = ready_.get(h);
-    TaskRuntime& rt = tasks_[ref.task];
-    rt.ready_handle = kInvalidHandle;
-    rt.last_sched_index = ref.index;
-    picked_.push_back(Pick{ref.task, ref.release, 0});
-    ready_.erase(h);
+    picked_.clear();
+    const std::size_t want = static_cast<std::size_t>(std::max(live_processors_, 0));
+    while (picked_.size() < want && !ready_.empty()) {
+      const HeapHandle h = ready_.top_handle();
+      const SubtaskRef& ref = ready_.get(h);
+      TaskRuntime& rt = tasks_[ref.task];
+      soa_.ready_handle[ref.task] = kInvalidHandle;
+      rt.last_sched_index = ref.index;
+      picked_.push_back(Pick{ref.task, ref.release, 0});
+      ready_.erase(h);
+    }
+    for (const Pick& pick : picked_) {
+      TaskRuntime& rt = tasks_[pick.task];
+      rt.picked_slot = t;
+      ++rt.next_index;
+      soa_.cursor[pick.task].advance();
+      ++rt.allocated;
+      enqueue_next_subtask(pick.task, t + 1);
+    }
+
+    const double sched_ns = timer_.stop(metrics_);
+    ++metrics_.scheduler_invocations;
+    obs::emit(bus_, obs::EventKind::kSchedInvoke, t, kNoTask, kNoProc, sched_ns);
   }
-  for (const Pick& pick : picked_) {
-    TaskRuntime& rt = tasks_[pick.task];
-    rt.picked_slot = t;
-    ++rt.next_index;
-    rt.cursor.advance();
-    ++rt.allocated;
-    enqueue_next_subtask(pick.task, t + 1);
-  }
-
-  const double sched_ns = timer_.stop(metrics_);
-  ++metrics_.scheduler_invocations;
-  obs::emit(bus_, obs::EventKind::kSchedInvoke, t, kNoTask, kNoProc, sched_ns);
 
   // 5. Processor assignment with affinity.  assign_ maps processor ->
   // index into picked_ (-1 = idle) so every later lookup (task id,
@@ -614,13 +632,13 @@ void PfairSimulator::simulate_slot() {
     // Job completion bookkeeping (the job of subtask i ends when
     // i % e == 0, i.e. exactly when the cursor — already advanced to
     // i + 1 by the scheduler pass — wrapped to a new job).
-    if (rt.cursor.idx_in_job == 1) {
+    if (soa_.cursor[id].idx_in_job == 1) {
       ++metrics_.jobs_completed;
       // Response time of the completed job (the paper motivates ERfair
       // with improved response times; measured here for the ablation).
       // The cursor's job_rel is the *next* job's relative release; the
       // completed job released one period earlier.
-      const Time release = rt.offset + rt.cursor.job_rel - rt.spec.period;
+      const Time release = rt.offset + soa_.cursor[id].job_rel - rt.spec.period;
       metrics_.response_time.add(static_cast<double>(t + 1 - release));
       obs::emit(bus_, obs::EventKind::kJobComplete, t, id, static_cast<ProcId>(proc),
                 static_cast<double>(t + 1 - release));
@@ -698,17 +716,28 @@ Time PfairSimulator::fast_forward_target(Time until) const {
   //     accounting can still fire one slot later).
   // The jump then stops at the next release-calendar entry or processor
   // event, whichever comes first.
-  if (last_slot_allocated_ || !ready_.empty()) return now_;
+  if (last_slot_allocated_) return now_;
   if (bus_ != nullptr || config_.check_lags || config_.measure_overhead) return now_;
   if (!supertasks_.empty() || !pending_departures_.empty()) return now_;
   Time target = until;
   if (next_proc_event_ < proc_events_.size())
     target = std::min(target, proc_events_[next_proc_event_].at);
-  if (calendar_live_ > 0) {
-    const Time ev = wheel_.next_event(now_, target, [this](TaskId id, Time when) {
-      return tasks_[id].calendar_when == when;
-    });
-    target = std::min(target, ev);
+  if (config_.soa_kernel) {
+    // One lane minimum answers both questions: something eligible now
+    // (no jump) and the next eligibility event (jump bound).  Parked
+    // lanes are kNeverEligible and never win the min.
+    const Time next =
+        simd::min_value(soa_.eligible_at.data(), soa_.size(), config_.simd);
+    if (next <= now_) return now_;
+    target = std::min(target, next);
+  } else {
+    if (!ready_.empty()) return now_;
+    if (calendar_live_ > 0) {
+      const Time ev = wheel_.next_event(now_, target, [this](TaskId id, Time when) {
+        return soa_.calendar_when[id] == when;
+      });
+      target = std::min(target, ev);
+    }
   }
   return std::max(target, now_);
 }
@@ -718,7 +747,7 @@ void PfairSimulator::account_idle_slots(Time count) {
   metrics_.slots += static_cast<std::uint64_t>(count);
   metrics_.idle_quanta += static_cast<std::uint64_t>(count) * m;
   metrics_.scheduler_invocations += static_cast<std::uint64_t>(count);
-  fast_forwarded_slots_ += static_cast<std::uint64_t>(count);
+  metrics_.fast_forwarded_slots += static_cast<std::uint64_t>(count);
   if (config_.record_trace) trace_.idle_slots(m, static_cast<std::size_t>(count));
   // What one simulated idle slot would leave behind for the next slot's
   // context-switch / preemption accounting.

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,12 +35,17 @@
 #include "core/windows.h"
 #include "obs/bus.h"
 #include "sim/release_wheel.h"
+#include "sim/subtask_soa.h"
 #include "sim/trace.h"
 #include "util/binary_heap.h"
 #include "util/rational.h"
 #include "util/types.h"
 
 namespace pfair {
+
+namespace engine {
+class ThreadPool;  // sim/soa_kernel.cpp; lazily built when shards > 1
+}  // namespace engine
 
 /// What to do with a subtask that is still unscheduled at its deadline.
 enum class MissPolicy : std::uint8_t {
@@ -65,6 +71,15 @@ struct PfairConfig {
                                   ///< run_until (auto-disabled whenever any
                                   ///< per-slot work could observe them; see
                                   ///< fast_forward_target)
+  bool soa_kernel = true;  ///< lane-sweep slot kernel over the SubtaskSoA
+                           ///< (false = legacy heap + timing-wheel kernel;
+                           ///< differential-test reference)
+  int shards = 1;   ///< task-lane shards the SoA kernel steps in parallel
+                    ///< inside each quantum (1 = single-threaded; byte-
+                    ///< identical output for any value; the legacy kernel
+                    ///< ignores it)
+  bool simd = true;  ///< vectorized lane sweeps (false = scalar fallback;
+                     ///< bit-identical — see core/simd.h)
 };
 
 /// Scheduled change of the number of live processors (fault injection /
@@ -77,6 +92,7 @@ struct ProcessorEvent {
 class PfairSimulator : public engine::Simulator {
  public:
   explicit PfairSimulator(PfairConfig config);
+  ~PfairSimulator() override;  // out of line: shard pool is fwd-declared
 
   /// engine::Simulator admission: a synchronous periodic task of weight
   /// e/p, added at the current time (dynamic joins go through join()).
@@ -162,10 +178,10 @@ class PfairSimulator : public engine::Simulator {
   [[nodiscard]] Rational recompute_active_weight() const;
 
   /// Slots skipped by the idle fast-forward (run_until jumping straight
-  /// to the next calendar/processor-event boundary); test hook for the
-  /// eligibility rule.
+  /// to the next calendar/processor-event boundary); the counter lives
+  /// in engine::Metrics so sweeps aggregate it like any other metric.
   [[nodiscard]] std::uint64_t fast_forwarded_slots() const noexcept {
-    return fast_forwarded_slots_;
+    return metrics_.fast_forwarded_slots;
   }
 
   /// Quanta allocated to `id` so far.
@@ -219,19 +235,12 @@ class PfairSimulator : public engine::Simulator {
     Time last_sched_slot = -2;         ///< slot of most recent allocation
     Time picked_slot = -2;             ///< slot the scheduler last picked this
                                        ///< task (replaces the O(M) runs-now scan)
-    HeapHandle ready_handle = kInvalidHandle;
-    Time calendar_when = -1;           ///< slot of this task's release-wheel
-                                       ///< entry (-1 = none); clearing it is
-                                       ///< how wheel entries are erased
-    WindowCursor cursor;               ///< windows of subtask next_index,
-                                       ///< advanced in O(1) per subtask
-    SubtaskRef pending_ref;            ///< prebuilt ref for subtask next_index
-                                       ///< (built once at enqueue; the release
-                                       ///< path pushes it as-is)
+    // Per-pending-subtask state (ref, cursor, eligibility, queue handles,
+    // miss flag) lives in the SubtaskSoA lanes soa_[id], not here — the
+    // per-slot sweeps must not stride through this struct.
     Time leave_at = -1;          ///< pending departure (weight frees then)
     std::int64_t pending_e = 0;  ///< pending reweight (0 = plain leave)
     std::int64_t pending_p = 0;
-    bool miss_counted = false;         ///< current queued subtask already counted as missed
     std::int64_t cur_job_preemptions = 0;
     std::int64_t max_job_preemptions = 0;
   };
@@ -239,16 +248,35 @@ class PfairSimulator : public engine::Simulator {
   void simulate_slot();
   void release_eligible(Time t);
   void detect_misses(Time t);
-  /// Schedules the next subtask of `id`: inserts it into the ready queue
-  /// or the calendar depending on its eligibility time.
+  /// Schedules the next subtask of `id`: publishes it to the SoA lanes
+  /// and (legacy kernel only) inserts it into the ready queue or the
+  /// release calendar depending on its eligibility time.
   void enqueue_next_subtask(TaskId id, Time earliest);
   /// Eligibility time of subtask `i` of task `id` given that its
   /// predecessor completed at the end of slot `prev_slot` (-1 if none).
-  [[nodiscard]] Time eligibility_time(const TaskRuntime& rt, SubtaskIndex i,
-                                      Time prev_slot) const;
+  [[nodiscard]] Time eligibility_time(TaskId id, SubtaskIndex i, Time prev_slot) const;
   void dispatch_supertask_quantum(TaskRuntime& rt, Time t);
-  void remove_from_queues(TaskRuntime& rt);
+  void remove_from_queues(TaskId id);
   void check_lags(Time t_next);
+
+  // --- SoA slot kernel (sim/soa_kernel.cpp) ---
+  /// Steps 3-4 of simulate_slot on the lane layout: miss sweep, top-M
+  /// selection, subtask advancement.  With config_.shards > 1 the sweep
+  /// and advancement fan out across shard_pool_ with a per-quantum
+  /// barrier; the merge/emission phase is sequential and deterministic.
+  void soa_schedule(Time t);
+  /// Phase A for one shard: eligibility gather, local miss cascade,
+  /// local top-M selection.  Touches only state owned by the shard's
+  /// task-id range; emits nothing.
+  void soa_phase_a(ShardScratch& s, Time t);
+  /// Advances every entry of picked_ whose task id falls in [begin, end)
+  /// to its next subtask (phase B2; per-task state only).
+  void soa_advance_picked(std::uint32_t begin, std::uint32_t end, Time t);
+  /// Strict priority order between the pending subtasks of tasks a and b
+  /// (lane fast path; exactly SubtaskPriority's dispatch).
+  [[nodiscard]] bool soa_less(std::uint32_t a, std::uint32_t b) const noexcept;
+  /// Builds shard_pool_ on first use (config_.shards workers).
+  void ensure_shard_pool();
   void process_pending_departures(Time t);
   /// Algorithm passed to make_subtask_ref for key packing (kWRR = no
   /// keys when packed_keys is off).
@@ -265,6 +293,8 @@ class PfairSimulator : public engine::Simulator {
   Time now_ = 0;
   int live_processors_ = 1;
   std::vector<TaskRuntime> tasks_;
+  SubtaskSoA soa_;                   ///< per-pending-subtask lanes (index = TaskId)
+  SubtaskPriority cmp_;              ///< the configured priority order
   std::vector<SupertaskRuntime> supertasks_;
   std::int64_t bound_count_ = 0;             ///< tasks with a fixed processor
   BinaryHeap<SubtaskRef, SubtaskPriority> ready_;
@@ -278,7 +308,6 @@ class PfairSimulator : public engine::Simulator {
   engine::OverheadTimer timer_;
   obs::EventBus* bus_ = nullptr;  ///< borrowed; nullptr = observation off
   ScheduleTrace trace_;
-  std::uint64_t fast_forwarded_slots_ = 0;
   bool last_slot_allocated_ = false;  ///< the preceding simulated slot scheduled
                                       ///< something (its preemption accounting
                                       ///< may still fire one slot later)
@@ -296,6 +325,11 @@ class PfairSimulator : public engine::Simulator {
   std::vector<TaskId> requeue_;              ///< kScheduleLate miss re-inserts
   std::vector<TaskId> prev_slot_tasks_;      ///< proc -> task of previous slot
   std::vector<std::int32_t> assign_;         ///< proc -> index into picked_ (-1 idle)
+  // SoA kernel scratch: per-shard phase-A results plus the coordinator's
+  // k-way merge cursors (all reused; allocation-free at steady state).
+  std::vector<ShardScratch> shard_scratch_;
+  std::vector<std::size_t> merge_pos_;       ///< per-shard merge cursor
+  std::unique_ptr<engine::ThreadPool> shard_pool_;  ///< lazily built; shards > 1 only
 };
 
 }  // namespace pfair

@@ -1,0 +1,217 @@
+// The SoA slot kernel: steps 3-4 of PfairSimulator::simulate_slot as
+// lane sweeps over the SubtaskSoA, optionally sharded across a
+// ThreadPool.
+//
+// Structure (see DESIGN.md "Memory layout & sharding"):
+//
+//   Phase A  (parallel, one job per shard) — eligibility gather over the
+//            shard's contiguous task-id range, local miss sweep /
+//            kDrop cascade, local top-M selection.  Touches only lanes
+//            the shard owns plus shared *read-only* state; emits
+//            nothing, so nothing in phase A races or observes ordering.
+//   barrier  ThreadPool::wait() — the per-quantum synchronization point.
+//   Phase B  (sequential coordinator) — deterministic k-way merge of the
+//            per-shard results in priority order, with all metric
+//            accounting and obs emission.
+//   Phase B2 (parallel) — advance every picked task to its next subtask,
+//            each shard handling the picks in its own id range.
+//
+// Determinism argument: every priority rule ends in a task-id tie-break,
+// so subtask priority is a strict *total* order.  Phase A produces its
+// missed / top lists sorted under that order (the kDrop cascade pops a
+// local heap, and a cascade insert is always lower-priority than the
+// pop that produced it — deadlines strictly increase along a task's
+// subtask chain — so pop order is sorted too).  Merging sorted lists
+// under a total order has exactly one outcome, independent of shard
+// count and thread scheduling; the single-shard and legacy-kernel
+// emission sequences are that same sorted order.  Hence byte-identical
+// output for shards ∈ {1, 2, 8, ...}.
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "core/simd.h"
+#include "engine/parallel.h"
+#include "obs/bus.h"
+#include "sim/pfair_sim.h"
+
+namespace pfair {
+
+bool PfairSimulator::soa_less(std::uint32_t a, std::uint32_t b) const noexcept {
+  // Mirrors SubtaskPriority::operator() on the lane layout: one two-word
+  // integer compare when both pending subtasks carry a packed key for
+  // the configured algorithm, the legacy chain otherwise.
+  const auto alg8 = static_cast<std::uint8_t>(cmp_.algorithm());
+  if (cmp_.packed() && soa_.key_alg[a] == alg8 && soa_.key_alg[b] == alg8) {
+    if (cmp_.algorithm() != Algorithm::kPD2 || !pd2_b_bit_flip_for_test()) [[likely]] {
+      return soa_.key_hi[a] != soa_.key_hi[b] ? soa_.key_hi[a] < soa_.key_hi[b]
+                                              : soa_.key_lo[a] < soa_.key_lo[b];
+    }
+  }
+  return cmp_.compare_legacy(soa_.ref[a], soa_.ref[b]);
+}
+
+void PfairSimulator::soa_phase_a(ShardScratch& s, Time t) {
+  s.candidates.clear();
+  s.missed.clear();
+  s.top.clear();
+  s.work.clear();
+  const Time* elig = soa_.eligible_at.data();
+  const auto higher = [this](std::uint32_t a, std::uint32_t b) { return soa_less(a, b); };
+
+  // Eligibility gather: pending subtasks of the shard's tasks with
+  // eligible_at <= t (parked lanes are kNeverEligible and never match).
+  simd::collect_le(elig + s.begin, s.end - s.begin, t, s.begin, s.candidates, config_.simd);
+
+  // Miss sweep.  Only *eligible* subtasks can miss — exactly the legacy
+  // kernel's semantics, where misses are detected on ready-queue entries
+  // (a late subtask can have deadline < eligible_at; it must not be
+  // counted until it becomes eligible).
+  if (config_.miss_policy == MissPolicy::kScheduleLate) {
+    // Missed subtasks stay schedulable; count each at most once, in
+    // priority order (the emission order merged in phase B).
+    for (const std::uint32_t id : s.candidates) {
+      if (soa_.deadline[id] <= t && soa_.miss_counted[id] == 0) s.work.push_back(id);
+    }
+    std::sort(s.work.begin(), s.work.end(), higher);
+    for (const std::uint32_t id : s.work) {
+      soa_.miss_counted[id] = 1;
+      s.missed.push_back(soa_.ref[id]);
+    }
+  } else {
+    // kDrop: cascade through a local heap in priority order — dropping a
+    // missed subtask releases its successor, which may itself already be
+    // eligible and missed.  Snapshot each newly counted ref before the
+    // advance overwrites its lanes.
+    const auto lower = [&higher](std::uint32_t a, std::uint32_t b) { return higher(b, a); };
+    for (const std::uint32_t id : s.candidates) {
+      if (soa_.deadline[id] <= t) s.work.push_back(id);
+    }
+    std::make_heap(s.work.begin(), s.work.end(), lower);
+    while (!s.work.empty()) {
+      std::pop_heap(s.work.begin(), s.work.end(), lower);
+      const std::uint32_t id = s.work.back();
+      s.work.pop_back();
+      if (soa_.miss_counted[id] == 0) {
+        soa_.miss_counted[id] = 1;
+        s.missed.push_back(soa_.ref[id]);
+      }
+      ++tasks_[id].next_index;
+      soa_.cursor[id].advance();
+      enqueue_next_subtask(id, t);
+      if (soa_.eligible_at[id] <= t && soa_.deadline[id] <= t) {
+        s.work.push_back(id);
+        std::push_heap(s.work.begin(), s.work.end(), lower);
+      }
+    }
+    // The cascade changed eligibility lanes; regather for selection.
+    s.candidates.clear();
+    simd::collect_le(elig + s.begin, s.end - s.begin, t, s.begin, s.candidates, config_.simd);
+  }
+
+  // Local top-M: the global top-M is contained in the union of per-shard
+  // top-Ms, so M picks per shard is all the coordinator ever needs.
+  const auto want = static_cast<std::size_t>(std::max(live_processors_, 0));
+  const std::size_t k = std::min(want, s.candidates.size());
+  if (k == 0) return;
+  s.top.assign(s.candidates.begin(), s.candidates.end());
+  std::partial_sort(s.top.begin(), s.top.begin() + static_cast<std::ptrdiff_t>(k),
+                    s.top.end(), higher);
+  s.top.resize(k);
+}
+
+void PfairSimulator::soa_advance_picked(std::uint32_t begin, std::uint32_t end, Time t) {
+  for (const Pick& pick : picked_) {
+    if (pick.task < begin || pick.task >= end) continue;
+    TaskRuntime& rt = tasks_[pick.task];
+    rt.picked_slot = t;
+    ++rt.next_index;
+    soa_.cursor[pick.task].advance();
+    ++rt.allocated;
+    enqueue_next_subtask(pick.task, t + 1);
+  }
+}
+
+void PfairSimulator::ensure_shard_pool() {
+  if (shard_pool_ == nullptr) {
+    shard_pool_ = std::make_unique<engine::ThreadPool>(config_.shards);
+  }
+}
+
+void PfairSimulator::soa_schedule(Time t) {
+  const std::size_t n = soa_.size();
+  const auto shards = static_cast<std::size_t>(config_.shards);
+  if (shard_scratch_.size() != shards) shard_scratch_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shard_scratch_[s].begin = static_cast<std::uint32_t>(n * s / shards);
+    shard_scratch_[s].end = static_cast<std::uint32_t>(n * (s + 1) / shards);
+  }
+
+  // Phase A (+ barrier).
+  if (shards == 1) {
+    soa_phase_a(shard_scratch_[0], t);
+  } else {
+    ensure_shard_pool();
+    for (ShardScratch& s : shard_scratch_) {
+      shard_pool_->submit([this, &s, t] { soa_phase_a(s, t); });
+    }
+    shard_pool_->wait();
+  }
+
+  // Phase B: merge misses in priority order and emit (kDeadlineMiss
+  // precedes kSchedInvoke, exactly as in the legacy kernel).
+  merge_pos_.assign(shards, 0);
+  for (;;) {
+    std::size_t best = shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (merge_pos_[s] >= shard_scratch_[s].missed.size()) continue;
+      if (best == shards ||
+          cmp_(shard_scratch_[s].missed[merge_pos_[s]],
+               shard_scratch_[best].missed[merge_pos_[best]])) {
+        best = s;
+      }
+    }
+    if (best == shards) break;
+    const SubtaskRef& ref = shard_scratch_[best].missed[merge_pos_[best]++];
+    metrics_.record_miss(t);
+    obs::emit(bus_, obs::EventKind::kDeadlineMiss, t, ref.task);
+  }
+
+  // Selection + advancement, timed like the legacy scheduler invocation.
+  timer_.start();
+
+  picked_.clear();
+  const auto want = static_cast<std::size_t>(std::max(live_processors_, 0));
+  merge_pos_.assign(shards, 0);
+  while (picked_.size() < want) {
+    std::size_t best = shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (merge_pos_[s] >= shard_scratch_[s].top.size()) continue;
+      if (best == shards || soa_less(shard_scratch_[s].top[merge_pos_[s]],
+                                     shard_scratch_[best].top[merge_pos_[best]])) {
+        best = s;
+      }
+    }
+    if (best == shards) break;
+    const std::uint32_t id = shard_scratch_[best].top[merge_pos_[best]++];
+    tasks_[id].last_sched_index = soa_.ref[id].index;
+    picked_.push_back(Pick{id, soa_.ref[id].release, 0});
+  }
+
+  // Phase B2: per-task advancement, sharded by id ownership.
+  if (shards == 1) {
+    soa_advance_picked(0, static_cast<std::uint32_t>(n), t);
+  } else {
+    for (ShardScratch& s : shard_scratch_) {
+      shard_pool_->submit([this, &s, t] { soa_advance_picked(s.begin, s.end, t); });
+    }
+    shard_pool_->wait();
+  }
+
+  const double sched_ns = timer_.stop(metrics_);
+  ++metrics_.scheduler_invocations;
+  obs::emit(bus_, obs::EventKind::kSchedInvoke, t, kNoTask, kNoProc, sched_ns);
+}
+
+}  // namespace pfair

@@ -47,6 +47,36 @@ TEST(Factory, RejectsZeroProcessors) {
                   "make_simulator(pfair): processors must be >= 1 (got 0)");
 }
 
+TEST(Factory, RejectsNegativeShardOverride) {
+  SimulatorConfig config;
+  config.shards = -1;
+  expect_rejected(SchedulerKind::kPfair, config,
+                  "make_simulator(pfair): shards must be >= 0 (got -1; 0 defers to "
+                  "the per-kind config)");
+}
+
+TEST(Factory, RejectsZeroPfairShards) {
+  SimulatorConfig config;
+  config.pfair.shards = 0;
+  expect_rejected(SchedulerKind::kPfair, config,
+                  "make_simulator(pfair): pfair.shards must be >= 1 (got 0)");
+}
+
+TEST(Factory, ShardOverrideReachesPfairConfig) {
+  SimulatorConfig config;
+  config.shards = 4;
+  const auto sim = make_simulator(SchedulerKind::kPfair, config);
+  const auto* pfair = dynamic_cast<const PfairSimulator*>(sim.get());
+  ASSERT_NE(pfair, nullptr);
+  EXPECT_EQ(pfair->config().shards, 4);
+
+  // shards = 0 defers to the per-kind config.
+  SimulatorConfig deferred;
+  deferred.pfair.shards = 2;
+  const auto sim2 = make_simulator(SchedulerKind::kPfair, deferred);
+  EXPECT_EQ(dynamic_cast<const PfairSimulator*>(sim2.get())->config().shards, 2);
+}
+
 TEST(Factory, RejectsNegativeProcessors) {
   SimulatorConfig config;
   config.global_job.processors = -2;

@@ -33,16 +33,30 @@ struct RunResult {
   std::uint64_t ff_slots = 0;
 };
 
+/// Slot-kernel variant: which of the byte-identical implementations a
+/// run uses (SoA lane sweeps vs legacy heap+wheel, shard count, SIMD vs
+/// scalar sweeps, miss policy).
+struct Kernel {
+  bool soa = true;
+  int shards = 1;
+  bool simd = true;
+  MissPolicy policy = MissPolicy::kScheduleLate;
+};
+
 /// Replays a fuzz case (including its dynamic join/leave script, in the
 /// same order qa's oracle replay applies it) under one configuration.
 RunResult run_case(const qa::FuzzCase& c, Algorithm alg, bool packed_keys,
-                   bool fast_forward, bool observe) {
+                   bool fast_forward, bool observe, Kernel k = {}) {
   PfairConfig cfg;
   cfg.processors = c.processors;
   cfg.algorithm = alg;
   cfg.record_trace = true;
   cfg.packed_keys = packed_keys;
   cfg.idle_fast_forward = fast_forward;
+  cfg.soa_kernel = k.soa;
+  cfg.shards = k.shards;
+  cfg.simd = k.simd;
+  cfg.miss_policy = k.policy;
   PfairSimulator sim(cfg);
   obs::EventBus bus;
   RecordingSink sink;
@@ -162,6 +176,115 @@ TEST(HotpathDiff, PackedKeysMatchLegacyOnEveryProfileAndAlgorithm) {
   }
 }
 
+// --- SoA kernel x shards x SIMD matrix -----------------------------------
+
+// The three-axis differential matrix: {SoA, legacy} x {shards 1, 2, 8} x
+// {SIMD, scalar}, for every generator profile and every algorithm.  The
+// legacy heap+wheel kernel (which ignores shards and simd) is the
+// reference; every SoA cell must reproduce its metrics, trace, and full
+// obs event stream byte for byte.  The observer forces the per-slot
+// path, so the sweep/merge machinery itself is what's compared.
+TEST(HotpathDiff, SoaShardSimdMatrixMatchesLegacyOnEveryProfileAndAlgorithm) {
+  const Algorithm algs[] = {Algorithm::kPD2, Algorithm::kPF, Algorithm::kPD,
+                            Algorithm::kEPDF};
+  const int shard_counts[] = {1, 2, 8};
+  for (const qa::Profile profile : qa::all_profiles()) {
+    qa::GenConfig gc;
+    gc.only_profile = profile;
+    gc.max_processors = 4;
+    gc.max_tasks = 10;
+    const qa::TaskSetGen gen(gc, /*seed=*/0x50a0 + static_cast<int>(profile));
+    for (std::uint64_t index = 0; index < 2; ++index) {
+      const qa::FuzzCase c = gen.make_case(index);
+      for (const Algorithm alg : algs) {
+        const std::string base = std::string(qa::profile_name(profile)) + "/" +
+                                 algorithm_name(alg) + "/case " +
+                                 std::to_string(index);
+        const RunResult ref =
+            run_case(c, alg, /*packed_keys=*/true, /*fast_forward=*/true,
+                     /*observe=*/true, Kernel{/*soa=*/false, 1, true, {}});
+        for (const int shards : shard_counts) {
+          for (const bool simd : {true, false}) {
+            const std::string what = base + "/shards " + std::to_string(shards) +
+                                     (simd ? "/simd" : "/scalar");
+            const RunResult cell =
+                run_case(c, alg, /*packed_keys=*/true, /*fast_forward=*/true,
+                         /*observe=*/true, Kernel{/*soa=*/true, shards, simd, {}});
+            expect_metrics_identical(cell.metrics, ref.metrics, what);
+            expect_traces_identical(cell.trace, ref.trace, what);
+            expect_events_identical(cell.events, ref.events, what);
+          }
+        }
+      }
+    }
+  }
+}
+
+// kDrop exercises the miss cascade (dropping a missed subtask can
+// release an already-missed successor); EPDF on overloaded heavy sets
+// actually misses.  The cascade is the one phase-A step that mutates
+// lanes mid-sweep, so it gets its own matrix pass.
+TEST(HotpathDiff, DropPolicyCascadeMatchesAcrossKernelsAndShards) {
+  qa::GenConfig gc;
+  gc.only_profile = qa::Profile::kHeavy;
+  gc.max_processors = 3;
+  gc.max_tasks = 8;
+  const qa::TaskSetGen gen(gc, /*seed=*/0xd309);
+  for (std::uint64_t index = 0; index < 4; ++index) {
+    const qa::FuzzCase c = gen.make_case(index);
+    for (const Algorithm alg : {Algorithm::kEPDF, Algorithm::kPD2}) {
+      const std::string base = std::string("drop/") + algorithm_name(alg) +
+                               "/case " + std::to_string(index);
+      const RunResult ref = run_case(
+          c, alg, /*packed_keys=*/true, /*fast_forward=*/true,
+          /*observe=*/true, Kernel{/*soa=*/false, 1, true, MissPolicy::kDrop});
+      for (const int shards : {1, 2, 8}) {
+        const std::string what = base + "/shards " + std::to_string(shards);
+        const RunResult cell = run_case(
+            c, alg, /*packed_keys=*/true, /*fast_forward=*/true,
+            /*observe=*/true, Kernel{/*soa=*/true, shards, true, MissPolicy::kDrop});
+        expect_metrics_identical(cell.metrics, ref.metrics, what);
+        expect_traces_identical(cell.trace, ref.trace, what);
+        expect_events_identical(cell.events, ref.events, what);
+      }
+    }
+  }
+}
+
+// Supertasks run through the shared steps of the slot kernel (component
+// release/dispatch), so a sharded SoA run with servers plus ordinary
+// tasks must match the legacy kernel including component-miss
+// accounting.
+TEST(HotpathDiff, ShardedSupertasksMatchLegacyKernel) {
+  auto build_and_run = [](const Kernel& k) {
+    PfairConfig cfg;
+    cfg.processors = 2;
+    cfg.record_trace = true;
+    cfg.soa_kernel = k.soa;
+    cfg.shards = k.shards;
+    cfg.simd = k.simd;
+    PfairSimulator sim(cfg);
+    SupertaskSpec spec;
+    spec.execution = 2;
+    spec.period = 5;
+    spec.components.push_back(make_task(1, 4));
+    spec.components.push_back(make_task(1, 8));
+    sim.add_supertask(spec, /*bound_proc=*/0);
+    sim.add_task(make_task(3, 7));
+    sim.add_task(make_task(1, 3));
+    sim.run_until(400);
+    return std::make_pair(sim.metrics(), sim.trace());
+  };
+  const auto [ref_metrics, ref_trace] =
+      build_and_run(Kernel{/*soa=*/false, 1, true, {}});
+  for (const int shards : {1, 2, 8}) {
+    const auto [m, tr] = build_and_run(Kernel{/*soa=*/true, shards, true, {}});
+    const std::string what = "supertask shards " + std::to_string(shards);
+    expect_metrics_identical(m, ref_metrics, what);
+    expect_traces_identical(tr, ref_trace, what);
+  }
+}
+
 // --- idle fast-forward ---------------------------------------------------
 
 /// A sparse set whose schedule has long provably-idle stretches.
@@ -258,12 +381,16 @@ TEST(HotpathDiff, FastForwardAutoDisablesDuringPendingDeparture) {
 
 TEST(HotpathDiff, FastForwardStopsAtProcessorEvents) {
   // A fault event sits in the middle of a long idle stretch; runs with
-  // and without fast-forward must apply it at the same instant.
-  auto run = [](bool ff) {
+  // and without fast-forward must apply it at the same instant.  The
+  // jump target comes from the release wheel in the legacy kernel and
+  // from the eligible_at lane minimum in the SoA kernel, so both are
+  // differenced against the per-slot reference.
+  auto run = [](bool ff, bool soa) {
     PfairConfig cfg;
     cfg.processors = 2;
     cfg.record_trace = true;
     cfg.idle_fast_forward = ff;
+    cfg.soa_kernel = soa;
     PfairSimulator sim(cfg);
     const TaskSet sparse = sparse_set();
     for (const Task& t : sparse.tasks()) sim.add_task(t);
@@ -275,10 +402,13 @@ TEST(HotpathDiff, FastForwardStopsAtProcessorEvents) {
     }
     return std::make_pair(sim.metrics(), sim.trace());
   };
-  const auto [ref_metrics, ref_trace] = run(false);
-  const auto [ff_metrics, ff_trace] = run(true);
-  expect_metrics_identical(ff_metrics, ref_metrics, "ff vs per-slot");
-  expect_traces_identical(ff_trace, ref_trace, "ff vs per-slot");
+  const auto [ref_metrics, ref_trace] = run(false, false);
+  for (const bool soa : {false, true}) {
+    const auto [ff_metrics, ff_trace] = run(true, soa);
+    const std::string what = soa ? "soa ff vs per-slot" : "legacy ff vs per-slot";
+    expect_metrics_identical(ff_metrics, ref_metrics, what);
+    expect_traces_identical(ff_trace, ref_trace, what);
+  }
 }
 
 // --- incremental bookkeeping regressions ---------------------------------
