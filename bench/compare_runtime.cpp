@@ -78,11 +78,13 @@ int main(int argc, char** argv) {
     int placed = 0;
     long long s = -1;
     std::uint64_t pd2_ff_slots = 0;
+    std::uint64_t pd2_invocations = 0;
     for (const Trial& t : trials) {  // trial order: deterministic merge
       ++s;
       if (!t.placed) continue;
       ++placed;
       pd2_ff_slots += t.pd2.fast_forwarded_slots;
+      pd2_invocations += t.pd2.scheduler_invocations;
       const double k = 1000.0 / static_cast<double>(horizon);
       ff_pre.add(static_cast<double>(t.ff.preemptions) * k);
       ff_sw.add(static_cast<double>(t.ff.context_switches) * k);
@@ -105,7 +107,8 @@ int main(int argc, char** argv) {
         .set("ff_preemptions", ff_pre)
         .set("ff_switches", ff_sw)
         .set("placed", static_cast<long long>(placed))
-        .set("pd2_fast_forwarded_slots", static_cast<long long>(pd2_ff_slots));
+        .set("pd2_fast_forwarded_slots", static_cast<long long>(pd2_ff_slots))
+        .set("pd2_sched_invocations", static_cast<long long>(pd2_invocations));
   }
   std::printf("# expectations: PD2 preempts/migrates more (the paper's concession);\n");
   std::printf("# the ratio shrinks with affinity and the per-event cost (Sec. 4) is\n");

@@ -6,6 +6,8 @@
 #include <cstring>
 
 #include "engine/parallel.h"
+#include "obs/prof.h"
+#include "obs/registry.h"
 
 namespace pfair::engine {
 
@@ -72,8 +74,8 @@ void append_value(std::string& out, const ExperimentHarness::Value& val) {
     out += "],\"underflow\":" + std::to_string(h.underflow()) +
            ",\"overflow\":" + std::to_string(h.overflow()) +
            ",\"total\":" + std::to_string(h.total()) +
-           ",\"p50\":" + number(h.quantile(0.5)) + ",\"p99\":" + number(h.quantile(0.99)) +
-           "}";
+           ",\"p50\":" + number(h.p50()) + ",\"p95\":" + number(h.p95()) +
+           ",\"p99\":" + number(h.p99()) + "}";
   }
 }
 
@@ -136,6 +138,16 @@ ExperimentHarness::ExperimentHarness(std::string name, int argc, char** argv)
     if (key == "json") {
       json_ = true;
       json_file_ = value;  // may be empty -> default path
+      continue;
+    }
+    if (key == "prof") {
+      // Attach self-profiling.  Like --jobs/--shards, never echoed into
+      // params: the parity contract is that --prof=FILE leaves the BENCH
+      // JSON byte-identical (the snapshot goes to FILE), while a bare
+      // --prof folds the snapshot into the report as a "prof" member.
+      prof_ = true;
+      prof_file_ = value;
+      obs::prof::set_enabled(true);
       continue;
     }
     args_.emplace_back(std::move(key), std::move(value));
@@ -248,11 +260,32 @@ std::string ExperimentHarness::to_json() const {
     if (i > 0) out += ',';
     append_object(out, rows_[i].cells_);
   }
-  out += "]}\n";
+  out += "]";
+  if (prof_ && prof_file_.empty()) {
+    // Bare --prof: fold the registry snapshot into the report.  The
+    // snapshot carries wall-clock figures, so this form is excluded from
+    // byte-parity comparisons — those use --prof=FILE.
+    obs::prof::snapshot_into(obs::MetricsRegistry::global());
+    out += ",\"prof\":" + obs::MetricsRegistry::global().snapshot().dump();
+  }
+  out += "}\n";
   return out;
 }
 
 int ExperimentHarness::finish(int exit_code) {
+  if (prof_ && !prof_file_.empty()) {
+    obs::prof::snapshot_into(obs::MetricsRegistry::global());
+    std::FILE* pf = std::fopen(prof_file_.c_str(), "w");
+    if (pf == nullptr) {
+      std::fprintf(stderr, "harness: cannot write %s\n", prof_file_.c_str());
+      if (exit_code == 0) exit_code = 1;
+    } else {
+      const std::string doc = obs::MetricsRegistry::global().snapshot_json();
+      std::fwrite(doc.data(), 1, doc.size(), pf);
+      std::fclose(pf);
+      std::printf("# wrote %s (registry snapshot)\n", prof_file_.c_str());
+    }
+  }
   if (!json_) return exit_code;
   const std::string path = json_path();
   std::FILE* f = std::fopen(path.c_str(), "w");

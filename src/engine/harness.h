@@ -39,6 +39,13 @@ class ExperimentHarness {
   [[nodiscard]] std::uint64_t seed(std::uint64_t fallback = 1) const;
   [[nodiscard]] bool json() const noexcept { return json_; }
 
+  /// --prof attaches self-profiling (obs::prof::set_enabled(true) at
+  /// parse time).  Bare --prof folds the MetricsRegistry snapshot into
+  /// the BENCH JSON as a "prof" member; --prof=FILE writes the snapshot
+  /// to FILE and leaves the report byte-identical to a prof-off run
+  /// (the form CI's prof-parity cmp uses).  Never echoed into params.
+  [[nodiscard]] bool prof() const noexcept { return prof_; }
+
   /// --jobs=N worker threads for parallel sweeps (engine/parallel.h);
   /// absent or N <= 0 resolves to hardware_concurrency.  Deliberately
   /// NOT echoed into the JSON params: the determinism guarantee is that
@@ -108,7 +115,9 @@ class ExperimentHarness {
 
   std::string name_;
   bool json_ = false;
+  bool prof_ = false;
   std::string json_file_;                                  ///< --json=FILE override
+  std::string prof_file_;                                  ///< --prof=FILE destination
   std::vector<std::pair<std::string, std::string>> args_;  ///< parsed --key value pairs
   // Flags looked up so far, with the values resolved (echoed as
   // params).  A sorted map guarded by a mutex: lookups can come from

@@ -3,12 +3,20 @@
 // The paper measures "the average cost of one scheduler invocation" by
 // steady_clock-timing batches of invocations.  Every simulator used to
 // duplicate the same chrono boilerplate; this timer centralizes it.
-// When disabled it compiles down to a branch on a bool — the simulators
-// construct it unconditionally and pay nothing unless overhead
-// measurement was requested.
+//
+// The disabled path is branch-free: instead of testing a bool at every
+// start()/stop(), the constructor binds `clock_` to either the real
+// steady_clock reader or a stub that returns 0 without touching the
+// clock.  stop() then unconditionally adds `clock_() - t0_` to
+// `m.sched_ns_total` — 0.0 when disabled, which is bitwise invisible on
+// the non-negative accumulator — so the hot path is one indirect call
+// and one fp add either way, and the disabled path performs no clock
+// syscall at all (pinned by tests/engine/overhead_timer_test.cpp via
+// ScopedTestClock, which swaps in a counting clock).
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 #include "engine/metrics.h"
 
@@ -16,23 +24,22 @@ namespace pfair::engine {
 
 class OverheadTimer {
  public:
-  explicit OverheadTimer(bool enabled) noexcept : enabled_(enabled) {}
+  /// Nanosecond clock source.  Timers bind one at construction.
+  using Clock = std::uint64_t (*)() noexcept;
+
+  explicit OverheadTimer(bool enabled) noexcept
+      : clock_(enabled ? active_clock() : &null_clock), enabled_(enabled) {}
 
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
-  void start() noexcept {
-    if (enabled_) t0_ = std::chrono::steady_clock::now();
-  }
+  void start() noexcept { t0_ = clock_(); }
 
   /// Accumulates the nanoseconds since the matching start() into
   /// `m.sched_ns_total` and returns them (so callers can forward the
   /// same figure to an observer).  Returns 0.0 when disabled.
   double stop(Metrics& m) noexcept {
-    if (!enabled_) return 0.0;
-    const auto t1 = std::chrono::steady_clock::now();
-    const double ns = static_cast<double>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0_).count());
-    m.sched_ns_total += ns;
+    const double ns = static_cast<double>(clock_() - t0_);
+    m.sched_ns_total += ns;  // += 0.0 when disabled: accumulator unchanged
     return ns;
   }
 
@@ -45,9 +52,42 @@ class OverheadTimer {
     return stop(m);
   }
 
+  /// Replaces the clock that *enabled* timers constructed afterwards
+  /// will use; nullptr restores steady_clock.  Disabled timers always
+  /// keep the 0-returning stub — that asymmetry is what lets a test
+  /// prove the disabled path never reads any clock.
+  static void set_clock_for_test(Clock c) noexcept { override_clock_ = c; }
+
  private:
+  [[nodiscard]] static Clock active_clock() noexcept {
+    return override_clock_ != nullptr ? override_clock_ : &steady_now_ns;
+  }
+
+  static std::uint64_t steady_now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  static std::uint64_t null_clock() noexcept { return 0; }
+
+  inline static Clock override_clock_ = nullptr;
+
+  Clock clock_;
+  std::uint64_t t0_ = 0;
   bool enabled_ = false;
-  std::chrono::steady_clock::time_point t0_{};
+};
+
+/// RAII clock override for tests; restores steady_clock on scope exit.
+class ScopedTestClock {
+ public:
+  explicit ScopedTestClock(OverheadTimer::Clock c) noexcept {
+    OverheadTimer::set_clock_for_test(c);
+  }
+  ~ScopedTestClock() { OverheadTimer::set_clock_for_test(nullptr); }
+  ScopedTestClock(const ScopedTestClock&) = delete;
+  ScopedTestClock& operator=(const ScopedTestClock&) = delete;
 };
 
 }  // namespace pfair::engine

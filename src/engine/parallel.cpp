@@ -1,11 +1,14 @@
 #include "engine/parallel.h"
 
+#include "obs/prof.h"
+#include "obs/registry.h"
+
 namespace pfair::engine {
 
 ThreadPool::ThreadPool(int workers) {
   const int n = workers > 0 ? workers : default_workers();
   threads_.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) threads_.emplace_back([this] { worker_loop(); });
+  for (int i = 0; i < n; ++i) threads_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -41,9 +44,14 @@ void ThreadPool::wait() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int index) {
+  obs::prof::set_worker_index(index);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    if (queue_.empty() && !stop_ && obs::prof::enabled()) {
+      static obs::Counter& idle = obs::MetricsRegistry::global().counter("pool.idle_waits");
+      idle.add();
+    }
     cv_job_.wait(lock, [this] { return stop_ || !queue_.empty(); });
     if (queue_.empty()) return;  // stop_ set and nothing left to drain
     std::function<void()> job = std::move(queue_.front());
@@ -51,6 +59,7 @@ void ThreadPool::worker_loop() {
     lock.unlock();
     std::exception_ptr err;
     try {
+      const obs::prof::ProfScope scope(obs::prof::Phase::kPoolJob, index);
       job();
     } catch (...) {
       err = std::current_exception();

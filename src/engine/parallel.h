@@ -70,7 +70,7 @@ class ThreadPool {
   void wait();
 
  private:
-  void worker_loop();
+  void worker_loop(int index);
 
   std::vector<std::thread> threads_;
   std::mutex mu_;

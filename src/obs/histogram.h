@@ -90,23 +90,37 @@ class Histogram {
   [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
 
-  /// Approximate q-quantile (0 <= q <= 1) assuming uniform density
-  /// inside each bucket; under/overflow mass sits at the outer edges.
+  /// Exact rank-based q-quantile (0 <= q <= 1): the smallest value x
+  /// with CDF(x) >= q * total, linearly interpolated inside the bucket
+  /// that holds the target rank (uniform-density assumption); under-
+  /// and overflow mass sits at the outer edges.  Rank arithmetic runs
+  /// in long double so the target rank stays exact even for counts
+  /// saturating std::uint64_t, where a double would round the rank and
+  /// could land in a neighbouring bucket.
   [[nodiscard]] double quantile(double q) const noexcept {
     if (total_ == 0) return 0.0;
-    const double target = q * static_cast<double>(total_);
-    double seen = static_cast<double>(underflow_);
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const long double target =
+        static_cast<long double>(q) * static_cast<long double>(total_);
+    long double seen = static_cast<long double>(underflow_);
     if (target <= seen) return edges_.front();
     for (std::size_t i = 0; i < counts_.size(); ++i) {
-      const double c = static_cast<double>(counts_[i]);
-      if (seen + c >= target && c > 0) {
-        const double frac = (target - seen) / c;
-        return edges_[i] + frac * (edges_[i + 1] - edges_[i]);
+      const long double c = static_cast<long double>(counts_[i]);
+      if (counts_[i] > 0 && seen + c >= target) {
+        const long double frac = (target - seen) / c;
+        return static_cast<double>(static_cast<long double>(edges_[i]) +
+                                   frac * static_cast<long double>(edges_[i + 1] -
+                                                                   edges_[i]));
       }
       seen += c;
     }
     return edges_.back();
   }
+
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
 
  private:
   std::vector<double> edges_{0.0, 1.0};

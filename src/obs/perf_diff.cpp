@@ -1,0 +1,242 @@
+#include "obs/perf_diff.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace pfair::obs::perf {
+
+namespace {
+
+void add_metric(MetricMap& out, std::string name, double value, double noise = 0.0) {
+  out.emplace(std::move(name), Metric{value, noise});
+}
+
+/// A {"mean","ci99",...} RunningStats cell?
+bool is_stats_cell(const json::Value& v) {
+  return v.is_object() && v.find("mean") != nullptr && v.find("ci99") != nullptr;
+}
+
+/// An {"edges","counts",...} histogram cell?
+bool is_histogram_cell(const json::Value& v) {
+  return v.is_object() && v.find("edges") != nullptr && v.find("counts") != nullptr;
+}
+
+/// Flattens one BENCH cell / snapshot member under `name`.
+void flatten_value(MetricMap& out, const std::string& name, const json::Value& v) {
+  if (v.is_number()) {
+    add_metric(out, name, v.as_number());
+    return;
+  }
+  if (v.is_bool()) {
+    add_metric(out, name, v.as_bool() ? 1.0 : 0.0);
+    return;
+  }
+  if (is_stats_cell(v)) {
+    add_metric(out, name, v.number_or("mean", 0.0), v.number_or("ci99", 0.0));
+    return;
+  }
+  if (is_histogram_cell(v)) {
+    for (const char* k : {"p50", "p95", "p99", "total", "underflow", "overflow"}) {
+      if (const json::Value* m = v.find(k); m != nullptr && m->is_number()) {
+        add_metric(out, name + "." + k, m->as_number());
+      }
+    }
+    return;
+  }
+  if (v.is_object()) {  // timers, nested snapshot sections
+    for (const auto& [k, member] : v.as_object()) flatten_value(out, name + "." + k, member);
+    return;
+  }
+  // strings / arrays / null: not comparable metrics
+}
+
+void flatten_section(MetricMap& out, const json::Value& doc, const char* key) {
+  if (const json::Value* s = doc.find(key); s != nullptr && s->is_object()) {
+    for (const auto& [name, member] : s->as_object()) {
+      flatten_value(out, std::string(key) + "." + name, member);
+    }
+  }
+}
+
+/// Case-insensitive token list of a metric name ("rows[0].pd2_sched_ns"
+/// -> rows, 0, pd2, sched, ns).
+std::vector<std::string> tokens(const std::string& name) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      cur += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+bool token_starts_with(const std::vector<std::string>& toks, const char* prefix) {
+  for (const std::string& t : toks) {
+    if (t.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+bool has_token(const std::vector<std::string>& toks, const char* tok) {
+  for (const std::string& t : toks) {
+    if (t == tok) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+MetricMap flatten(const json::Value& doc) {
+  MetricMap out;
+  if (!doc.is_object()) return out;
+  if (doc.find("rows") != nullptr || doc.find("bench") != nullptr) {  // BENCH report
+    flatten_section(out, doc, "params");
+    if (const json::Value* rows = doc.find("rows"); rows != nullptr && rows->is_array()) {
+      const json::Array& arr = rows->as_array();
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (!arr[i].is_object()) continue;
+        const std::string prefix = "rows[" + std::to_string(i) + "].";
+        for (const auto& [k, cell] : arr[i].as_object()) {
+          flatten_value(out, prefix + k, cell);
+        }
+      }
+    }
+    flatten_section(out, doc, "prof");
+    return out;
+  }
+  if (doc.find("counters") != nullptr || doc.find("timers") != nullptr) {  // snapshot
+    flatten_section(out, doc, "counters");
+    flatten_section(out, doc, "gauges");
+    flatten_section(out, doc, "timers");
+    return out;
+  }
+  for (const auto& [k, member] : doc.as_object()) flatten_value(out, k, member);
+  return out;
+}
+
+int perf_direction(const std::string& name) {
+  const std::vector<std::string> toks = tokens(name);
+  // Better when rising: throughput- and effectiveness-shaped metrics.
+  if (token_starts_with(toks, "fast") || token_starts_with(toks, "placed") ||
+      token_starts_with(toks, "admitted") || token_starts_with(toks, "ff_jumps") ||
+      has_token(toks, "throughput")) {
+    return -1;
+  }
+  // Worse when rising: cost-, miss- and duration-shaped metrics.  "ns"
+  // is matched as a whole token so "invocations" stays direction-free.
+  if (token_starts_with(toks, "preempt") || token_starts_with(toks, "switch") ||
+      token_starts_with(toks, "migr") || token_starts_with(toks, "miss") ||
+      token_starts_with(toks, "postpone") || token_starts_with(toks, "violation") ||
+      token_starts_with(toks, "latenc") || token_starts_with(toks, "idle") ||
+      has_token(toks, "ns")) {
+    return 1;
+  }
+  return 0;
+}
+
+const char* verdict_name(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kRegressed: return "REGRESSED";
+    case Verdict::kImproved: return "improved";
+    case Verdict::kChanged: return "changed";
+    case Verdict::kNew: return "new";
+    case Verdict::kGone: return "gone";
+  }
+  return "?";
+}
+
+DiffReport diff(const MetricMap& base, const MetricMap& cur, const DiffOptions& opt) {
+  DiffReport report;
+  std::set<std::string> names;
+  for (const auto& [n, m] : base) names.insert(n);
+  for (const auto& [n, m] : cur) names.insert(n);
+  for (const std::string& name : names) {
+    const auto bi = base.find(name);
+    const auto ci = cur.find(name);
+    DiffRow row;
+    row.name = name;
+    if (bi == base.end()) {
+      row.cur = ci->second.value;
+      row.verdict = Verdict::kNew;
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+    if (ci == cur.end()) {
+      row.base = bi->second.value;
+      row.verdict = Verdict::kGone;
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+    row.base = bi->second.value;
+    row.cur = ci->second.value;
+    row.noise = bi->second.noise + ci->second.noise;
+    const double delta = row.cur - row.base;
+    row.rel = row.base != 0.0 ? delta / std::fabs(row.base) : 0.0;
+    const bool clears_noise = std::fabs(delta) > row.noise;
+    const bool clears_threshold = row.base != 0.0
+                                      ? std::fabs(row.rel) > opt.threshold
+                                      : delta != 0.0;  // 0 -> x: any move counts
+    if (!clears_noise || !clears_threshold) {
+      row.verdict = Verdict::kOk;
+    } else {
+      const int dir = perf_direction(name);
+      if (dir == 0) {
+        row.verdict = Verdict::kChanged;
+        ++report.changes;
+      } else if ((delta > 0.0) == (dir > 0)) {
+        row.verdict = Verdict::kRegressed;
+        ++report.regressions;
+      } else {
+        row.verdict = Verdict::kImproved;
+        ++report.improvements;
+      }
+    }
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string format_diff(const DiffReport& r, bool all) {
+  std::string out;
+  char buf[256];
+  std::size_t ok = 0;
+  std::size_t unmatched = 0;
+  for (const DiffRow& row : r.rows) {
+    if (row.verdict == Verdict::kOk) {
+      ++ok;
+      if (!all) continue;
+    }
+    if (row.verdict == Verdict::kNew || row.verdict == Verdict::kGone) {
+      ++unmatched;
+      if (!all) continue;
+    }
+    if (row.verdict == Verdict::kNew) {
+      std::snprintf(buf, sizeof buf, "%-9s %s: %.6g\n", verdict_name(row.verdict),
+                    row.name.c_str(), row.cur);
+    } else if (row.verdict == Verdict::kGone) {
+      std::snprintf(buf, sizeof buf, "%-9s %s: was %.6g\n", verdict_name(row.verdict),
+                    row.name.c_str(), row.base);
+    } else {
+      std::snprintf(buf, sizeof buf, "%-9s %s: %.6g -> %.6g (%+.1f%%, noise ±%.3g)\n",
+                    verdict_name(row.verdict), row.name.c_str(), row.base, row.cur,
+                    100.0 * row.rel, row.noise);
+    }
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "# %zu metrics: %zu ok, %zu regressed, %zu improved, %zu changed, "
+                "%zu new/gone\n",
+                r.rows.size(), ok, r.regressions, r.improvements, r.changes, unmatched);
+  out += buf;
+  return out;
+}
+
+}  // namespace pfair::obs::perf

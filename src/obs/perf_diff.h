@@ -1,0 +1,92 @@
+// Noise-aware comparison of BENCH_*.json reports and registry
+// snapshots — the library behind `tools/pfair_perf` and the CI
+// perf-regression gate.
+//
+// Both document shapes flatten into one metric namespace:
+//   BENCH report   -> params.<key>, rows[<i>].<cell>          (scalar cells)
+//                     rows[<i>].<cell>           mean±ci99     (RunningStats)
+//                     rows[<i>].<cell>.{p50,p95,p99,total}     (histograms)
+//                     prof.counters.<name>, prof.timers.<name>.avg_ns, ...
+//   registry snapshot -> counters.<name>, gauges.<name>,
+//                     timers.<name>.{count,total_ns,avg_ns,max_ns,p50_ns,...}
+//
+// diff() then classifies each shared metric: a change is significant
+// only if it clears BOTH the statistical noise (|Δ| > ci99_a + ci99_b)
+// AND the relative threshold (default 10%) — so RunningStats cells
+// carry their own error bars into the verdict and deterministic scalar
+// cells (noise 0) gate on the threshold alone.  Direction heuristics
+// (perf_direction()) decide whether a significant increase is a
+// regression (preemptions, misses, *_ns, latency...) or an improvement
+// (fast_forwarded, placed, admitted...); unknown directions report as
+// Changed, never failing.  Metrics present on only one side are New /
+// Gone — also never failing, so adding a bench column does not break
+// the gate against older baselines.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace pfair::obs::perf {
+
+/// One flattened metric: a point value plus its noise half-width
+/// (ci99 for RunningStats cells, 0 for deterministic scalars).
+struct Metric {
+  double value = 0.0;
+  double noise = 0.0;
+};
+
+using MetricMap = std::map<std::string, Metric>;
+
+/// Flattens a parsed BENCH report or registry snapshot (auto-detected
+/// by shape) into dotted metric names.  Unknown shapes flatten any
+/// numeric leaves found, so the tool degrades gracefully.
+[[nodiscard]] MetricMap flatten(const json::Value& doc);
+
+/// +1 = an increase is worse (regression), -1 = an increase is better,
+/// 0 = no known direction.  Token-based so "sched_invocations" does not
+/// match the "ns" duration token.
+[[nodiscard]] int perf_direction(const std::string& name);
+
+enum class Verdict : std::uint8_t {
+  kOk,         ///< within noise + threshold
+  kRegressed,  ///< significant change in the worse direction
+  kImproved,   ///< significant change in the better direction
+  kChanged,    ///< significant change, direction unknown
+  kNew,        ///< only in the current document
+  kGone,       ///< only in the baseline document
+};
+[[nodiscard]] const char* verdict_name(Verdict v) noexcept;
+
+struct DiffRow {
+  std::string name;
+  double base = 0.0;
+  double cur = 0.0;
+  double noise = 0.0;    ///< combined noise (base + cur half-widths)
+  double rel = 0.0;      ///< relative change vs base (0 when base == 0)
+  Verdict verdict = Verdict::kOk;
+};
+
+struct DiffOptions {
+  /// Minimum relative change to call significant (0.10 = 10%).
+  double threshold = 0.10;
+};
+
+struct DiffReport {
+  std::vector<DiffRow> rows;  ///< every metric, sorted by name
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::size_t changes = 0;  ///< significant but direction-unknown
+};
+
+[[nodiscard]] DiffReport diff(const MetricMap& base, const MetricMap& cur,
+                              const DiffOptions& opt = {});
+
+/// Human-readable report.  `all` = include Ok rows; otherwise only
+/// non-Ok rows plus the summary line.
+[[nodiscard]] std::string format_diff(const DiffReport& r, bool all = false);
+
+}  // namespace pfair::obs::perf

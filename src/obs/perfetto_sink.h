@@ -11,7 +11,14 @@
 //   - instant events ("i") for deadline misses, component misses, lag
 //     violations, joins and leaves;
 //   - counter tracks ("C") for per-task lag(t) samples — the PD2 lag
-//     timeline next to the schedule that produced it.
+//     timeline next to the schedule that produced it;
+//   - when self-profiling span recording is attached (obs/prof.h),
+//     flush() additionally renders a "prof" process (pid 1): one track
+//     per kernel shard (plus a coordinator track) carrying the recorded
+//     kernel-phase spans, and per-worker cumulative busy-ns counter
+//     tracks from the ThreadPool's kPoolJob spans.  Phase slices are
+//     stacked sequentially inside their simulated slot, so the viewer
+//     shows where each quantum's engine time went next to the schedule.
 //
 // One simulated slot is rendered as one quantum length in trace time
 // (default 1000 "us" = the paper's 1 ms quantum), so viewer timestamps
@@ -55,6 +62,7 @@ class PerfettoSink : public Sink {
   void close_slice(ProcId proc);
   void instant(const Event& e, const char* label);
   void ensure_thread_metadata(ProcId proc);
+  void write_prof_tracks();  ///< pid-1 phase/worker tracks (flush-time)
 
   std::ostream* os_;
   double us_per_slot_;

@@ -1,0 +1,67 @@
+#include "obs/registry.h"
+
+namespace pfair::obs {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
+void MetricsRegistry::record_timer(const std::string& name, const TimerStats& stats) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  timers_[name] = stats;
+}
+
+void MetricsRegistry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  timers_.clear();
+}
+
+json::Value MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  json::Object counters;
+  for (const auto& [name, c] : counters_) {
+    const std::uint64_t v = c.value();
+    if (v != 0) counters.emplace(name, json::Value(static_cast<double>(v)));
+  }
+  json::Object gauges;
+  for (const auto& [name, g] : gauges_) {
+    const double v = g.value();
+    if (v != 0.0) gauges.emplace(name, json::Value(v));
+  }
+  json::Object timers;
+  for (const auto& [name, t] : timers_) {
+    json::Object entry;
+    entry.emplace("count", json::Value(static_cast<double>(t.count)));
+    entry.emplace("total_ns", json::Value(static_cast<double>(t.total_ns)));
+    entry.emplace("avg_ns", json::Value(t.avg_ns()));
+    entry.emplace("max_ns", json::Value(static_cast<double>(t.max_ns)));
+    if (t.hist.total() > 0) {
+      entry.emplace("p50_ns", json::Value(t.hist.p50()));
+      entry.emplace("p95_ns", json::Value(t.hist.p95()));
+      entry.emplace("p99_ns", json::Value(t.hist.p99()));
+    }
+    timers.emplace(name, json::Value(std::move(entry)));
+  }
+  json::Object doc;
+  doc.emplace("counters", json::Value(std::move(counters)));
+  doc.emplace("gauges", json::Value(std::move(gauges)));
+  doc.emplace("timers", json::Value(std::move(timers)));
+  return json::Value(std::move(doc));
+}
+
+std::string MetricsRegistry::snapshot_json() const { return snapshot().dump() + "\n"; }
+
+}  // namespace pfair::obs

@@ -1,0 +1,116 @@
+// The self-profiling metrics registry: named counters, gauges and
+// timers describing the *engine itself*, not the simulated schedule.
+//
+// engine::Metrics answers "what did the schedule do" (preemptions,
+// misses, quanta); the registry answers "where did the engine spend its
+// time and work" — kernel phase durations, ThreadPool activity,
+// fast-forward effectiveness, admission traffic.  It is the common
+// export surface behind `ExperimentHarness --prof`, the `pfair_perf`
+// CLI and the Perfetto phase tracks (obs/prof.h feeds aggregated phase
+// timings into it at snapshot time).
+//
+// Contract with the simulators (determinism): instrumented code only
+// *writes* to the registry and only when profiling is attached
+// (obs::prof::enabled()); nothing in any scheduling decision ever reads
+// it.  Seeded runs are therefore byte-identical with profiling on or
+// off — the registry is a pure side channel.
+//
+// Handles returned by counter()/gauge() have stable addresses for the
+// life of the process (reset_values() zeroes them but never deallocates),
+// so hot paths cache them in function-local statics:
+//
+//   static obs::Counter& c = obs::MetricsRegistry::global().counter("x");
+//   if (obs::prof::enabled()) c.add(n);
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/histogram.h"
+#include "obs/json.h"
+
+namespace pfair::obs {
+
+/// Monotone event count.  Relaxed atomics: counters are written from
+/// shard / pool worker threads and only ever summed, never ordered.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, configured shard
+/// counts, end-of-run totals mirrored for the snapshot).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Aggregated duration statistics for one named timer (a prof phase):
+/// count / total / max plus the full histogram, so snapshots report
+/// p50/p95/p99 — the tail, not just the mean.
+struct TimerStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+  Histogram hist;  ///< ns samples (empty edges = no histogram recorded)
+
+  [[nodiscard]] double avg_ns() const noexcept {
+    return count > 0 ? static_cast<double>(total_ns) / static_cast<double>(count) : 0.0;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumentation site reports to.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  /// Returns the named counter, registering it on first use.  The
+  /// reference stays valid forever (reset_values() keeps registrations).
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+
+  /// Publishes (or replaces) the named timer's aggregated stats —
+  /// obs::prof::snapshot_into() calls this once per phase per snapshot.
+  void record_timer(const std::string& name, const TimerStats& stats);
+
+  /// Zeroes every counter/gauge and drops all timers; registrations
+  /// (and thus cached handle addresses) survive.  Test isolation hook.
+  void reset_values();
+
+  /// Structured snapshot:
+  ///   {"counters":{name:n,...}, "gauges":{name:v,...},
+  ///    "timers":{name:{"count":..,"total_ns":..,"avg_ns":..,"max_ns":..,
+  ///              "p50_ns":..,"p95_ns":..,"p99_ns":..},...}}
+  /// Only nonzero counters/gauges appear (an idle registry snapshots as
+  /// three empty objects), so a snapshot documents what actually ran.
+  [[nodiscard]] json::Value snapshot() const;
+
+  /// snapshot().dump() + newline: the canonical JSON document written by
+  /// `--prof=FILE` and read back by `pfair_perf`.
+  [[nodiscard]] std::string snapshot_json() const;
+
+ private:
+  mutable std::mutex mu_;  ///< guards registration and the timers map
+  // std::map: stable node addresses (handles survive later insertions)
+  // and sorted iteration (snapshots are canonical by construction).
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, TimerStats> timers_;
+};
+
+}  // namespace pfair::obs

@@ -205,6 +205,46 @@ std::string format_first_miss(const std::vector<Event>& events, Time window) {
   return os.str();
 }
 
+std::string format_registry_snapshot(const json::Value& doc) {
+  if (!doc.is_object() ||
+      (doc.find("counters") == nullptr && doc.find("timers") == nullptr)) {
+    return "not a registry snapshot (expected counters/gauges/timers object)\n";
+  }
+  std::ostringstream os;
+  os << "registry snapshot\n";
+  bool any = false;
+  if (const json::Value* c = doc.find("counters"); c != nullptr && c->is_object()) {
+    for (const auto& [name, v] : c->as_object()) {
+      if (!v.is_number()) continue;
+      os << fmt("  counter %-28s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(v.as_number()));
+      any = true;
+    }
+  }
+  if (const json::Value* g = doc.find("gauges"); g != nullptr && g->is_object()) {
+    for (const auto& [name, v] : g->as_object()) {
+      if (!v.is_number()) continue;
+      os << fmt("  gauge   %-28s %g\n", name.c_str(), v.as_number());
+      any = true;
+    }
+  }
+  if (const json::Value* t = doc.find("timers"); t != nullptr && t->is_object()) {
+    for (const auto& [name, v] : t->as_object()) {
+      if (!v.is_object()) continue;
+      os << fmt("  timer   %-28s n=%-8llu avg=%.0fns p50=%.0fns p95=%.0fns "
+                "p99=%.0fns max=%.0fns\n",
+                name.c_str(),
+                static_cast<unsigned long long>(v.number_or("count", 0.0)),
+                v.number_or("avg_ns", 0.0), v.number_or("p50_ns", 0.0),
+                v.number_or("p95_ns", 0.0), v.number_or("p99_ns", 0.0),
+                v.number_or("max_ns", 0.0));
+      any = true;
+    }
+  }
+  if (!any) os << "  (empty)\n";
+  return os.str();
+}
+
 std::string validate_perfetto_json(const std::string& text) {
   const std::optional<json::Value> doc = json::parse(text);
   if (!doc) return "not valid JSON";

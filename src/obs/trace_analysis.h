@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/event.h"
+#include "obs/json.h"
 
 namespace pfair::obs {
 
@@ -68,6 +69,12 @@ struct MissContext {
                                             std::size_t top);
 [[nodiscard]] std::string format_migration_matrix(const std::vector<Event>& events);
 [[nodiscard]] std::string format_first_miss(const std::vector<Event>& events, Time window);
+
+/// Human-readable rendering of a MetricsRegistry snapshot document
+/// ({"counters":..,"gauges":..,"timers":..}) — the `--registry=FILE`
+/// section of `pfair_trace report` and `pfair_perf snapshot`.  Returns
+/// an error line when `doc` does not look like a snapshot.
+[[nodiscard]] std::string format_registry_snapshot(const json::Value& doc);
 
 /// Minimal schema check for Chrome-trace/Perfetto JSON produced by
 /// PerfettoSink: top-level object, "traceEvents" array, every entry an

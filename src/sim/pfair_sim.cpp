@@ -6,6 +6,8 @@
 #include "core/lag.h"
 #include "core/simd.h"
 #include "engine/parallel.h"
+#include "obs/prof.h"
+#include "obs/registry.h"
 
 namespace pfair {
 
@@ -31,6 +33,7 @@ Algorithm PfairSimulator::ref_algorithm() const noexcept {
 }
 
 bool PfairSimulator::admit(std::int64_t execution, std::int64_t period) {
+  const obs::prof::ProfScope prof(obs::prof::Phase::kAdmit, -1, now_);
   const Task t = make_task(execution, period);
   if (!t.valid()) return false;
   add_task(t);
@@ -97,6 +100,7 @@ void PfairSimulator::add_processor_event(ProcessorEvent ev) {
 }
 
 std::optional<TaskId> PfairSimulator::join(const Task& t) {
+  const obs::prof::ProfScope prof(obs::prof::Phase::kAdmit, -1, now_);
   // Departures whose rule time has arrived free their weight before the
   // admission check (run_until(T) leaves departures at exactly T
   // unprocessed, since slot T has not been simulated yet).
@@ -484,7 +488,11 @@ void PfairSimulator::simulate_slot() {
   // Release processing is part of scheduling overhead in the paper's
   // accounting ("moving a newly-arrived or preempted task to the ready
   // queue"), so it is included in the measured time.
-  const double release_ns = timer_.measure(metrics_, [&] { release_eligible(t); });
+  double release_ns = 0.0;
+  {
+    const obs::prof::ProfScope prof(obs::prof::Phase::kRelease, -1, t);
+    release_ns = timer_.measure(metrics_, [&] { release_eligible(t); });
+  }
   obs::emit(bus_, obs::EventKind::kOverheadNs, t, kNoTask, kNoProc, release_ns);
   for (SupertaskRuntime& srt : supertasks_) {
     for (ComponentRuntime& c : srt.components) {
@@ -519,10 +527,14 @@ void PfairSimulator::simulate_slot() {
     soa_schedule(t);
   } else {
     // 3. Deadline misses among queued subtasks.
-    detect_misses(t);
+    {
+      const obs::prof::ProfScope prof(obs::prof::Phase::kLegacyMissSweep, -1, t);
+      detect_misses(t);
+    }
 
     // 4. Scheduler invocation: pop the M highest-priority subtasks and
     //    advance each task to its next subtask.
+    const obs::prof::ProfScope prof_select(obs::prof::Phase::kLegacySelect, -1, t);
     timer_.start();
 
     picked_.clear();
@@ -554,6 +566,9 @@ void PfairSimulator::simulate_slot() {
   // index into picked_ (-1 = idle) so every later lookup (task id,
   // dispatch latency) is a direct picked_ access; all scratch lives in
   // reused members, so the kernel allocates nothing at steady state.
+  // The kAssign span covers assignment plus the per-slot accounting
+  // below it (steps 5-6) — everything after the scheduler invocation.
+  const obs::prof::ProfScope prof_assign(obs::prof::Phase::kAssign, -1, t);
   const std::size_t m = static_cast<std::size_t>(std::max(live_processors_, 0));
   constexpr std::int32_t kIdle = -1;
   assign_.assign(m, kIdle);
@@ -682,6 +697,10 @@ void PfairSimulator::simulate_slot() {
   metrics_.busy_quanta += picked_.size();
   metrics_.idle_quanta += m - picked_.size();
   ++metrics_.slots;
+  if (obs::prof::enabled()) {
+    static obs::Counter& slots = obs::MetricsRegistry::global().counter("sim.slots");
+    slots.add();
+  }
   last_slot_allocated_ = !picked_.empty();
   obs::emit(bus_, obs::EventKind::kSlotEnd, t, kNoTask, kNoProc,
             static_cast<double>(picked_.size()));
@@ -744,6 +763,17 @@ Time PfairSimulator::fast_forward_target(Time until) const {
 
 void PfairSimulator::account_idle_slots(Time count) {
   const std::size_t m = static_cast<std::size_t>(std::max(live_processors_, 0));
+  if (obs::prof::enabled()) {
+    // Registry mirror of the fast-forward metrics: traces never contain
+    // FF (an attached bus disables it), so the registry is how a
+    // profiled run reports FF effectiveness (pfair_trace report
+    // --registry / pfair_perf snapshot).
+    static obs::Counter& ff =
+        obs::MetricsRegistry::global().counter("sim.fast_forwarded_slots");
+    static obs::Counter& jumps = obs::MetricsRegistry::global().counter("sim.ff_jumps");
+    ff.add(static_cast<std::uint64_t>(count));
+    jumps.add();
+  }
   metrics_.slots += static_cast<std::uint64_t>(count);
   metrics_.idle_quanta += static_cast<std::uint64_t>(count) * m;
   metrics_.scheduler_invocations += static_cast<std::uint64_t>(count);

@@ -34,6 +34,7 @@
 #include "core/simd.h"
 #include "engine/parallel.h"
 #include "obs/bus.h"
+#include "obs/prof.h"
 #include "sim/pfair_sim.h"
 
 namespace pfair {
@@ -53,6 +54,8 @@ bool PfairSimulator::soa_less(std::uint32_t a, std::uint32_t b) const noexcept {
 }
 
 void PfairSimulator::soa_phase_a(ShardScratch& s, Time t) {
+  const obs::prof::ProfScope prof(obs::prof::Phase::kKernelPhaseA,
+                                  static_cast<std::int32_t>(&s - shard_scratch_.data()), t);
   s.candidates.clear();
   s.missed.clear();
   s.top.clear();
@@ -159,52 +162,65 @@ void PfairSimulator::soa_schedule(Time t) {
     shard_pool_->wait();
   }
 
-  // Phase B: merge misses in priority order and emit (kDeadlineMiss
-  // precedes kSchedInvoke, exactly as in the legacy kernel).
-  merge_pos_.assign(shards, 0);
-  for (;;) {
-    std::size_t best = shards;
-    for (std::size_t s = 0; s < shards; ++s) {
-      if (merge_pos_[s] >= shard_scratch_[s].missed.size()) continue;
-      if (best == shards ||
-          cmp_(shard_scratch_[s].missed[merge_pos_[s]],
-               shard_scratch_[best].missed[merge_pos_[best]])) {
-        best = s;
+  // Phase B (one prof scope spans the whole sequential coordinator
+  // phase — miss merge plus selection — so profiling reads the clock
+  // once per slot here, not twice): merge misses in priority order and
+  // emit (kDeadlineMiss precedes kSchedInvoke, exactly as in the
+  // legacy kernel), then pick the global top-M.
+  {
+    const obs::prof::ProfScope prof_b(obs::prof::Phase::kKernelMerge, -1, t);
+    merge_pos_.assign(shards, 0);
+    for (;;) {
+      std::size_t best = shards;
+      for (std::size_t s = 0; s < shards; ++s) {
+        if (merge_pos_[s] >= shard_scratch_[s].missed.size()) continue;
+        if (best == shards ||
+            cmp_(shard_scratch_[s].missed[merge_pos_[s]],
+                 shard_scratch_[best].missed[merge_pos_[best]])) {
+          best = s;
+        }
       }
+      if (best == shards) break;
+      const SubtaskRef& ref = shard_scratch_[best].missed[merge_pos_[best]++];
+      metrics_.record_miss(t);
+      obs::emit(bus_, obs::EventKind::kDeadlineMiss, t, ref.task);
     }
-    if (best == shards) break;
-    const SubtaskRef& ref = shard_scratch_[best].missed[merge_pos_[best]++];
-    metrics_.record_miss(t);
-    obs::emit(bus_, obs::EventKind::kDeadlineMiss, t, ref.task);
-  }
 
-  // Selection + advancement, timed like the legacy scheduler invocation.
-  timer_.start();
+    // Selection + advancement, timed like the legacy scheduler
+    // invocation (stop() follows Phase B2).
+    timer_.start();
 
-  picked_.clear();
-  const auto want = static_cast<std::size_t>(std::max(live_processors_, 0));
-  merge_pos_.assign(shards, 0);
-  while (picked_.size() < want) {
-    std::size_t best = shards;
-    for (std::size_t s = 0; s < shards; ++s) {
-      if (merge_pos_[s] >= shard_scratch_[s].top.size()) continue;
-      if (best == shards || soa_less(shard_scratch_[s].top[merge_pos_[s]],
-                                     shard_scratch_[best].top[merge_pos_[best]])) {
-        best = s;
+    picked_.clear();
+    const auto want = static_cast<std::size_t>(std::max(live_processors_, 0));
+    merge_pos_.assign(shards, 0);
+    while (picked_.size() < want) {
+      std::size_t best = shards;
+      for (std::size_t s = 0; s < shards; ++s) {
+        if (merge_pos_[s] >= shard_scratch_[s].top.size()) continue;
+        if (best == shards || soa_less(shard_scratch_[s].top[merge_pos_[s]],
+                                       shard_scratch_[best].top[merge_pos_[best]])) {
+          best = s;
+        }
       }
+      if (best == shards) break;
+      const std::uint32_t id = shard_scratch_[best].top[merge_pos_[best]++];
+      tasks_[id].last_sched_index = soa_.ref[id].index;
+      picked_.push_back(Pick{id, soa_.ref[id].release, 0});
     }
-    if (best == shards) break;
-    const std::uint32_t id = shard_scratch_[best].top[merge_pos_[best]++];
-    tasks_[id].last_sched_index = soa_.ref[id].index;
-    picked_.push_back(Pick{id, soa_.ref[id].release, 0});
   }
 
   // Phase B2: per-task advancement, sharded by id ownership.
   if (shards == 1) {
+    const obs::prof::ProfScope prof_adv(obs::prof::Phase::kKernelAdvance, 0, t);
     soa_advance_picked(0, static_cast<std::uint32_t>(n), t);
   } else {
     for (ShardScratch& s : shard_scratch_) {
-      shard_pool_->submit([this, &s, t] { soa_advance_picked(s.begin, s.end, t); });
+      shard_pool_->submit([this, &s, t] {
+        const obs::prof::ProfScope prof_adv(
+            obs::prof::Phase::kKernelAdvance,
+            static_cast<std::int32_t>(&s - shard_scratch_.data()), t);
+        soa_advance_picked(s.begin, s.end, t);
+      });
     }
     shard_pool_->wait();
   }

@@ -1,0 +1,72 @@
+// engine::OverheadTimer: the branch-free disabled path must perform
+// ZERO clock reads (not just discard them), and the enabled path must
+// accumulate exactly what the clock says.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "engine/metrics.h"
+#include "engine/overhead_timer.h"
+
+namespace pfair::engine {
+namespace {
+
+// A counting clock: each read returns 100ns more than the previous one.
+// File-scope state because OverheadTimer::Clock is a plain function
+// pointer (no captures).
+std::uint64_t g_clock_reads = 0;
+std::uint64_t counting_clock() noexcept {
+  ++g_clock_reads;
+  return g_clock_reads * 100;
+}
+
+TEST(OverheadTimer, DisabledPathNeverReadsAnyClock) {
+  g_clock_reads = 0;
+  // Install the counting clock BEFORE construction: if the disabled
+  // timer consulted any clock source, the counter would move.
+  const ScopedTestClock scoped(&counting_clock);
+  OverheadTimer timer(/*enabled=*/false);
+  EXPECT_FALSE(timer.enabled());
+  Metrics m;
+  m.sched_ns_total = 123.25;  // pre-existing value must survive bitwise
+  for (int i = 0; i < 1000; ++i) {
+    timer.start();
+    EXPECT_EQ(timer.stop(m), 0.0);
+  }
+  EXPECT_EQ(timer.measure(m, [] {}), 0.0);
+  EXPECT_EQ(g_clock_reads, 0u);
+  EXPECT_EQ(m.sched_ns_total, 123.25);  // += 0.0, bitwise unchanged
+}
+
+TEST(OverheadTimer, EnabledTimerAccumulatesClockDeltas) {
+  g_clock_reads = 0;
+  const ScopedTestClock scoped(&counting_clock);
+  OverheadTimer timer(/*enabled=*/true);
+  EXPECT_TRUE(timer.enabled());
+  Metrics m;
+  timer.start();                      // read 1 -> 100
+  EXPECT_EQ(timer.stop(m), 100.0);    // read 2 -> 200, delta 100
+  EXPECT_EQ(timer.measure(m, [] {}), 100.0);  // reads 3+4
+  EXPECT_EQ(g_clock_reads, 4u);
+  EXPECT_EQ(m.sched_ns_total, 200.0);
+}
+
+TEST(OverheadTimer, OverrideOnlyAffectsTimersConstructedWhileActive) {
+  g_clock_reads = 0;
+  Metrics m;
+  {
+    const ScopedTestClock scoped(&counting_clock);
+    OverheadTimer timer(/*enabled=*/true);
+    timer.start();
+    (void)timer.stop(m);
+  }
+  EXPECT_EQ(g_clock_reads, 2u);
+  // Built after restore: back on steady_clock, counter stays put.
+  OverheadTimer timer(/*enabled=*/true);
+  timer.start();
+  (void)timer.stop(m);
+  EXPECT_EQ(g_clock_reads, 2u);
+}
+
+}  // namespace
+}  // namespace pfair::engine

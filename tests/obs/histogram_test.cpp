@@ -2,6 +2,8 @@
 // quantile estimation.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "obs/histogram.h"
 
 namespace pfair::obs {
@@ -85,6 +87,58 @@ TEST(Histogram, QuantileWithAllMassInOverflowReturnsUpperEdge) {
   Histogram h = Histogram::linear(0.0, 1.0, 1);
   h.add(5.0);
   EXPECT_EQ(h.quantile(0.99), 1.0);
+}
+
+TEST(Histogram, QuantileIsExactRankInSingleBucket) {
+  // All mass in one bucket: the q-quantile interpolates linearly through
+  // that bucket, and q clamps outside [0, 1].
+  Histogram h = Histogram::linear(0.0, 10.0, 10);
+  h.add(4.5, 100);  // bucket [4, 5)
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Histogram, MergeThenQuantileEqualsCombinedPopulation) {
+  // Quantiles of a merged histogram must equal quantiles of one
+  // histogram fed both populations — the per-thread-merge contract the
+  // profiling layer relies on.
+  Histogram a = Histogram::exponential(1.0, 2.0, 10);
+  Histogram b = Histogram::exponential(1.0, 2.0, 10);
+  Histogram both = Histogram::exponential(1.0, 2.0, 10);
+  for (int i = 1; i <= 100; ++i) {
+    const double v = static_cast<double>(i);
+    (i % 2 == 0 ? a : b).add(v);
+    both.add(v);
+  }
+  a.merge(b);
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), both.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileSurvivesSaturatingCounts) {
+  // Counts near 2^63 per bucket: the long-double rank arithmetic must
+  // still land the median on the bucket boundary between the two
+  // populations instead of rounding into a neighbour.
+  Histogram h = Histogram::linear(0.0, 2.0, 2);
+  const std::uint64_t half = std::uint64_t{1} << 62;
+  h.add(0.5, half);
+  h.add(1.5, half);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_GT(h.quantile(0.75), 1.0);
+  EXPECT_LT(h.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(Histogram, ConvenienceQuantilesMatchExplicitCalls) {
+  Histogram h = Histogram::linear(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_DOUBLE_EQ(h.p50(), h.quantile(0.50));
+  EXPECT_DOUBLE_EQ(h.p95(), h.quantile(0.95));
+  EXPECT_DOUBLE_EQ(h.p99(), h.quantile(0.99));
+  EXPECT_NEAR(h.p95(), 95.0, 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,147 @@
+// obs::perf: flattening of BENCH reports / registry snapshots into
+// metric maps, and the noise-aware regression verdicts behind the
+// `pfair_perf diff` CI gate.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/perf_diff.h"
+
+namespace pfair::obs::perf {
+namespace {
+
+json::Value parse_or_die(const std::string& text) {
+  const std::optional<json::Value> v = json::parse(text);
+  EXPECT_TRUE(v.has_value()) << text;
+  return *v;
+}
+
+const char* kBench = R"({
+  "bench": "compare_runtime",
+  "params": {"processors": 16, "trials": 4},
+  "rows": [
+    {"load": 0.5,
+     "pd2_preemptions": {"mean": 100.0, "ci99": 8.0, "min": 90.0, "max": 110.0},
+     "pd2_fast_forwarded_slots": 5000,
+     "pd2_sched_invocations": 1234}
+  ]
+})";
+
+TEST(PerfDiff, FlattenBenchReportUsesDottedNamesAndCi99Noise) {
+  const MetricMap m = flatten(parse_or_die(kBench));
+  ASSERT_TRUE(m.count("params.processors"));
+  EXPECT_DOUBLE_EQ(m.at("params.processors").value, 16.0);
+  // RunningStats cell: mean is the value, ci99 is the noise half-width.
+  ASSERT_TRUE(m.count("rows[0].pd2_preemptions"));
+  EXPECT_DOUBLE_EQ(m.at("rows[0].pd2_preemptions").value, 100.0);
+  EXPECT_DOUBLE_EQ(m.at("rows[0].pd2_preemptions").noise, 8.0);
+  // Deterministic scalar: zero noise.
+  ASSERT_TRUE(m.count("rows[0].pd2_fast_forwarded_slots"));
+  EXPECT_DOUBLE_EQ(m.at("rows[0].pd2_fast_forwarded_slots").noise, 0.0);
+}
+
+TEST(PerfDiff, FlattenRegistrySnapshot) {
+  const MetricMap m = flatten(parse_or_die(
+      R"({"counters":{"sim.slots":2000},"gauges":{},)"
+      R"("timers":{"kernel.phase_a":{"count":10,"avg_ns":120.5,"max_ns":900}}})"));
+  ASSERT_TRUE(m.count("counters.sim.slots"));
+  EXPECT_DOUBLE_EQ(m.at("counters.sim.slots").value, 2000.0);
+  ASSERT_TRUE(m.count("timers.kernel.phase_a.avg_ns"));
+  EXPECT_DOUBLE_EQ(m.at("timers.kernel.phase_a.avg_ns").value, 120.5);
+}
+
+TEST(PerfDiff, IdenticalDocumentsProduceZeroRegressions) {
+  const MetricMap m = flatten(parse_or_die(kBench));
+  const DiffReport r = diff(m, m);
+  EXPECT_EQ(r.regressions, 0u);
+  EXPECT_EQ(r.improvements, 0u);
+  EXPECT_EQ(r.changes, 0u);
+  for (const DiffRow& row : r.rows) EXPECT_EQ(row.verdict, Verdict::kOk);
+}
+
+TEST(PerfDiff, TwentyPercentWorseDirectionChangeIsFlagged) {
+  MetricMap base, cur;
+  base["rows[0].pd2_preemptions"] = {100.0, 0.0};
+  cur["rows[0].pd2_preemptions"] = {120.0, 0.0};
+  const DiffReport r = diff(base, cur);
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].verdict, Verdict::kRegressed);
+  EXPECT_NEAR(r.rows[0].rel, 0.20, 1e-12);
+  EXPECT_EQ(r.regressions, 1u);
+}
+
+TEST(PerfDiff, NoiseMasksChangesInsideTheErrorBars) {
+  MetricMap base, cur;
+  base["rows[0].pd2_preemptions"] = {100.0, 10.0};
+  cur["rows[0].pd2_preemptions"] = {115.0, 10.0};  // |Δ|=15 < 10+10
+  const DiffReport r = diff(base, cur);
+  EXPECT_EQ(r.rows[0].verdict, Verdict::kOk);
+  EXPECT_EQ(r.regressions, 0u);
+}
+
+TEST(PerfDiff, ThresholdGatesDeterministicScalars) {
+  MetricMap base, cur;
+  base["rows[0].pd2_preemptions"] = {100.0, 0.0};
+  cur["rows[0].pd2_preemptions"] = {105.0, 0.0};  // 5% < default 10%
+  EXPECT_EQ(diff(base, cur).regressions, 0u);
+  DiffOptions tight;
+  tight.threshold = 0.02;
+  EXPECT_EQ(diff(base, cur, tight).regressions, 1u);
+}
+
+TEST(PerfDiff, DirectionHeuristics) {
+  EXPECT_EQ(perf_direction("rows[0].pd2_preemptions"), 1);
+  EXPECT_EQ(perf_direction("rows[0].pd2_switches"), 1);
+  EXPECT_EQ(perf_direction("timers.kernel.phase_a.avg_ns"), 1);
+  EXPECT_EQ(perf_direction("counters.sim.fast_forwarded_slots"), -1);
+  EXPECT_EQ(perf_direction("rows[0].placed"), -1);
+  // "invocations" must NOT match the "ns" duration token (token-based,
+  // not substring-based): unknown direction, never a gate failure.
+  EXPECT_EQ(perf_direction("rows[0].pd2_sched_invocations"), 0);
+}
+
+TEST(PerfDiff, BetterDirectionIncreaseIsAnImprovement) {
+  MetricMap base, cur;
+  base["counters.sim.fast_forwarded_slots"] = {1000.0, 0.0};
+  cur["counters.sim.fast_forwarded_slots"] = {2000.0, 0.0};
+  const DiffReport r = diff(base, cur);
+  EXPECT_EQ(r.rows[0].verdict, Verdict::kImproved);
+  EXPECT_EQ(r.regressions, 0u);
+  EXPECT_EQ(r.improvements, 1u);
+}
+
+TEST(PerfDiff, UnknownDirectionReportsChangedNotRegressed) {
+  MetricMap base, cur;
+  base["rows[0].pd2_sched_invocations"] = {1000.0, 0.0};
+  cur["rows[0].pd2_sched_invocations"] = {2000.0, 0.0};
+  const DiffReport r = diff(base, cur);
+  EXPECT_EQ(r.rows[0].verdict, Verdict::kChanged);
+  EXPECT_EQ(r.regressions, 0u);
+  EXPECT_EQ(r.changes, 1u);
+}
+
+TEST(PerfDiff, NewAndGoneMetricsNeverFailTheGate) {
+  MetricMap base, cur;
+  base["rows[0].old_col"] = {5.0, 0.0};
+  cur["rows[0].new_col"] = {7.0, 0.0};
+  const DiffReport r = diff(base, cur);
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].verdict, Verdict::kNew);   // sorted: new_col first
+  EXPECT_EQ(r.rows[1].verdict, Verdict::kGone);
+  EXPECT_EQ(r.regressions, 0u);
+}
+
+TEST(PerfDiff, FormatDiffNamesRegressionsAndSummarises) {
+  MetricMap base, cur;
+  base["rows[0].pd2_preemptions"] = {100.0, 0.0};
+  cur["rows[0].pd2_preemptions"] = {150.0, 0.0};
+  const std::string out = format_diff(diff(base, cur));
+  EXPECT_NE(out.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(out.find("pd2_preemptions"), std::string::npos);
+  EXPECT_NE(out.find("1 metrics"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfair::obs::perf

@@ -8,17 +8,25 @@
 //   pfair_trace migrations trace.jsonl              from/to processor matrix
 //   pfair_trace first-miss trace.jsonl [--window=N] events around the first miss
 //   pfair_trace validate   trace.json               Perfetto JSON schema check
-//   pfair_trace report     trace.jsonl              all of the above
+//   pfair_trace report     trace.jsonl [--registry=FILE]
+//                                                   all of the above (plus a
+//                                                   registry-snapshot section
+//                                                   when --registry is given)
 //
 // It can also *produce* a trace, via the simulator factory:
 //
 //   pfair_trace simulate <pfair|partitioned|global-job|uniproc|wrr|cbs>
 //       [--processors=2] [--tasks=8] [--load=60] [--horizon=1000] [--seed=1]
+//       [--shards=N] [--prof=FILE] [--trace=FILE]
 //
 // runs a seeded random workload (total utilization = load% of the
 // processor count) through the named scheduler stack and streams the
 // JSONL event trace to stdout — pipe it straight back into the analysis
-// subcommands.
+// subcommands.  --shards shards the pfair SoA slot kernel; --prof=FILE
+// attaches self-profiling and writes the MetricsRegistry snapshot to
+// FILE; --trace=FILE additionally writes Perfetto/Chrome JSON there
+// (with kernel-phase tracks when --prof is attached).  Neither side
+// channel changes the JSONL stream on stdout.
 //
 // "-" reads the trace from stdin.  Exit status: 0 on success; 1 on bad
 // usage / unreadable input; 2 when `validate` finds a schema violation.
@@ -26,13 +34,18 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "engine/factory.h"
 #include "obs/bus.h"
+#include "obs/json.h"
 #include "obs/jsonl_sink.h"
+#include "obs/perfetto_sink.h"
+#include "obs/prof.h"
+#include "obs/registry.h"
 #include "obs/trace_analysis.h"
 #include "util/rng.h"
 #include "workload/generator.h"
@@ -44,10 +57,22 @@ using pfair::obs::LoadResult;
 int usage() {
   std::fprintf(stderr,
                "usage: pfair_trace <summary|preemptors|migrations|first-miss|validate|"
-               "report> <trace-file|-> [--top=N] [--window=N]\n"
+               "report> <trace-file|-> [--top=N] [--window=N] [--registry=FILE]\n"
                "       pfair_trace simulate <scheduler> [--processors=N] [--tasks=N]"
-               " [--load=PCT] [--horizon=N] [--seed=N]\n");
+               " [--load=PCT] [--horizon=N] [--seed=N] [--shards=N] [--prof=FILE]"
+               " [--trace=FILE]\n");
   return 1;
+}
+
+/// --key=value (string form) from the trailing arguments; nullptr when
+/// absent.
+const char* string_flag(int argc, char** argv, const char* key) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return argv[i] + prefix.size();
+  }
+  return nullptr;
 }
 
 /// --key=N from the trailing arguments; `fallback` when absent/malformed.
@@ -107,9 +132,13 @@ int run_simulate(int argc, char** argv) {
   const long long load_pct = flag(argc, argv, "load", 60);
   const auto horizon = static_cast<pfair::Time>(flag(argc, argv, "horizon", 1000));
   const auto seed = static_cast<std::uint64_t>(flag(argc, argv, "seed", 1));
+  const int shards = static_cast<int>(flag(argc, argv, "shards", 1));
+  const char* prof_file = string_flag(argc, argv, "prof");
+  const char* trace_file = string_flag(argc, argv, "trace");
 
   pfair::engine::SimulatorConfig cfg;
   cfg.pfair.processors = processors;
+  cfg.pfair.shards = shards > 0 ? shards : 1;
   cfg.partitioned.max_processors = processors;
   cfg.global_job.processors = processors;
 
@@ -119,17 +148,44 @@ int run_simulate(int argc, char** argv) {
   const std::vector<pfair::UniTask> tasks =
       pfair::generate_uni_tasks(rng, n_tasks, u_cap, 64);
 
+  if (prof_file != nullptr) {
+    pfair::obs::prof::set_enabled(true);
+    // Spans feed the Perfetto phase tracks; only record them when a
+    // trace will render them (they grow with the horizon).
+    pfair::obs::prof::set_span_recording(trace_file != nullptr);
+  }
+
   const std::unique_ptr<pfair::engine::Simulator> sim =
       pfair::engine::make_simulator(*kind, cfg);
   pfair::obs::JsonlSink sink(std::cout);
   pfair::obs::EventBus bus;
   bus.add_sink(&sink);
+  std::ofstream trace_os;
+  std::optional<pfair::obs::PerfettoSink> perfetto;
+  if (trace_file != nullptr) {
+    trace_os.open(trace_file, std::ios::binary);
+    if (!trace_os) {
+      std::fprintf(stderr, "pfair_trace: cannot write %s\n", trace_file);
+      return 1;
+    }
+    perfetto.emplace(trace_os);
+    bus.add_sink(&*perfetto);
+  }
   sim->attach_observer(&bus);
   std::size_t admitted = 0;
   for (const pfair::UniTask& t : tasks)
     if (sim->admit(t.execution, t.period)) ++admitted;
   sim->run_until(horizon);
   bus.flush();
+  if (prof_file != nullptr) {
+    pfair::obs::prof::snapshot_into(pfair::obs::MetricsRegistry::global());
+    std::ofstream pf(prof_file, std::ios::binary);
+    if (!pf) {
+      std::fprintf(stderr, "pfair_trace: cannot write %s\n", prof_file);
+      return 1;
+    }
+    pf << pfair::obs::MetricsRegistry::global().snapshot_json();
+  }
   const pfair::engine::Metrics& m = sim->metrics();
   std::fprintf(stderr,
                "# %s: %zu/%zu tasks admitted, horizon %lld: %llu preemptions, "
@@ -195,6 +251,23 @@ int main(int argc, char** argv) {
     std::fputs(pfair::obs::format_migration_matrix(events).c_str(), stdout);
     std::fputs("\n", stdout);
     std::fputs(pfair::obs::format_first_miss(events, window).c_str(), stdout);
+    if (const char* reg = string_flag(argc, argv, "registry")) {
+      // Registry-snapshot section: fast_forwarded_slots and the other
+      // engine counters that never appear in the event stream (FF is
+      // disabled while a bus is attached).
+      std::string text;
+      if (!read_stream(reg, text)) {
+        std::fprintf(stderr, "pfair_trace: cannot read %s\n", reg);
+        return 1;
+      }
+      const std::optional<pfair::obs::json::Value> doc = pfair::obs::json::parse(text);
+      std::fputs("\n", stdout);
+      if (!doc) {
+        std::fprintf(stderr, "pfair_trace: %s is not valid JSON\n", reg);
+        return 1;
+      }
+      std::fputs(pfair::obs::format_registry_snapshot(*doc).c_str(), stdout);
+    }
   } else {
     return usage();
   }
