@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   for (const double load : {0.3, 0.5, 0.7, 0.85}) {
     struct Trial {
       bool placed = false;
+      std::uint64_t ff_rejected = 0;  ///< tasks EDF-FF turned away at admission
       engine::Metrics pd2;
       engine::Metrics ff;
     };
@@ -68,6 +69,9 @@ int main(int argc, char** argv) {
                                  load * static_cast<double>(m), 64);
           const auto results = engine::compare_schedulers(uni, specs, horizon);
           Trial out;
+          // Admission counters are valid even for infeasible results: an
+          // unplaced set is no longer a silent drop but a visible count.
+          out.ff_rejected = results[1].metrics.tasks_rejected;
           if (!results[1].feasible) return out;  // FF fragmentation loss
           out.placed = true;
           out.pd2 = results[0].metrics;
@@ -79,8 +83,10 @@ int main(int argc, char** argv) {
     long long s = -1;
     std::uint64_t pd2_ff_slots = 0;
     std::uint64_t pd2_invocations = 0;
+    std::uint64_t ff_rejected = 0;
     for (const Trial& t : trials) {  // trial order: deterministic merge
       ++s;
+      ff_rejected += t.ff_rejected;
       if (!t.placed) continue;
       ++placed;
       pd2_ff_slots += t.pd2.fast_forwarded_slots;
@@ -107,6 +113,7 @@ int main(int argc, char** argv) {
         .set("ff_preemptions", ff_pre)
         .set("ff_switches", ff_sw)
         .set("placed", static_cast<long long>(placed))
+        .set("ff_rejected_tasks", static_cast<long long>(ff_rejected))
         .set("pd2_fast_forwarded_slots", static_cast<long long>(pd2_ff_slots))
         .set("pd2_sched_invocations", static_cast<long long>(pd2_invocations));
   }

@@ -13,9 +13,16 @@ std::vector<CompareResult> compare_schedulers(const std::vector<UniTask>& worklo
     CompareResult r;
     r.name = spec.name;
     if (std::unique_ptr<Simulator> sim = spec.make(workload)) {
-      sim->run_until(horizon);
-      r.feasible = true;
+      // The loader reports every rejected task through the metrics; a
+      // scheduler that dropped any task never runs — comparing partial
+      // task systems would be apples to oranges — but its admission
+      // counters stay visible instead of vanishing with the simulator.
       r.metrics = sim->metrics();
+      r.feasible = r.metrics.tasks_rejected == 0;
+      if (r.feasible) {
+        sim->run_until(horizon);
+        r.metrics = sim->metrics();
+      }
     }
     out.push_back(std::move(r));
   }
@@ -26,11 +33,13 @@ SchedulerSpec kind_spec(std::string name, SchedulerKind kind, SimulatorConfig co
   return {std::move(name),
           [kind, config](const std::vector<UniTask>& workload) -> std::unique_ptr<Simulator> {
             std::unique_ptr<Simulator> sim = make_simulator(kind, config);
-            for (const UniTask& t : workload) {
-              // Rejected admission = the stack cannot take this workload
-              // (capacity, bin-packing failure, ...): infeasible.
-              if (!sim->admit(t.execution, t.period)) return nullptr;
-            }
+            // Rejected admission = the stack cannot take this workload
+            // (capacity, bin-packing failure, ...): infeasible.  Every
+            // task is still offered, so metrics().tasks_rejected shows
+            // how many the scheduler turned away instead of silently
+            // dropping them.
+            for (const UniTask& t : workload)
+              sim->admit(task_spec(t.execution, t.period));
             return sim;
           }};
 }

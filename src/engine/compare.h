@@ -23,16 +23,20 @@ namespace pfair::engine {
 
 struct SchedulerSpec {
   std::string name;
-  /// Builds a simulator loaded with `workload`, or nullptr when the
-  /// scheduler cannot accept it (e.g. bin-packing failure under
-  /// partitioning) — reported as feasible = false.
+  /// Builds a simulator with `workload` offered task by task through
+  /// Simulator::admit().  Rejected tasks are counted in the simulator's
+  /// metrics (tasks_rejected) — the driver reports any rejection as
+  /// feasible = false and does not run the partial system.  nullptr is
+  /// also accepted (scheduler could not even be built).
   std::function<std::unique_ptr<Simulator>(const std::vector<UniTask>&)> make;
 };
 
 struct CompareResult {
   std::string name;
-  bool feasible = false;  ///< the scheduler accepted the workload
-  Metrics metrics;        ///< counters at the horizon (valid iff feasible)
+  bool feasible = false;  ///< the scheduler accepted every task
+  Metrics metrics;        ///< counters at the horizon when feasible;
+                          ///< otherwise only the admission counters
+                          ///< (tasks_admitted / tasks_rejected) are set
 };
 
 /// Runs `workload` through every spec up to `horizon`; results are in

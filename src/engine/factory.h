@@ -14,7 +14,7 @@
 //   engine::SimulatorConfig cfg;
 //   cfg.pfair.processors = 4;
 //   auto sim = engine::make_simulator(engine::SchedulerKind::kPfair, cfg);
-//   sim->admit(2, 5);
+//   sim->admit(engine::task_spec(2, 5));
 //   sim->run_until(1000);
 //
 // Kinds also round-trip through strings ("pfair", "partitioned",

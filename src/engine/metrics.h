@@ -28,6 +28,12 @@
 namespace pfair::engine {
 
 struct Metrics {
+  // --- admission accounting (all simulators) ---
+  std::uint64_t tasks_admitted = 0;  ///< admit()/join() requests accepted
+  std::uint64_t tasks_rejected = 0;  ///< admit()/join() requests refused
+                                     ///< (invalid spec, capacity, bin-packing
+                                     ///< failure, run already started)
+
   // --- quantum-driven accounting (PD2, WRR) ---
   std::uint64_t slots = 0;               ///< slots simulated
   std::uint64_t busy_quanta = 0;         ///< processor-quanta allocated
@@ -93,6 +99,8 @@ struct Metrics {
   /// of one partitioned system share — so it takes the max, not the sum
   /// (summing would report P× the horizon on a P-processor system).
   void merge(const Metrics& o) noexcept {
+    tasks_admitted += o.tasks_admitted;
+    tasks_rejected += o.tasks_rejected;
     if (o.slots > slots) slots = o.slots;
     busy_quanta += o.busy_quanta;
     fast_forwarded_slots += o.fast_forwarded_slots;

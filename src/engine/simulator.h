@@ -5,11 +5,21 @@
 // job-level EDF/RM, weighted round-robin, and CBS — implements this
 // interface, so comparison drivers and tests can run the same workload
 // through any of them and read the same engine::Metrics.
+//
+// Tasks are submitted as a TaskSpec: one request shape shared by static
+// admission (admit) and the dynamic protocol (join / leave / reweight),
+// so a request stream recorded against one scheduler replays against
+// any other.  Schedulers that cannot change their task system mid-run
+// report can_dynamic() = false and inherit the rejecting defaults for
+// the dynamic calls.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "engine/metrics.h"
+#include "util/rational.h"
 #include "util/types.h"
 
 namespace pfair::obs {
@@ -17,6 +27,44 @@ class EventBus;
 }  // namespace pfair::obs
 
 namespace pfair::engine {
+
+/// A synchronous periodic task as submitted through the request API:
+/// worst-case execution `execution` every `period` quanta (implicit
+/// deadline), releasing from the current time.  The rate may be given
+/// directly as `weight` instead, in which case it wins over
+/// execution/period and the task runs as num/den in lowest terms
+/// (Rational normalises).  `name` is an optional trace label.
+struct TaskSpec {
+  std::int64_t execution = 1;
+  std::int64_t period = 1;
+  std::optional<Rational> weight;
+  std::string name;
+
+  /// Execution actually requested (weight spelling wins).
+  [[nodiscard]] std::int64_t resolved_execution() const noexcept {
+    return weight.has_value() ? weight->num() : execution;
+  }
+  /// Period actually requested (weight spelling wins).
+  [[nodiscard]] std::int64_t resolved_period() const noexcept {
+    return weight.has_value() ? weight->den() : period;
+  }
+  /// 0 < e <= p — the same validity rule every simulator enforces.
+  [[nodiscard]] bool valid() const noexcept {
+    const std::int64_t e = resolved_execution();
+    const std::int64_t p = resolved_period();
+    return e > 0 && p > 0 && e <= p;
+  }
+};
+
+/// Shorthand for the common execution/period spelling.
+[[nodiscard]] inline TaskSpec task_spec(std::int64_t execution, std::int64_t period,
+                                        std::string name = {}) {
+  TaskSpec s;
+  s.execution = execution;
+  s.period = period;
+  s.name = std::move(name);
+  return s;
+}
 
 class Simulator {
  public:
@@ -32,12 +80,57 @@ class Simulator {
   /// Unified counters (see engine/metrics.h for field semantics).
   [[nodiscard]] virtual const Metrics& metrics() const = 0;
 
-  /// Admits a synchronous periodic task with the given worst-case
-  /// execution and period (implicit deadline), releasing from the
-  /// current time.  Returns false if this simulator cannot admit the
-  /// task — e.g. admission is only supported before the simulation
-  /// starts, or the task does not fit the remaining capacity.
-  virtual bool admit(std::int64_t execution, std::int64_t period) = 0;
+  /// Admits the task described by `spec`, releasing from the current
+  /// time.  Returns false if this simulator cannot admit it — the spec
+  /// is invalid, admission is only supported before the simulation
+  /// starts, or the task does not fit the remaining capacity.  Every
+  /// call increments Metrics::tasks_admitted or tasks_rejected.
+  virtual bool admit(const TaskSpec& spec) = 0;
+
+  /// Deprecated positional spelling of admit(); delegates to the
+  /// TaskSpec overload.  One-PR migration shim — call sites should
+  /// write admit(task_spec(e, p)) or a braced TaskSpec.
+  [[deprecated("use admit(const TaskSpec&)")]] bool admit(std::int64_t execution,
+                                                          std::int64_t period) {
+    TaskSpec s;
+    s.execution = execution;
+    s.period = period;
+    return admit(s);
+  }
+
+  // --- dynamic task protocol -----------------------------------------
+  // Default implementations reject: only schedulers whose admission
+  // story survives mid-run task-system changes (Pfair, Sec. 5.2)
+  // override them.  Probe can_dynamic() before scripting joins/leaves.
+
+  /// True when join/leave/reweight work after run_until() has advanced
+  /// time.  (admit() may still work mid-run on schedulers where static
+  /// addition is safe — this probes the *departure* rules.)
+  [[nodiscard]] virtual bool can_dynamic() const noexcept { return false; }
+
+  /// Dynamic join at the current time; nullopt when the scheduler's
+  /// admission rule rejects (or dynamics are unsupported).  Counts into
+  /// tasks_admitted / tasks_rejected like admit().
+  virtual std::optional<TaskId> join(const TaskSpec& /*spec*/) { return std::nullopt; }
+
+  /// Earliest time `id` may legally leave; -1 when unsupported/unknown.
+  [[nodiscard]] virtual Time earliest_leave(TaskId /*id*/) const { return -1; }
+
+  /// Immediate leave iff the scheduler's departure rules allow it *now*;
+  /// false (and no effect) otherwise.
+  virtual bool leave(TaskId /*id*/) { return false; }
+
+  /// Orderly departure: the task stops executing now, its capacity is
+  /// released when the departure rules allow, and the returned time is
+  /// when it frees.  nullopt when unsupported or `id` is unknown.
+  virtual std::optional<Time> request_leave(TaskId /*id*/) { return std::nullopt; }
+
+  /// Orderly reweight to `spec`'s rate (leave + rejoin semantics):
+  /// returns the switch-over time, or nullopt when the new total would
+  /// not fit (or dynamics are unsupported).
+  virtual std::optional<Time> request_reweight(TaskId /*id*/, const TaskSpec& /*spec*/) {
+    return std::nullopt;
+  }
 
   /// Attaches a structured-event observer (see obs/bus.h).  The bus is
   /// borrowed, not owned, and must outlive the simulator; passing

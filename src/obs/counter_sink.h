@@ -83,6 +83,14 @@ class CounterSink : public Sink {
       case EventKind::kOverheadNs:
         m.sched_ns_total += e.value;
         break;
+      case EventKind::kAdmitRequest:
+        break;  // paired with the grant/reject below
+      case EventKind::kAdmitGrant:
+        ++m.tasks_admitted;
+        break;
+      case EventKind::kAdmitReject:
+        ++m.tasks_rejected;
+        break;
     }
   }
 

@@ -25,6 +25,9 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kBudgetPostpone: return "budget_postpone";
     case EventKind::kSchedInvoke: return "sched_invoke";
     case EventKind::kOverheadNs: return "overhead_ns";
+    case EventKind::kAdmitRequest: return "admit_request";
+    case EventKind::kAdmitGrant: return "admit_grant";
+    case EventKind::kAdmitReject: return "admit_reject";
   }
   return "unknown";
 }

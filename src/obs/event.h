@@ -51,6 +51,10 @@ enum class EventKind : std::uint8_t {
                      ///< (0 when overhead timing is off)
   kOverheadNs,       ///< extra timed scheduling work (release processing)
                      ///< not counted as a separate invocation; value = ns
+  kAdmitRequest,     ///< serve: an admission request arrived;
+                     ///< value = requested weight e/p as a double
+  kAdmitGrant,       ///< serve: request admitted; value = deciding tier (0-2)
+  kAdmitReject,      ///< serve: request rejected; value = deciding tier (0-2)
 };
 
 /// Stable lower-case name used by the JSONL sink and the trace CLI.
@@ -58,7 +62,7 @@ enum class EventKind : std::uint8_t {
 
 /// Number of enumerators (for per-kind tables in sinks).
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kOverheadNs) + 1;
+    static_cast<std::size_t>(EventKind::kAdmitReject) + 1;
 
 struct Event {
   EventKind kind = EventKind::kSlotBegin;

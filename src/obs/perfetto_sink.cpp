@@ -161,6 +161,9 @@ void PerfettoSink::on_event(const Event& e) {
     case EventKind::kServedJobComplete:
     case EventKind::kSchedInvoke:
     case EventKind::kOverheadNs:
+    case EventKind::kAdmitRequest:
+    case EventKind::kAdmitGrant:
+    case EventKind::kAdmitReject:
       break;  // counter-level detail; not drawn on the timeline
   }
 }

@@ -45,14 +45,16 @@ const char* profile_name(Profile p) noexcept {
       return "degenerate";
     case Profile::kDynamic:
       return "dynamic";
+    case Profile::kStorm:
+      return "storm";
   }
   return "?";
 }
 
 const std::vector<Profile>& all_profiles() {
   static const std::vector<Profile> profiles = {
-      Profile::kUniform, Profile::kBimodal,    Profile::kHeavy,
-      Profile::kHarmonic, Profile::kDegenerate, Profile::kDynamic,
+      Profile::kUniform,   Profile::kBimodal,    Profile::kHeavy,  Profile::kHarmonic,
+      Profile::kDegenerate, Profile::kDynamic,   Profile::kStorm,
   };
   return profiles;
 }

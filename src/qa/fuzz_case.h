@@ -27,6 +27,8 @@ enum class Profile : std::uint8_t {
   kHarmonic,    ///< periods restricted to powers of two (harmonic chains)
   kDegenerate,  ///< boundary weights: 1/1, 1/q, (q-1)/q, q/q
   kDynamic,     ///< moderate base load plus a join/leave script
+  kStorm,       ///< light base load plus a dense join/leave storm (the
+                ///< pfaird admission-path stress shape)
 };
 
 [[nodiscard]] const char* profile_name(Profile p) noexcept;

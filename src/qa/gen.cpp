@@ -98,7 +98,7 @@ FuzzCase TaskSetGen::make_case(std::uint64_t index) const {
   c.horizon = rng.uniform_int(config_.min_horizon, config_.max_horizon);
   c.kind = TaskKind::kPeriodic;
   if (config_.allow_early_release && c.profile != Profile::kDynamic &&
-      rng.uniform_int(0, 3) == 0) {
+      c.profile != Profile::kStorm && rng.uniform_int(0, 3) == 0) {
     c.kind = TaskKind::kEarlyRelease;
   }
   const int m = c.processors;
@@ -160,6 +160,37 @@ FuzzCase TaskSetGen::make_case(std::uint64_t index) const {
         c.leaves.push_back(ev);
       }
       // Scripts are applied in time order; generation order is random.
+      std::sort(c.joins.begin(), c.joins.end(),
+                [](const JoinEvent& a, const JoinEvent& b) { return a.at < b.at; });
+      std::sort(c.leaves.begin(), c.leaves.end(),
+                [](const LeaveEvent& a, const LeaveEvent& b) { return a.at < b.at; });
+      break;
+    }
+    case Profile::kStorm: {
+      // The pfaird stress shape: a light base set, then a dense burst
+      // of joins and leaves crammed into the first half of the horizon
+      // so admissions race departures for the same capacity.
+      const std::size_t base_tasks = std::max<std::size_t>(1, max_tasks / 3);
+      populate(c.tasks, rng, m, base_tasks, [&](Rng& r) {
+        Task t = draw_uniform(r, max_period, c.kind);
+        if (t.heavy()) t.execution = 1;  // keep the base light
+        return t;
+      });
+      const std::int64_t n_joins = rng.uniform_int(4, 12);
+      for (std::int64_t i = 0; i < n_joins; ++i) {
+        JoinEvent ev;
+        ev.at = rng.uniform_int(1, std::max<Time>(1, c.horizon / 2));
+        ev.task = draw_uniform(rng, max_period, c.kind);
+        c.joins.push_back(ev);
+      }
+      const std::int64_t n_leaves = rng.uniform_int(2, 8);
+      for (std::int64_t i = 0; i < n_leaves; ++i) {
+        LeaveEvent ev;
+        ev.at = rng.uniform_int(1, std::max<Time>(1, c.horizon / 2));
+        ev.task = static_cast<TaskId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(c.tasks.size()) - 1));
+        c.leaves.push_back(ev);
+      }
       std::sort(c.joins.begin(), c.joins.end(),
                 [](const JoinEvent& a, const JoinEvent& b) { return a.at < b.at; });
       std::sort(c.leaves.begin(), c.leaves.end(),

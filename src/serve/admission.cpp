@@ -1,0 +1,347 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "overhead/inflation.h"
+#include "serve/exact_gedf.h"
+#include "uniproc/analysis.h"
+
+namespace pfair::serve {
+
+namespace {
+
+using engine::SchedulerKind;
+
+[[nodiscard]] Rational weight_of(const UniTask& t) noexcept {
+  return Rational(t.execution, t.period);
+}
+
+[[nodiscard]] Decision yes(int tier, const char* reason) noexcept {
+  return Decision{true, tier, false, reason, 0};
+}
+[[nodiscard]] Decision no(int tier, const char* reason) noexcept {
+  return Decision{false, tier, false, reason, 0};
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig config) : config_(config) {
+  if (config_.processors < 1) config_.processors = 1;
+}
+
+int AdmissionController::gate_processors() const noexcept {
+  // Uniprocessor stacks always judge against one processor no matter
+  // what the daemon was started with.
+  switch (config_.kind) {
+    case SchedulerKind::kUniproc:
+    case SchedulerKind::kCbs:
+      return 1;
+    default:
+      return config_.processors;
+  }
+}
+
+OverheadParams AdmissionController::tier1_params() const {
+  if (config_.overhead_aware) return config_.overhead;
+  // Identity inflation: zero context switch, zero scheduling-cost
+  // tables.  Tier 1 then reduces to the plain (overhead-free) test —
+  // e.g. pure first-fit EDF packing for the partitioned kind.
+  OverheadParams p;
+  p.context_switch_us = 0.0;
+  p.quantum_us = config_.overhead.quantum_us;
+  p.sched = SchedCostModel{};
+  return p;
+}
+
+std::vector<OhTask> AdmissionController::oh_workload(const UniTask& extra,
+                                                     TaskId exclude) const {
+  // Pfair tasks are stated in quanta; the Eq.-(3) machinery works in
+  // microseconds, so scale by the quantum.  The job-level kinds use
+  // abstract time units the benches already treat as microseconds.
+  const double scale = config_.kind == SchedulerKind::kPfair ? config_.overhead.quantum_us : 1.0;
+  const double delay = config_.overhead_aware ? config_.cache_delay_us : 0.0;
+  std::vector<OhTask> out;
+  out.reserve(tasks_.size() + 1);
+  const auto push = [&](const UniTask& t) {
+    out.push_back(OhTask{static_cast<double>(t.execution) * scale,
+                         static_cast<double>(t.period) * scale, delay});
+  };
+  for (const auto& [id, t] : tasks_) {
+    if (id == exclude) continue;
+    push(t);
+  }
+  push(extra);
+  return out;
+}
+
+std::vector<UniTask> AdmissionController::workload_with(const UniTask& extra,
+                                                        TaskId exclude) const {
+  std::vector<UniTask> out;
+  out.reserve(tasks_.size() + 1);
+  for (const auto& [id, t] : tasks_) {
+    if (id == exclude) continue;
+    out.push_back(t);
+  }
+  out.push_back(extra);
+  return out;
+}
+
+Rational AdmissionController::total_excluding(TaskId exclude) const {
+  if (exclude == kNoTask) return total_;
+  const auto it = tasks_.find(exclude);
+  if (it == tasks_.end()) return total_;
+  return total_ - weight_of(it->second);
+}
+
+Rational AdmissionController::u_max_with(const Rational& candidate, TaskId exclude) const {
+  Rational best = candidate;
+  Rational excluded_weight(-1);
+  if (exclude != kNoTask) {
+    const auto it = tasks_.find(exclude);
+    if (it != tasks_.end()) excluded_weight = weight_of(it->second);
+  }
+  // weights_ is sorted ascending; walk from the top and take the first
+  // entry that survives the exclusion.
+  for (auto it = weights_.rbegin(); it != weights_.rend(); ++it) {
+    int count = it->second;
+    if (it->first == excluded_weight) --count;
+    if (count > 0) {
+      if (best < it->first) best = it->first;
+      break;
+    }
+  }
+  return best;
+}
+
+std::size_t AdmissionController::count_excluding(TaskId exclude) const {
+  if (exclude != kNoTask && tasks_.count(exclude) > 0) return tasks_.size() - 1;
+  return tasks_.size();
+}
+
+void AdmissionController::add_weight(const UniTask& t) {
+  const Rational w = weight_of(t);
+  total_ += w;
+  ++weights_[w];
+}
+
+void AdmissionController::remove_weight(const UniTask& t) {
+  const Rational w = weight_of(t);
+  total_ -= w;
+  const auto it = weights_.find(w);
+  if (it != weights_.end() && --it->second == 0) weights_.erase(it);
+}
+
+void AdmissionController::commit(TaskId id, const UniTask& t) {
+  const auto it = tasks_.find(id);
+  if (it != tasks_.end()) remove_weight(it->second);
+  tasks_[id] = t;
+  add_weight(t);
+}
+
+void AdmissionController::schedule_release(TaskId id, Time at) {
+  pending_.push_back(PendingChange{at, id, true, UniTask{}});
+}
+
+void AdmissionController::schedule_reweight(TaskId id, const UniTask& t, Time at) {
+  pending_.push_back(PendingChange{at, id, false, t});
+}
+
+void AdmissionController::advance_to(Time now) {
+  if (pending_.empty()) return;
+  // Apply in (time, id) order so replays are deterministic no matter
+  // the order requests arrived within one batch.
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const PendingChange& a, const PendingChange& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return a.id < b.id;
+                   });
+  std::size_t applied = 0;
+  for (const PendingChange& c : pending_) {
+    if (c.at > now) break;
+    ++applied;
+    const auto it = tasks_.find(c.id);
+    if (it == tasks_.end()) continue;  // task already gone
+    remove_weight(it->second);
+    if (c.remove) {
+      tasks_.erase(it);
+    } else {
+      it->second = c.task;
+      add_weight(c.task);
+    }
+  }
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(applied));
+}
+
+Decision AdmissionController::decide_join(const UniTask& t) const {
+  return decide(t, kNoTask);
+}
+
+Decision AdmissionController::decide_reweight(TaskId id, const UniTask& t) const {
+  if (tasks_.count(id) == 0) return no(0, "unknown-task");
+  return decide(t, id);
+}
+
+Decision AdmissionController::decide(const UniTask& t, TaskId exclude) const {
+  if (!t.valid()) return no(0, "invalid");
+  if (const std::optional<Decision> d0 = tier0(t, exclude)) return *d0;
+  const Decision d1 = tier1(t, exclude);
+  // Every Tier-1 test is sufficient, so its admits are safe to trust;
+  // only its (possibly provisional) rejects are worth escalating, and
+  // only for the kinds that have an exact Tier-2 test.
+  if (d1.admit) return d1;
+  if (const std::optional<Decision> d2 = tier2(t, exclude)) return *d2;
+  return d1;
+}
+
+std::optional<Decision> AdmissionController::tier0(const UniTask& t, TaskId exclude) const {
+  if (!t.valid()) return no(0, "invalid");
+  const Rational w = weight_of(t);
+  const int m = gate_processors();
+  const Rational after = total_excluding(exclude) + w;
+  switch (config_.kind) {
+    case SchedulerKind::kPfair:
+    case SchedulerKind::kWrr:
+      // Eq. (2) is exact for PD2 (optimal), so both sides decide; WRR
+      // gets the same capacity gate (it offers no deadline guarantee
+      // for the gate to strengthen).
+      if (after > Rational(m)) return no(0, "eq2");
+      if (config_.kind == SchedulerKind::kWrr || !config_.overhead_aware)
+        return yes(0, "eq2");
+      return std::nullopt;  // overhead-aware: Eq. (3) must confirm
+    case SchedulerKind::kUniproc:
+      if (config_.algorithm == UniAlgorithm::kRM) {
+        if (after > Rational(1)) return no(0, "utilization");
+        if (!config_.overhead_aware &&
+            after.to_double() <= rm_utilization_bound(count_excluding(exclude) + 1))
+          return yes(0, "ll-bound");
+        return std::nullopt;  // between LL and 1: exact RTA decides
+      }
+      [[fallthrough]];
+    case SchedulerKind::kCbs:
+      // EDF on one processor: U <= 1 is exact [Liu & Layland].
+      if (after > Rational(1)) return no(0, "edf-utilization");
+      if (!config_.overhead_aware) return yes(0, "edf-utilization");
+      return std::nullopt;
+    case SchedulerKind::kPartitioned: {
+      if (after > Rational(m)) return no(0, "utilization");
+      if (config_.overhead_aware) return std::nullopt;  // packing must confirm
+      const Rational u_max = u_max_with(w, exclude);
+      const std::int64_t beta = std::max<std::int64_t>(1, u_max.den() / u_max.num());
+      if (after <= lopez_edf_ff_bound(m, beta)) return yes(0, "lopez");
+      return std::nullopt;  // above the bound: try the actual packing
+    }
+    case SchedulerKind::kGlobalJob: {
+      if (after > Rational(m)) return no(0, "utilization");
+      if (config_.algorithm == UniAlgorithm::kEDF && !config_.overhead_aware) {
+        const Rational u_max = u_max_with(w, exclude);
+        if (after <= Rational(m) - Rational(m - 1) * u_max) return yes(0, "gfb");
+      }
+      return std::nullopt;  // Dhall territory: exact test decides
+    }
+  }
+  return std::nullopt;
+}
+
+Decision AdmissionController::tier1(const UniTask& t, TaskId exclude) const {
+  if (!t.valid()) return no(1, "invalid");
+  const int m = gate_processors();
+  const OverheadParams params = tier1_params();
+  switch (config_.kind) {
+    case SchedulerKind::kPfair: {
+      const std::vector<OhTask> tasks = oh_workload(t, exclude);
+      const std::optional<int> need = pd2_min_processors(tasks, params, m);
+      const bool ok = need.has_value() && *need <= m;
+      return ok ? yes(1, "eq3-pd2") : no(1, "eq3-pd2");
+    }
+    case SchedulerKind::kWrr: {
+      const Rational after = total_excluding(exclude) + weight_of(t);
+      return after <= Rational(m) ? yes(1, "eq2") : no(1, "eq2");
+    }
+    case SchedulerKind::kUniproc:
+      if (config_.algorithm == UniAlgorithm::kRM) {
+        // LL on (inflated) utilizations; a reject here is provisional —
+        // Tier 2's response-time analysis has the last word.
+        const std::vector<OhTask> tasks = oh_workload(t, exclude);
+        double u = 0.0;
+        for (const OhTask& task : tasks)
+          u += inflate_edf_us(task, config_.overhead_aware ? config_.cache_delay_us : 0.0,
+                              params, tasks.size()) /
+               task.period_us;
+        const bool ok = u <= rm_utilization_bound(tasks.size());
+        return ok ? yes(1, "ll-bound") : no(1, "ll-bound");
+      }
+      [[fallthrough]];
+    case SchedulerKind::kCbs: {
+      const std::vector<OhTask> tasks = oh_workload(t, exclude);
+      double u = 0.0;
+      for (const OhTask& task : tasks)
+        u += inflate_edf_us(task, config_.overhead_aware ? config_.cache_delay_us : 0.0,
+                            params, tasks.size()) /
+             task.period_us;
+      const char* reason = config_.overhead_aware ? "eq3-edf" : "edf-utilization";
+      return u <= 1.0 ? yes(1, reason) : no(1, reason);
+    }
+    case SchedulerKind::kPartitioned: {
+      const EdfFfResult r = edf_ff_partition(oh_workload(t, exclude), params, m);
+      return r.feasible ? yes(1, "ff-packed") : no(1, "ff-unpacked");
+    }
+    case SchedulerKind::kGlobalJob: {
+      if (config_.algorithm == UniAlgorithm::kEDF && config_.overhead_aware) {
+        // GFB over inflated utilizations.  Under global EDF any task
+        // may preempt any other, so every task is charged the full
+        // cache delay.
+        const std::vector<OhTask> tasks = oh_workload(t, exclude);
+        double u = 0.0;
+        double u_max = 0.0;
+        for (const OhTask& task : tasks) {
+          const double ui =
+              inflate_edf_us(task, config_.cache_delay_us, params, tasks.size()) /
+              task.period_us;
+          u += ui;
+          u_max = std::max(u_max, ui);
+        }
+        if (u > static_cast<double>(m)) return no(1, "eq3-utilization");
+        if (u <= static_cast<double>(m) - static_cast<double>(m - 1) * u_max)
+          return yes(1, "eq3-gfb");
+      }
+      // No sufficient bound holds; this reject is provisional and the
+      // exact Tier-2 test normally overrides it.
+      return no(1, "no-bound");
+    }
+  }
+  return no(1, "no-bound");
+}
+
+std::optional<Decision> AdmissionController::tier2(const UniTask& t, TaskId exclude) const {
+  if (!t.valid() || config_.exact_budget == 0) return std::nullopt;
+  switch (config_.kind) {
+    case SchedulerKind::kGlobalJob: {
+      const GedfResult r = exact_global_schedulable(workload_with(t, exclude),
+                                                    gate_processors(), config_.algorithm,
+                                                    config_.exact_budget);
+      if (r.verdict == GedfVerdict::kBudgetExceeded) {
+        // Out of budget before reaching H: fall back to Tier 1's
+        // answer, marked approximate (ISSUE contract).
+        Decision d = tier1(t, exclude);
+        d.approx = true;
+        d.exact_events = r.events;
+        return d;
+      }
+      Decision d = r.verdict == GedfVerdict::kSchedulable ? yes(2, "exact-gedf")
+                                                          : no(2, "exact-gedf");
+      d.exact_events = r.events;
+      return d;
+    }
+    case SchedulerKind::kUniproc:
+      if (config_.algorithm == UniAlgorithm::kRM) {
+        const bool ok = rm_schedulable_exact(workload_with(t, exclude));
+        return ok ? yes(2, "rm-exact") : no(2, "rm-exact");
+      }
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace pfair::serve

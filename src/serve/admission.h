@@ -1,0 +1,140 @@
+// Tiered admission gate for the pfaird serving daemon.
+//
+// Every join (and reweight) request is decided by the cheapest test
+// that can give a definitive answer for the scheduler being served:
+//
+//   Tier 0 — O(1)/O(log n) utilization arithmetic: the exact Eq.-(2)
+//            bound for Pfair (sum of weights <= M, exact because PD2 is
+//            optimal), the Lopez et al. (beta*M + 1)/(beta + 1) bound
+//            for partitioned EDF-FF, the GFB density bound for global
+//            EDF, U <= 1 for uniprocessor EDF, the Liu-Layland bound
+//            for RM.
+//   Tier 1 — O(n)/O(n log n) refinement: Eq.-(3) overhead-aware
+//            inflation (PD2 fixed point / EDF-FF packing with inflated
+//            costs), or the plain first-fit packing when overheads are
+//            off.
+//   Tier 2 — exact: the hyperperiod-exact global EDF/RM test
+//            (serve/exact_gedf.h) under an event budget, or
+//            response-time analysis for uniprocessor RM.  When the
+//            budget runs out, the gate answers with Tier 1's verdict
+//            marked `approx`.
+//
+// The controller mirrors the admitted task set (exact Rational totals,
+// weight multiset for u_max) instead of reaching into the simulator, so
+// decisions are pure functions of the request history — a recorded
+// request log replays to byte-identical decisions on any host.
+// Departures free capacity at the time the scheduler's leave rules
+// dictate: the daemon schedules a pending release and the controller
+// applies it when the clock reaches it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "engine/factory.h"
+#include "overhead/inflation.h"  // OhTask
+#include "overhead/params.h"
+#include "uniproc/uni_task.h"
+#include "util/rational.h"
+#include "util/types.h"
+
+namespace pfair::serve {
+
+struct AdmissionConfig {
+  engine::SchedulerKind kind = engine::SchedulerKind::kPfair;
+  int processors = 1;
+  UniAlgorithm algorithm = UniAlgorithm::kEDF;  ///< uniproc / global-job flavour
+  bool overhead_aware = false;  ///< run Tier 1 with Eq.-(3) inflation
+  OverheadParams overhead;      ///< Eq.-(3) inputs when overhead_aware
+  double cache_delay_us = 33.3; ///< D(T) charged to every task (paper mean)
+  std::uint64_t exact_budget = 1u << 20;  ///< Tier-2 event budget (0 = Tier 2 off)
+};
+
+struct Decision {
+  bool admit = false;
+  int tier = 0;          ///< tier that produced the answer (0, 1, or 2)
+  bool approx = false;   ///< Tier-2 budget exhausted: this is Tier 1's answer
+  const char* reason = "";  ///< stable short token for the decision log
+  std::uint64_t exact_events = 0;  ///< Tier-2 events spent (0 when Tier 2 unused)
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Applies every pending capacity release / reweight whose time has
+  /// arrived.  Call before deciding at time `now`.
+  void advance_to(Time now);
+
+  /// Decides admission of a task of rate t on top of the committed set.
+  /// Pure: does not change the mirror.
+  [[nodiscard]] Decision decide_join(const UniTask& t) const;
+
+  /// Decides a reweight of committed task `id` to rate t: the old
+  /// weight is excluded, the new one checked in its place.
+  [[nodiscard]] Decision decide_reweight(TaskId id, const UniTask& t) const;
+
+  /// Records an admitted task under the simulator's id.
+  void commit(TaskId id, const UniTask& t);
+
+  /// Schedules `id`'s capacity to free at time `at` (the scheduler's
+  /// leave rules); the weight stays counted until advance_to(at).
+  void schedule_release(TaskId id, Time at);
+
+  /// Schedules `id` to switch to rate t at time `at`.  Until then the
+  /// old weight stays counted (matching PfairSimulator's orderly
+  /// reweight, where the exchange happens at the switch-over slot).
+  void schedule_reweight(TaskId id, const UniTask& t, Time at);
+
+  [[nodiscard]] Rational total_weight() const noexcept { return total_; }
+  [[nodiscard]] std::size_t committed() const noexcept { return tasks_.size(); }
+  [[nodiscard]] const AdmissionConfig& config() const noexcept { return config_; }
+
+  // --- per-tier probes (tests and the daemon's tier accounting) ---
+  /// Tier-0 answer, or no value when the O(1) bounds cannot decide.
+  [[nodiscard]] std::optional<Decision> tier0(const UniTask& t, TaskId exclude = kNoTask) const;
+  /// Tier-1 answer (always decides; its reject may be overturned by
+  /// Tier 2 for global EDF/RM).
+  [[nodiscard]] Decision tier1(const UniTask& t, TaskId exclude = kNoTask) const;
+  /// Tier-2 exact answer for the kinds that have one.
+  [[nodiscard]] std::optional<Decision> tier2(const UniTask& t, TaskId exclude = kNoTask) const;
+
+ private:
+  struct PendingChange {
+    Time at = 0;
+    TaskId id = kNoTask;
+    bool remove = true;   ///< false = reweight to `task`
+    UniTask task;
+  };
+
+  [[nodiscard]] Decision decide(const UniTask& t, TaskId exclude) const;
+  /// Processors the gate judges against (1 for the uniproc stacks).
+  [[nodiscard]] int gate_processors() const noexcept;
+  /// Eq.-(3) inputs for Tier 1: the configured overheads, or identity
+  /// inflation (all-zero costs) when overheads are off.
+  [[nodiscard]] OverheadParams tier1_params() const;
+  /// Committed rates with `exclude` dropped and the would-be task
+  /// `extra` folded in — the workload the tier tests actually judge.
+  [[nodiscard]] std::vector<UniTask> workload_with(const UniTask& extra,
+                                                   TaskId exclude) const;
+  /// Same workload in Eq.-(3) microsecond units (quantum-scaled for
+  /// Pfair; cache delay zeroed when overheads are off).
+  [[nodiscard]] std::vector<OhTask> oh_workload(const UniTask& extra, TaskId exclude) const;
+  [[nodiscard]] Rational total_excluding(TaskId exclude) const;
+  /// Largest per-task utilization once `exclude` is dropped and
+  /// `candidate` joins (GFB's u_max, Lopez's 1/beta).
+  [[nodiscard]] Rational u_max_with(const Rational& candidate, TaskId exclude) const;
+  [[nodiscard]] std::size_t count_excluding(TaskId exclude) const;
+  void add_weight(const UniTask& t);
+  void remove_weight(const UniTask& t);
+
+  AdmissionConfig config_;
+  std::map<TaskId, UniTask> tasks_;    ///< committed, by simulator id
+  Rational total_ = Rational(0);       ///< exact committed utilization
+  std::map<Rational, int> weights_;    ///< multiset for u_max (GFB, Lopez beta)
+  std::vector<PendingChange> pending_; ///< sorted by time on apply
+};
+
+}  // namespace pfair::serve

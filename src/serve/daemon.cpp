@@ -1,0 +1,230 @@
+#include "serve/daemon.h"
+
+#include <chrono>
+#include <istream>
+#include <ostream>
+
+#include "obs/event.h"
+#include "obs/registry.h"
+
+namespace pfair::serve {
+
+namespace {
+
+using obs::json::Value;
+
+[[nodiscard]] engine::SimulatorConfig simulator_config(const DaemonConfig& c) {
+  engine::SimulatorConfig sc;
+  sc.pfair.processors = c.processors;
+  sc.partitioned.max_processors = c.processors;
+  sc.partitioned.algorithm = c.algorithm;
+  sc.global_job.processors = c.processors;
+  sc.global_job.algorithm = c.algorithm;
+  sc.uniproc.algorithm = c.algorithm;
+  sc.wrr.processors = c.processors;
+  return sc;
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonConfig config)
+    : config_(config),
+      sim_(engine::make_simulator(config.kind, simulator_config(config))),
+      gate_(AdmissionConfig{config.kind, config.processors, config.algorithm,
+                            config.overhead_aware, config.overhead, config.cache_delay_us,
+                            config.exact_budget}) {}
+
+void Daemon::note_decision(const Decision& d, const UniTask& t, TaskId task) {
+  if (d.admit) {
+    ++stats_.admits;
+  } else {
+    ++stats_.rejects;
+  }
+  switch (d.tier) {
+    case 0: ++stats_.tier0; break;
+    case 1: ++stats_.tier1; break;
+    default: ++stats_.tier2; break;
+  }
+  if (d.approx) ++stats_.approx;
+  obs::emit(bus_, obs::EventKind::kAdmitRequest, sim_->now(), task, kNoProc,
+            t.period > 0 ? t.utilization() : 0.0);
+  obs::emit(bus_,
+            d.admit ? obs::EventKind::kAdmitGrant : obs::EventKind::kAdmitReject,
+            sim_->now(), task, kNoProc, static_cast<double>(d.tier));
+}
+
+obs::json::Object Daemon::handle(const Request& r) {
+  gate_.advance_to(sim_->now());
+  obs::json::Object o;
+  o["op"] = Value(std::string(to_string(r.op)));
+  o["time"] = Value(static_cast<double>(sim_->now()));
+  switch (r.op) {
+    case RequestOp::kJoin: {
+      const UniTask cand{r.execution, r.period};
+      Decision d = gate_.decide_join(cand);
+      TaskId assigned = kNoTask;
+      if (d.admit) {
+        const engine::TaskSpec spec = engine::task_spec(r.execution, r.period, r.name);
+        if (sim_->can_dynamic()) {
+          if (const std::optional<TaskId> id = sim_->join(spec)) assigned = *id;
+        } else if (sim_->admit(spec)) {
+          assigned = next_static_id_++;
+        }
+        if (assigned == kNoTask) {
+          // The gate said yes but the scheduler refused (e.g. a static
+          // kind past time 0): surface it, never leak a phantom admit.
+          d.admit = false;
+          d.reason = "sim-reject";
+        } else {
+          gate_.commit(assigned, cand);
+        }
+      }
+      note_decision(d, cand, assigned);
+      o["admit"] = Value(d.admit);
+      o["tier"] = Value(static_cast<double>(d.tier));
+      o["reason"] = Value(std::string(d.reason));
+      o["approx"] = Value(d.approx);
+      o["exact_events"] = Value(static_cast<double>(d.exact_events));
+      o["task"] = Value(assigned == kNoTask ? -1.0 : static_cast<double>(assigned));
+      o["total"] = Value(gate_.total_weight().to_string());
+      break;
+    }
+    case RequestOp::kLeave: {
+      if (!sim_->can_dynamic()) {
+        ++stats_.errors;
+        o["ok"] = Value(false);
+        o["error"] = Value(std::string("not-dynamic"));
+        break;
+      }
+      if (const std::optional<Time> free = sim_->request_leave(r.task)) {
+        gate_.schedule_release(r.task, *free);
+        o["ok"] = Value(true);
+        o["task"] = Value(static_cast<double>(r.task));
+        o["free_at"] = Value(static_cast<double>(*free));
+      } else {
+        ++stats_.errors;
+        o["ok"] = Value(false);
+        o["task"] = Value(static_cast<double>(r.task));
+        o["error"] = Value(std::string("unknown-task"));
+      }
+      break;
+    }
+    case RequestOp::kReweight: {
+      if (!sim_->can_dynamic()) {
+        ++stats_.errors;
+        o["admit"] = Value(false);
+        o["error"] = Value(std::string("not-dynamic"));
+        break;
+      }
+      const UniTask cand{r.execution, r.period};
+      Decision d = gate_.decide_reweight(r.task, cand);
+      if (!d.admit && std::string_view(d.reason) == "unknown-task") {
+        ++stats_.errors;
+        o["admit"] = Value(false);
+        o["task"] = Value(static_cast<double>(r.task));
+        o["error"] = Value(std::string("unknown-task"));
+        break;
+      }
+      Time effective = -1;
+      if (d.admit) {
+        const std::optional<Time> when =
+            sim_->request_reweight(r.task, engine::task_spec(r.execution, r.period));
+        if (when.has_value()) {
+          effective = *when;
+          gate_.schedule_reweight(r.task, cand, *when);
+        } else {
+          d.admit = false;
+          d.reason = "sim-reject";
+        }
+      }
+      note_decision(d, cand, r.task);
+      o["admit"] = Value(d.admit);
+      o["tier"] = Value(static_cast<double>(d.tier));
+      o["reason"] = Value(std::string(d.reason));
+      o["approx"] = Value(d.approx);
+      o["exact_events"] = Value(static_cast<double>(d.exact_events));
+      o["task"] = Value(static_cast<double>(r.task));
+      o["effective_at"] = Value(static_cast<double>(effective));
+      o["total"] = Value(gate_.total_weight().to_string());
+      break;
+    }
+    case RequestOp::kQuery: {
+      o["tasks"] = Value(static_cast<double>(gate_.committed()));
+      o["total"] = Value(gate_.total_weight().to_string());
+      break;
+    }
+    case RequestOp::kAdvance: {
+      if (r.to > sim_->now()) sim_->run_until(r.to);
+      gate_.advance_to(sim_->now());
+      o["now"] = Value(static_cast<double>(sim_->now()));
+      break;
+    }
+  }
+  return o;
+}
+
+std::string Daemon::process_line(std::string_view line) {
+  const auto start = config_.measure_latency
+                         ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
+  ++stats_.requests;
+  const std::uint64_t seq = seq_++;
+  obs::json::Object o;
+  std::string error;
+  if (const std::optional<Request> req = parse_request(line, &error)) {
+    o = handle(*req);
+  } else {
+    ++stats_.errors;
+    o["op"] = Value(std::string("error"));
+    o["error"] = Value(error);
+  }
+  o["seq"] = Value(static_cast<double>(seq));
+  // Keep the quantum loop running underneath the request stream.
+  if (config_.advance_per_request > 0) {
+    sim_->run_until(sim_->now() + config_.advance_per_request);
+    gate_.advance_to(sim_->now());
+  }
+  if (config_.measure_latency) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    const auto v = static_cast<std::uint64_t>(ns < 0 ? 0 : ns);
+    ++stats_.latency_count;
+    stats_.latency_total_ns += v;
+    if (v > stats_.latency_max_ns) stats_.latency_max_ns = v;
+    stats_.latency_ns.add(static_cast<double>(v));
+  }
+  return Value(std::move(o)).dump();
+}
+
+std::uint64_t Daemon::serve(std::istream& in, std::ostream& out) {
+  std::uint64_t handled = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << process_line(line) << '\n';
+    ++handled;
+  }
+  out.flush();
+  return handled;
+}
+
+void Daemon::publish_registry() const {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("serve.requests").add(stats_.requests);
+  reg.counter("serve.admits").add(stats_.admits);
+  reg.counter("serve.rejects").add(stats_.rejects);
+  reg.counter("serve.errors").add(stats_.errors);
+  reg.counter("serve.tier0").add(stats_.tier0);
+  reg.counter("serve.tier1").add(stats_.tier1);
+  reg.counter("serve.tier2").add(stats_.tier2);
+  reg.counter("serve.approx").add(stats_.approx);
+  obs::TimerStats ts;
+  ts.count = stats_.latency_count;
+  ts.total_ns = stats_.latency_total_ns;
+  ts.max_ns = stats_.latency_max_ns;
+  ts.hist = stats_.latency_ns;
+  reg.record_timer("serve.decision", ts);
+}
+
+}  // namespace pfair::serve

@@ -1,0 +1,105 @@
+// The pfaird serving core: a request loop around a live simulator.
+//
+// The daemon owns one engine::Simulator (any factory kind) and an
+// AdmissionController mirroring its committed task set.  Each JSONL
+// request line (serve/request.h) is parsed, gated through the tiered
+// admission test, applied to the simulator through the dynamic-task
+// request API (join/leave/reweight on engine::Simulator), and answered
+// with one JSONL decision line.
+//
+// Determinism contract: a decision line is a pure function of the
+// request history — it carries the simulator clock, never wall-clock —
+// so running the same request log twice produces byte-identical
+// decision logs (CI diffs them).  Wall-clock only feeds the
+// *observability* side: per-decision latency lands in a histogram and
+// the MetricsRegistry (serve.* counters, the "serve.decision" timer),
+// which is a write-only side channel.
+//
+// The simulated clock advances two ways: an explicit {"op":"advance"}
+// request, and optionally `advance_per_request` slots after every
+// request — the "quantum loop keeps running while requests stream in"
+// mode the ISSUE asks for.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "engine/factory.h"
+#include "obs/bus.h"
+#include "obs/histogram.h"
+#include "obs/json.h"
+#include "serve/admission.h"
+#include "serve/request.h"
+
+namespace pfair::serve {
+
+struct DaemonConfig {
+  engine::SchedulerKind kind = engine::SchedulerKind::kPfair;
+  int processors = 1;
+  UniAlgorithm algorithm = UniAlgorithm::kEDF;  ///< uniproc / global-job flavour
+  bool overhead_aware = false;     ///< Tier 1 runs Eq.-(3) inflation
+  OverheadParams overhead;         ///< Eq.-(3) inputs
+  double cache_delay_us = 33.3;    ///< D(T) charged per task (paper mean)
+  std::uint64_t exact_budget = 1u << 20;  ///< Tier-2 event budget (0 = off)
+  Time advance_per_request = 0;    ///< slots to run after each request
+  bool measure_latency = true;     ///< steady_clock per-decision timing
+};
+
+/// Request-loop totals (the registry mirror; see publish_registry()).
+struct DaemonStats {
+  std::uint64_t requests = 0;
+  std::uint64_t admits = 0;   ///< join/reweight granted
+  std::uint64_t rejects = 0;  ///< join/reweight denied
+  std::uint64_t errors = 0;   ///< parse errors, unknown tasks, not-dynamic
+  std::uint64_t tier0 = 0, tier1 = 0, tier2 = 0;  ///< deciding tier
+  std::uint64_t approx = 0;   ///< Tier-2 budget fell back to Tier 1
+  std::uint64_t latency_count = 0;
+  std::uint64_t latency_total_ns = 0;
+  std::uint64_t latency_max_ns = 0;
+  obs::Histogram latency_ns = obs::Histogram::exponential(16.0, 2.0, 24);
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config);
+
+  /// Handles one request line, returns the decision line (no newline).
+  /// Every line gets exactly one answer, including malformed ones.
+  [[nodiscard]] std::string process_line(std::string_view line);
+
+  /// Reads JSONL requests from `in` until EOF, writing one decision
+  /// line each to `out`.  Returns the number of requests handled.
+  std::uint64_t serve(std::istream& in, std::ostream& out);
+
+  /// Admission events (kAdmitRequest/kAdmitGrant/kAdmitReject) are
+  /// emitted here; pass nullptr to detach.
+  void attach_observer(obs::EventBus* bus) noexcept { bus_ = bus; }
+
+  /// Pushes the request-loop totals into MetricsRegistry::global():
+  /// serve.requests/admits/rejects/errors/tier0/tier1/tier2/approx
+  /// counters plus the "serve.decision" timer (p50/p95/p99 from the
+  /// latency histogram).  Call once after serving.
+  void publish_registry() const;
+
+  [[nodiscard]] const DaemonStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] engine::Simulator& simulator() noexcept { return *sim_; }
+  [[nodiscard]] const AdmissionController& controller() const noexcept { return gate_; }
+
+ private:
+  [[nodiscard]] obs::json::Object handle(const Request& r);
+  [[nodiscard]] obs::json::Object decide_and_apply(const Request& r);
+  void note_decision(const Decision& d, const UniTask& t, TaskId task);
+
+  DaemonConfig config_;
+  std::unique_ptr<engine::Simulator> sim_;
+  AdmissionController gate_;
+  obs::EventBus* bus_ = nullptr;
+  DaemonStats stats_;
+  std::uint64_t seq_ = 0;          ///< request sequence number (echoed back)
+  TaskId next_static_id_ = 0;      ///< id source for non-dynamic kinds
+};
+
+}  // namespace pfair::serve

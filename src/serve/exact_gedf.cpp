@@ -1,0 +1,110 @@
+#include "serve/exact_gedf.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/math.h"
+
+namespace pfair::serve {
+
+const char* to_string(GedfVerdict v) noexcept {
+  switch (v) {
+    case GedfVerdict::kSchedulable: return "schedulable";
+    case GedfVerdict::kUnschedulable: return "unschedulable";
+    case GedfVerdict::kBudgetExceeded: return "budget-exceeded";
+  }
+  return "unknown";
+}
+
+GedfResult exact_global_schedulable(const std::vector<UniTask>& tasks, int m,
+                                    UniAlgorithm algorithm, std::uint64_t max_events) {
+  GedfResult out;
+  if (m < 1) m = 1;
+  if (tasks.empty()) {
+    out.verdict = GedfVerdict::kSchedulable;
+    return out;
+  }
+  for (const UniTask& t : tasks) {
+    if (!t.valid()) {  // never schedulable; also keeps the arithmetic safe
+      out.verdict = GedfVerdict::kUnschedulable;
+      out.first_miss = 0;
+      return out;
+    }
+  }
+
+  Time h = 1;
+  for (const UniTask& t : tasks) h = saturating_lcm(h, t.period);
+  out.hyperperiod = h;
+
+  const std::size_t n = tasks.size();
+  // Per-task job state.  Implicit deadlines mean at most one live job
+  // per task — a live predecessor at its release IS the miss that ends
+  // the test, so no job queue is needed.
+  std::vector<Time> next_release(n, 0);
+  std::vector<Time> deadline(n, 0);
+  std::vector<std::int64_t> remaining(n, 0);
+  std::vector<std::size_t> live;
+  live.reserve(n);
+
+  // Priority: matches GlobalJobSimulator::higher_priority exactly.
+  const auto higher = [&](std::size_t a, std::size_t b) {
+    if (algorithm == UniAlgorithm::kEDF) {
+      if (deadline[a] != deadline[b]) return deadline[a] < deadline[b];
+    } else {
+      if (tasks[a].period != tasks[b].period) return tasks[a].period < tasks[b].period;
+    }
+    return a < b;
+  };
+
+  Time t = 0;
+  while (true) {
+    // Releases due now; a live predecessor has missed its deadline
+    // (deadline == this release under implicit deadlines).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (next_release[i] != t) continue;
+      if (remaining[i] > 0) {
+        out.verdict = GedfVerdict::kUnschedulable;
+        out.first_miss = t;
+        out.simulated = t;
+        return out;
+      }
+      remaining[i] = tasks[i].execution;
+      deadline[i] = t + tasks[i].period;
+      next_release[i] = t + tasks[i].period;
+    }
+    // A clean pass through t == H means every job released in [0, H)
+    // completed by its deadline; the state at H equals the state at 0,
+    // so the schedule repeats forever.
+    if (t >= h) {
+      out.verdict = GedfVerdict::kSchedulable;
+      out.simulated = t;
+      return out;
+    }
+    if (out.events >= max_events) {
+      out.verdict = GedfVerdict::kBudgetExceeded;
+      out.simulated = t;
+      return out;
+    }
+    ++out.events;
+
+    // The running set is constant until the next release or the first
+    // completion among the m highest-priority live jobs.
+    live.clear();
+    for (std::size_t i = 0; i < n; ++i)
+      if (remaining[i] > 0) live.push_back(i);
+    const std::size_t run = std::min(live.size(), static_cast<std::size_t>(m));
+    if (run < live.size())
+      std::nth_element(live.begin(), live.begin() + static_cast<std::ptrdiff_t>(run),
+                       live.end(), higher);
+
+    Time next_event = std::numeric_limits<Time>::max();
+    for (std::size_t i = 0; i < n; ++i) next_event = std::min(next_event, next_release[i]);
+    Time delta = next_event - t;
+    for (std::size_t k = 0; k < run; ++k)
+      delta = std::min<Time>(delta, remaining[live[k]]);
+    for (std::size_t k = 0; k < run; ++k) remaining[live[k]] -= delta;
+    t += delta;
+  }
+}
+
+}  // namespace pfair::serve

@@ -1,0 +1,171 @@
+#include "serve/request.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/rng.h"
+
+namespace pfair::serve {
+
+namespace {
+
+/// obs::json numbers are doubles; task parameters must be integral and
+/// inside the exactly-representable range.
+bool to_int(const obs::json::Value& v, std::int64_t* out) {
+  if (!v.is_number()) return false;
+  const double d = v.as_number();
+  if (d != std::floor(d) || d < -9.0e15 || d > 9.0e15) return false;
+  *out = static_cast<std::int64_t>(d);
+  return true;
+}
+
+bool member_int(const obs::json::Value& obj, const char* key, std::int64_t* out) {
+  const obs::json::Value* m = obj.find(key);
+  return m != nullptr && to_int(*m, out);
+}
+
+void fail(std::string* error, const char* why) {
+  if (error != nullptr) *error = why;
+}
+
+}  // namespace
+
+const char* to_string(RequestOp op) noexcept {
+  switch (op) {
+    case RequestOp::kJoin: return "join";
+    case RequestOp::kLeave: return "leave";
+    case RequestOp::kReweight: return "reweight";
+    case RequestOp::kQuery: return "query";
+    case RequestOp::kAdvance: return "advance";
+  }
+  return "unknown";
+}
+
+std::optional<Request> parse_request(std::string_view line, std::string* error) {
+  const std::optional<obs::json::Value> doc = obs::json::parse(line);
+  if (!doc.has_value() || !doc->is_object()) {
+    fail(error, "bad-json");
+    return std::nullopt;
+  }
+  const std::string op = doc->string_or("op", "");
+  Request r;
+  if (op == "join" || op == "reweight") {
+    r.op = op == "join" ? RequestOp::kJoin : RequestOp::kReweight;
+    if (!member_int(*doc, "execution", &r.execution) ||
+        !member_int(*doc, "period", &r.period)) {
+      fail(error, "bad-field");
+      return std::nullopt;
+    }
+    if (r.op == RequestOp::kJoin) {
+      r.name = doc->string_or("name", "");
+    } else {
+      std::int64_t id = 0;
+      if (!member_int(*doc, "task", &id) || id < 0 || id >= kNoTask) {
+        fail(error, "bad-field");
+        return std::nullopt;
+      }
+      r.task = static_cast<TaskId>(id);
+    }
+    return r;
+  }
+  if (op == "leave") {
+    r.op = RequestOp::kLeave;
+    std::int64_t id = 0;
+    if (!member_int(*doc, "task", &id) || id < 0 || id >= kNoTask) {
+      fail(error, "bad-field");
+      return std::nullopt;
+    }
+    r.task = static_cast<TaskId>(id);
+    return r;
+  }
+  if (op == "query") {
+    r.op = RequestOp::kQuery;
+    return r;
+  }
+  if (op == "advance") {
+    r.op = RequestOp::kAdvance;
+    if (!member_int(*doc, "to", &r.to) || r.to < 0) {
+      fail(error, "bad-field");
+      return std::nullopt;
+    }
+    return r;
+  }
+  fail(error, "bad-op");
+  return std::nullopt;
+}
+
+std::string dump_request(const Request& r) {
+  obs::json::Object o;
+  o["op"] = obs::json::Value(std::string(to_string(r.op)));
+  switch (r.op) {
+    case RequestOp::kJoin:
+      o["execution"] = obs::json::Value(static_cast<double>(r.execution));
+      o["period"] = obs::json::Value(static_cast<double>(r.period));
+      if (!r.name.empty()) o["name"] = obs::json::Value(r.name);
+      break;
+    case RequestOp::kReweight:
+      o["execution"] = obs::json::Value(static_cast<double>(r.execution));
+      o["period"] = obs::json::Value(static_cast<double>(r.period));
+      o["task"] = obs::json::Value(static_cast<double>(r.task));
+      break;
+    case RequestOp::kLeave:
+      o["task"] = obs::json::Value(static_cast<double>(r.task));
+      break;
+    case RequestOp::kQuery:
+      break;
+    case RequestOp::kAdvance:
+      o["to"] = obs::json::Value(static_cast<double>(r.to));
+      break;
+  }
+  return obs::json::Value(std::move(o)).dump();
+}
+
+std::string generate_requests(const GenConfig& config) {
+  Rng rng(config.seed);
+  std::string out;
+  out.reserve(config.count * 48);
+  Time clock = 0;
+  // Ids the daemon will have assigned are unknowable here (rejected
+  // joins get no id), so leave/reweight draw from the range of ids that
+  // *could* exist; misses exercise the daemon's unknown-task reply,
+  // which is itself part of the deterministic decision log.
+  std::int64_t joins = 0;
+  const double u_hi = std::clamp(0.25 * config.load, 0.05, 1.0);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    Request r;
+    const std::int64_t roll = rng.uniform_int(0, 15);
+    if (roll <= 8 || joins == 0) {
+      r.op = RequestOp::kJoin;
+      r.period = rng.uniform_int(2, config.max_period);
+      const double u = rng.uniform(0.02, u_hi);
+      r.execution = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(std::lround(static_cast<double>(r.period) * u)),
+          1, r.period);
+      ++joins;
+    } else if (roll <= 10) {
+      r.op = RequestOp::kLeave;
+      r.task = static_cast<TaskId>(rng.uniform_int(0, joins - 1));
+    } else if (roll <= 12) {
+      r.op = RequestOp::kReweight;
+      r.task = static_cast<TaskId>(rng.uniform_int(0, joins - 1));
+      r.period = rng.uniform_int(2, config.max_period);
+      const double u = rng.uniform(0.02, u_hi);
+      r.execution = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(std::lround(static_cast<double>(r.period) * u)),
+          1, r.period);
+    } else if (roll == 13) {
+      r.op = RequestOp::kQuery;
+    } else {
+      r.op = RequestOp::kAdvance;
+      clock += rng.uniform_int(1, 4);
+      r.to = clock;
+    }
+    out += dump_request(r);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pfair::serve

@@ -1,0 +1,69 @@
+// The pfaird request protocol: streaming JSONL, one request per line.
+//
+// Five operations cover the dynamic-task API the daemon fronts:
+//
+//   {"op":"join","execution":3,"period":10}        optional "name","weight"
+//   {"op":"leave","task":2}
+//   {"op":"reweight","task":2,"execution":1,"period":5}
+//   {"op":"query"}
+//   {"op":"advance","to":400}
+//
+// "advance" moves the served simulator's clock (the daemon also
+// advances by --advance slots per request, so a pure request stream
+// exercises the dynamic rules without wall-clock coupling).  Numbers
+// follow obs::json (doubles); values outside the int64 task-parameter
+// range fail parsing rather than truncate.
+//
+// Requests parse into a flat Request struct, and dump back to the same
+// canonical line (obs::json sorted-key form) — the generator, the
+// daemon, and `pfair_trace simulate --requests` all speak through this
+// one type, so a recorded log replays byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/types.h"
+
+namespace pfair::serve {
+
+enum class RequestOp : std::uint8_t { kJoin, kLeave, kReweight, kQuery, kAdvance };
+
+[[nodiscard]] const char* to_string(RequestOp op) noexcept;
+
+struct Request {
+  RequestOp op = RequestOp::kQuery;
+  std::int64_t execution = 0;  ///< join/reweight
+  std::int64_t period = 0;     ///< join/reweight
+  TaskId task = kNoTask;       ///< leave/reweight target
+  Time to = 0;                 ///< advance target
+  std::string name;            ///< join only, optional
+};
+
+/// Parses one JSONL request line.  On failure returns nullopt and, when
+/// `error` is non-null, stores a stable one-token reason
+/// ("bad-json", "bad-op", "bad-field") for the daemon's error reply.
+[[nodiscard]] std::optional<Request> parse_request(std::string_view line,
+                                                   std::string* error = nullptr);
+
+/// Canonical JSONL form of `r` (sorted keys, no trailing newline).
+/// parse_request(dump_request(r)) round-trips exactly.
+[[nodiscard]] std::string dump_request(const Request& r);
+
+/// Deterministic request-stream generator for benches and the CI smoke
+/// test: a seeded mix of joins (task weights drawn so the stream hovers
+/// around `load` x m total utilization), leaves and reweights of
+/// previously joined ids, periodic queries, and monotone advances.
+struct GenConfig {
+  std::size_t count = 1000;     ///< request lines to emit
+  std::uint64_t seed = 42;      ///< Rng seed; same seed => same bytes
+  double load = 1.5;            ///< offered load relative to capacity
+  int processors = 4;           ///< capacity the load is relative to
+  std::int64_t max_period = 40;  ///< periods drawn from [2, max_period]
+};
+
+[[nodiscard]] std::string generate_requests(const GenConfig& config);
+
+}  // namespace pfair::serve

@@ -14,12 +14,16 @@ GlobalJobSimulator::GlobalJobSimulator(std::vector<UniTask> tasks, GlobalJobConf
   assert(config_.processors >= 1);
 }
 
-bool GlobalJobSimulator::admit(std::int64_t execution, std::int64_t period) {
-  const UniTask t{execution, period};
-  if (!t.valid()) return false;
+bool GlobalJobSimulator::admit(const engine::TaskSpec& spec) {
+  const UniTask t{spec.resolved_execution(), spec.resolved_period()};
+  if (!t.valid()) {
+    ++metrics_.tasks_rejected;
+    return false;
+  }
   tasks_.push_back(t);
   next_release_.push_back(now_);
   live_jobs_.push_back(0);
+  ++metrics_.tasks_admitted;
   return true;
 }
 

@@ -40,7 +40,8 @@ class GlobalJobSimulator : public engine::Simulator {
   GlobalJobSimulator& operator=(const GlobalJobSimulator&) = delete;
 
   /// Admits a periodic task releasing from the current time.
-  bool admit(std::int64_t execution, std::int64_t period) override;
+  bool admit(const engine::TaskSpec& spec) override;
+  using engine::Simulator::admit;
 
   void run_until(Time until) override;
 

@@ -32,11 +32,15 @@ Algorithm PfairSimulator::ref_algorithm() const noexcept {
   return config_.packed_keys ? config_.algorithm : Algorithm::kWRR;
 }
 
-bool PfairSimulator::admit(std::int64_t execution, std::int64_t period) {
+bool PfairSimulator::admit(const engine::TaskSpec& spec) {
   const obs::prof::ProfScope prof(obs::prof::Phase::kAdmit, -1, now_);
-  const Task t = make_task(execution, period);
-  if (!t.valid()) return false;
-  add_task(t);
+  if (!spec.valid()) {
+    ++metrics_.tasks_rejected;
+    return false;
+  }
+  add_task(make_task(spec.resolved_execution(), spec.resolved_period(),
+                     TaskKind::kPeriodic, spec.name));
+  ++metrics_.tasks_admitted;
   return true;
 }
 
@@ -105,18 +109,32 @@ std::optional<TaskId> PfairSimulator::join(const Task& t) {
   // admission check (run_until(T) leaves departures at exactly T
   // unprocessed, since slot T has not been simulated yet).
   if (!pending_departures_.empty()) process_pending_departures(now_);
-  if (!may_join(active_weight(), t.weight(), live_processors_)) return std::nullopt;
+  if (!may_join(active_weight(), t.weight(), live_processors_)) {
+    ++metrics_.tasks_rejected;
+    return std::nullopt;
+  }
+  ++metrics_.tasks_admitted;
   return add_task(t);
 }
 
+std::optional<TaskId> PfairSimulator::join(const engine::TaskSpec& spec) {
+  if (!spec.valid()) {
+    ++metrics_.tasks_rejected;
+    return std::nullopt;
+  }
+  return join(make_task(spec.resolved_execution(), spec.resolved_period(),
+                        TaskKind::kPeriodic, spec.name));
+}
+
 Time PfairSimulator::earliest_leave(TaskId id) const {
+  if (id >= tasks_.size() || !tasks_[id].active) return -1;
   const TaskRuntime& rt = tasks_[id];
   if (rt.allocated == 0) return now_;
   return earliest_leave_time(rt.spec.execution, rt.spec.period, rt.last_sched_index, rt.offset);
 }
 
 bool PfairSimulator::leave(TaskId id) {
-  if (!tasks_[id].active) return false;
+  if (id >= tasks_.size() || !tasks_[id].active) return false;
   if (earliest_leave(id) > now_) return false;
   force_leave(id);
   return true;
@@ -136,9 +154,10 @@ void PfairSimulator::force_leave(TaskId id) {
   rt.pending_p = 0;
 }
 
-Time PfairSimulator::request_leave(TaskId id) {
+std::optional<Time> PfairSimulator::request_leave(TaskId id) {
+  if (id >= tasks_.size()) return std::nullopt;
   TaskRuntime& rt = tasks_[id];
-  if (!rt.active) return now_;
+  if (!rt.active) return std::nullopt;
   if (rt.leave_at >= 0) return rt.leave_at;  // already departing
   const Time freed = std::max(now_, earliest_leave(id));
   remove_from_queues(id);  // stops executing immediately, freezing the rule
@@ -156,8 +175,14 @@ Time PfairSimulator::request_leave(TaskId id) {
   return freed;
 }
 
+std::optional<Time> PfairSimulator::request_reweight(TaskId id, const engine::TaskSpec& spec) {
+  if (!spec.valid()) return std::nullopt;
+  return request_reweight(id, spec.resolved_execution(), spec.resolved_period());
+}
+
 std::optional<Time> PfairSimulator::request_reweight(TaskId id, std::int64_t new_e,
                                                      std::int64_t new_p) {
+  if (id >= tasks_.size()) return std::nullopt;
   TaskRuntime& rt = tasks_[id];
   if (!rt.active || rt.leave_at >= 0) return std::nullopt;
   const Rational new_w(new_e, new_p);

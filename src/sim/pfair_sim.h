@@ -96,7 +96,8 @@ class PfairSimulator : public engine::Simulator {
 
   /// engine::Simulator admission: a synchronous periodic task of weight
   /// e/p, added at the current time (dynamic joins go through join()).
-  bool admit(std::int64_t execution, std::int64_t period) override;
+  bool admit(const engine::TaskSpec& spec) override;
+  using engine::Simulator::admit;
 
   /// Adds a periodic / early-release / intra-sporadic task starting at
   /// time 0 (or at the current time if the simulation already ran).
@@ -118,24 +119,33 @@ class PfairSimulator : public engine::Simulator {
   /// reaches `at`).
   void add_processor_event(ProcessorEvent ev);
 
+  /// This is the scheduler whose dynamic story the paper argues for:
+  /// the engine::Simulator join/leave/reweight protocol is fully
+  /// supported after the simulation has started.
+  [[nodiscard]] bool can_dynamic() const noexcept override { return true; }
+
   /// Dynamic join at the current simulation time.  Returns the new id,
   /// or std::nullopt if Eq. (2) would be violated.
   std::optional<TaskId> join(const Task& t);
 
-  /// Earliest time `id` may legally leave (core/dynamics.h rules).
-  [[nodiscard]] Time earliest_leave(TaskId id) const;
+  /// engine::Simulator spelling of join(); same Eq.-(2) admission.
+  std::optional<TaskId> join(const engine::TaskSpec& spec) override;
+
+  /// Earliest time `id` may legally leave (core/dynamics.h rules);
+  /// -1 for an unknown or inactive id.
+  [[nodiscard]] Time earliest_leave(TaskId id) const override;
 
   /// Dynamic leave at the current simulation time.  Returns false (and
   /// does nothing) if leaving now would violate the leave rules.
-  bool leave(TaskId id);
+  bool leave(TaskId id) override;
 
   /// Initiates an orderly departure: the task stops executing now, its
   /// weight stays accounted until the leave rules release it, and the
   /// returned time is when the capacity frees.  (A continuously running
   /// heavy task can never satisfy leave() directly — each new quantum
   /// pushes its group deadline forward — so real departures go through
-  /// this protocol.)
-  Time request_leave(TaskId id);
+  /// this protocol.)  nullopt for an unknown or inactive id.
+  std::optional<Time> request_leave(TaskId id) override;
 
   /// Orderly reweighting (leave + rejoin with the new weight, Sec. 5.2):
   /// the task stops executing now and resumes with weight new_e/new_p at
@@ -143,6 +153,9 @@ class PfairSimulator : public engine::Simulator {
   /// nullopt) only if the new total would exceed capacity; otherwise
   /// returns the switch-over time.
   std::optional<Time> request_reweight(TaskId id, std::int64_t new_e, std::int64_t new_p);
+
+  /// engine::Simulator spelling of request_reweight().
+  std::optional<Time> request_reweight(TaskId id, const engine::TaskSpec& spec) override;
 
   /// Leaves unconditionally, ignoring the safety rules.  Exists so tests
   /// can demonstrate that violating the rules can cause misses.

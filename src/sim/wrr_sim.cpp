@@ -24,10 +24,13 @@ WrrSimulator::WrrSimulator(TaskSet tasks, WrrConfig config)
   // (including t = 0); crediting here too would double the first frame.
 }
 
-bool WrrSimulator::admit(std::int64_t execution, std::int64_t period) {
-  if (now_ > 0) return false;
-  const Task t = make_task(execution, period);
-  if (!t.valid()) return false;
+bool WrrSimulator::admit(const engine::TaskSpec& spec) {
+  if (now_ > 0 || !spec.valid()) {
+    ++metrics_.tasks_rejected;
+    return false;
+  }
+  const Task t = make_task(spec.resolved_execution(), spec.resolved_period(),
+                           TaskKind::kPeriodic, spec.name);
   tasks_.add(t);
   allocated_.push_back(0);
   budget_.push_back(0);
@@ -35,6 +38,7 @@ bool WrrSimulator::admit(std::int64_t execution, std::int64_t period) {
   prev_sched_.push_back(false);
   cur_sched_.push_back(false);
   last_proc_.push_back(kNoProc);
+  ++metrics_.tasks_admitted;
   return true;
 }
 

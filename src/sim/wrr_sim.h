@@ -36,7 +36,8 @@ class WrrSimulator : public engine::Simulator {
 
   /// Admission is only possible before the first slot runs (budgets are
   /// credited per frame; a mid-run joiner would skew the lag bookkeeping).
-  bool admit(std::int64_t execution, std::int64_t period) override;
+  bool admit(const engine::TaskSpec& spec) override;
+  using engine::Simulator::admit;
 
   void run_until(Time until) override;
 

@@ -23,12 +23,16 @@ CbsSimulator::CbsSimulator(std::vector<UniTask> hard_tasks, CbsConfig config)
   }
 }
 
-bool CbsSimulator::admit(std::int64_t execution, std::int64_t period) {
-  const UniTask t{execution, period};
-  if (!t.valid()) return false;
+bool CbsSimulator::admit(const engine::TaskSpec& spec) {
+  const UniTask t{spec.resolved_execution(), spec.resolved_period()};
+  if (!t.valid()) {
+    ++metrics_.tasks_rejected;
+    return false;
+  }
   hard_.push_back(t);
   hard_next_release_.push_back(now_);
   hard_live_.push_back(0);
+  ++metrics_.tasks_admitted;
   return true;
 }
 

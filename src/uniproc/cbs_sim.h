@@ -59,7 +59,8 @@ class CbsSimulator : public engine::Simulator {
   CbsSimulator& operator=(const CbsSimulator&) = delete;
 
   /// Admits a hard periodic task releasing from the current time.
-  bool admit(std::int64_t execution, std::int64_t period) override;
+  bool admit(const engine::TaskSpec& spec) override;
+  using engine::Simulator::admit;
 
   void run_until(Time until) override;
 

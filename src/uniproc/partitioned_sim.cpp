@@ -37,16 +37,21 @@ void PartitionedSimulator::attach_observer(obs::EventBus* bus) {
     sims_[p].set_observer(bus_, static_cast<ProcId>(p));
 }
 
-bool PartitionedSimulator::admit(std::int64_t execution, std::int64_t period) {
-  const UniTask t{execution, period};
-  if (now_ > 0 || !t.valid()) return false;
+bool PartitionedSimulator::admit(const engine::TaskSpec& spec) {
+  const UniTask t{spec.resolved_execution(), spec.resolved_period()};
+  if (now_ > 0 || !t.valid()) {
+    ++rejected_;
+    return false;
+  }
   tasks_.push_back(t);
   rebuild();
   if (assignment_.back() < 0) {
     tasks_.pop_back();
     rebuild();
+    ++rejected_;
     return false;
   }
+  ++admitted_;
   return true;
 }
 
@@ -62,6 +67,10 @@ void PartitionedSimulator::run_until(Time until) {
 const engine::Metrics& PartitionedSimulator::metrics() const {
   aggregate_ = engine::Metrics{};
   for (const UniprocSimulator& sim : sims_) aggregate_.merge(sim.metrics());
+  // Admission happens at the ensemble, not in the member schedulers
+  // (they are rebuilt from already-placed tasks).
+  aggregate_.tasks_admitted = admitted_;
+  aggregate_.tasks_rejected = rejected_;
   return aggregate_;
 }
 

@@ -37,7 +37,8 @@ class PartitionedSimulator : public engine::Simulator {
   /// Admission before the simulation starts re-runs the partitioning
   /// over the enlarged set; returns false once run_until() has advanced
   /// time, or when the new task cannot be placed.
-  bool admit(std::int64_t execution, std::int64_t period) override;
+  bool admit(const engine::TaskSpec& spec) override;
+  using engine::Simulator::admit;
 
   void run_until(Time until) override;
 
@@ -74,6 +75,11 @@ class PartitionedSimulator : public engine::Simulator {
   std::vector<std::size_t> unplaced_;
   Time now_ = 0;
   obs::EventBus* bus_ = nullptr;       ///< borrowed; reattached on rebuild()
+  // admit() outcomes; the member simulators only ever see placed tasks,
+  // so these counters live on the ensemble and are stitched into the
+  // aggregate by metrics().
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
   mutable engine::Metrics aggregate_;  ///< cache refreshed by metrics()
 };
 

@@ -18,13 +18,17 @@ UniprocSimulator::UniprocSimulator(std::vector<UniTask> tasks, UniSimConfig conf
   }
 }
 
-bool UniprocSimulator::admit(std::int64_t execution, std::int64_t period) {
-  const UniTask t{execution, period};
-  if (!t.valid()) return false;
+bool UniprocSimulator::admit(const engine::TaskSpec& spec) {
+  const UniTask t{spec.resolved_execution(), spec.resolved_period()};
+  if (!t.valid()) {
+    ++metrics_.tasks_rejected;
+    return false;
+  }
   const std::uint32_t id = static_cast<std::uint32_t>(tasks_.size());
   tasks_.push_back(t);
   live_jobs_.push_back(0);
   calendar_.push(Release{now_, id});
+  ++metrics_.tasks_admitted;
   return true;
 }
 

@@ -44,7 +44,8 @@ class UniprocSimulator : public engine::Simulator {
   UniprocSimulator& operator=(UniprocSimulator&&) = default;
 
   /// Admits a periodic task releasing from the current time.
-  bool admit(std::int64_t execution, std::int64_t period) override;
+  bool admit(const engine::TaskSpec& spec) override;
+  using engine::Simulator::admit;
 
   /// Runs until (absolute) time `until`.
   void run_until(Time until) override;

@@ -83,7 +83,8 @@ TEST(EngineMetrics, AdmissionThroughTheInterface) {
 
   auto grown = engine::pd2_spec(kProcessors).make({});
   ASSERT_NE(grown, nullptr);
-  for (const UniTask& t : workload()) EXPECT_TRUE(grown->admit(t.execution, t.period));
+  for (const UniTask& t : workload())
+    EXPECT_TRUE(grown->admit(engine::task_spec(t.execution, t.period)));
 
   loaded->run_until(kHorizon);
   grown->run_until(kHorizon);

@@ -237,8 +237,8 @@ TEST(Factory, EverySimulatorMatchesDirectConstruction) {
         break;
     }
     for (const UniTask& t : tasks) {
-      const bool a = via_factory->admit(t.execution, t.period);
-      const bool b = direct->admit(t.execution, t.period);
+      const bool a = via_factory->admit(task_spec(t.execution, t.period));
+      const bool b = direct->admit(task_spec(t.execution, t.period));
       EXPECT_EQ(a, b) << to_string(kind);
     }
     via_factory->run_until(200);

@@ -1,0 +1,156 @@
+// Conformance of the redesigned dynamic-task request API across every
+// factory kind: TaskSpec admission, the deprecated (execution, period)
+// shim, capability probing, reject bookkeeping, and the dynamic
+// entry points (join / leave / reweight) where supported.
+#include "engine/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/factory.h"
+
+namespace pfair::engine {
+namespace {
+
+TEST(TaskSpec, ResolvesWeightOverExecutionPeriod) {
+  TaskSpec s;
+  s.execution = 7;
+  s.period = 9;
+  s.weight = Rational(3, 10);
+  EXPECT_EQ(s.resolved_execution(), 3);
+  EXPECT_EQ(s.resolved_period(), 10);
+  EXPECT_TRUE(s.valid());
+  s.weight.reset();
+  EXPECT_EQ(s.resolved_execution(), 7);
+  EXPECT_EQ(s.resolved_period(), 9);
+}
+
+TEST(TaskSpec, ValidityMatchesTaskRules) {
+  EXPECT_TRUE(task_spec(1, 1).valid());
+  EXPECT_TRUE(task_spec(2, 5).valid());
+  EXPECT_FALSE(task_spec(0, 5).valid());
+  EXPECT_FALSE(task_spec(2, 0).valid());
+  EXPECT_FALSE(task_spec(6, 5).valid());  // weight above one
+  TaskSpec w;
+  w.weight = Rational(11, 10);
+  EXPECT_FALSE(w.valid());
+}
+
+TEST(RequestApi, EveryKindAdmitsAValidSpecAtTimeZero) {
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    const auto sim = make_simulator(kind);
+    EXPECT_TRUE(sim->admit(task_spec(1, 5))) << to_string(kind);
+    EXPECT_EQ(sim->metrics().tasks_admitted, 1u) << to_string(kind);
+    EXPECT_EQ(sim->metrics().tasks_rejected, 0u) << to_string(kind);
+  }
+}
+
+TEST(RequestApi, EveryKindRejectsAnInvalidSpecAndCountsIt) {
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    const auto sim = make_simulator(kind);
+    EXPECT_FALSE(sim->admit(task_spec(0, 5))) << to_string(kind);
+    EXPECT_FALSE(sim->admit(task_spec(6, 5))) << to_string(kind);
+    EXPECT_EQ(sim->metrics().tasks_admitted, 0u) << to_string(kind);
+    EXPECT_EQ(sim->metrics().tasks_rejected, 2u) << to_string(kind);
+  }
+}
+
+// The one-PR deprecation shim must behave exactly like the TaskSpec
+// overload it delegates to.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(RequestApi, DeprecatedShimMatchesTaskSpecOverload) {
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    const auto via_shim = make_simulator(kind);
+    const auto via_spec = make_simulator(kind);
+    EXPECT_EQ(via_shim->admit(2, 5), via_spec->admit(task_spec(2, 5)))
+        << to_string(kind);
+    EXPECT_EQ(via_shim->admit(0, 5), via_spec->admit(task_spec(0, 5)))
+        << to_string(kind);
+    EXPECT_EQ(via_shim->metrics().tasks_admitted, via_spec->metrics().tasks_admitted)
+        << to_string(kind);
+    EXPECT_EQ(via_shim->metrics().tasks_rejected, via_spec->metrics().tasks_rejected)
+        << to_string(kind);
+  }
+}
+#pragma GCC diagnostic pop
+
+TEST(RequestApi, OnlyPfairReportsDynamicCapability) {
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    const auto sim = make_simulator(kind);
+    EXPECT_EQ(sim->can_dynamic(), kind == SchedulerKind::kPfair) << to_string(kind);
+  }
+}
+
+TEST(RequestApi, NonDynamicKindsAnswerDynamicRequestsWithRefusals) {
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    if (kind == SchedulerKind::kPfair) continue;
+    const auto sim = make_simulator(kind);
+    ASSERT_TRUE(sim->admit(task_spec(1, 5))) << to_string(kind);
+    EXPECT_FALSE(sim->join(task_spec(1, 5)).has_value()) << to_string(kind);
+    EXPECT_FALSE(sim->leave(0)) << to_string(kind);
+    EXPECT_FALSE(sim->request_leave(0).has_value()) << to_string(kind);
+    EXPECT_FALSE(sim->request_reweight(0, task_spec(1, 7)).has_value())
+        << to_string(kind);
+    EXPECT_EQ(sim->earliest_leave(0), -1) << to_string(kind);
+  }
+}
+
+TEST(RequestApi, PfairJoinLeaveReweightThroughTheBaseInterface) {
+  SimulatorConfig cfg;
+  cfg.pfair.processors = 2;
+  const auto sim = make_simulator(SchedulerKind::kPfair, cfg);
+  ASSERT_TRUE(sim->admit(task_spec(1, 2)));
+  sim->run_until(4);
+
+  const std::optional<TaskId> id = sim->join(task_spec(1, 4));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(sim->metrics().tasks_admitted, 2u);
+
+  // Known id: a departure time is offered; the same id again keeps the
+  // original answer (already departing).
+  EXPECT_GE(sim->earliest_leave(*id), sim->now());
+  const std::optional<Time> free = sim->request_leave(*id);
+  ASSERT_TRUE(free.has_value());
+  EXPECT_GE(*free, sim->now());
+
+  // Out-of-range ids are answered, never UB: the daemon feeds these
+  // straight from untrusted request streams.
+  EXPECT_FALSE(sim->request_leave(12345).has_value());
+  EXPECT_FALSE(sim->leave(12345));
+  EXPECT_EQ(sim->earliest_leave(12345), -1);
+  EXPECT_FALSE(sim->request_reweight(12345, task_spec(1, 3)).has_value());
+
+  sim->run_until(*free + 1);
+  EXPECT_EQ(sim->metrics().deadline_misses, 0u);
+}
+
+TEST(RequestApi, PfairJoinRejectionIsCounted) {
+  SimulatorConfig cfg;
+  cfg.pfair.processors = 1;
+  const auto sim = make_simulator(SchedulerKind::kPfair, cfg);
+  ASSERT_TRUE(sim->admit(task_spec(1, 1)));  // weight 1 fills the machine
+  sim->run_until(2);
+  EXPECT_FALSE(sim->join(task_spec(1, 2)).has_value());
+  EXPECT_EQ(sim->metrics().tasks_rejected, 1u);
+}
+
+TEST(RequestApi, WrrRejectsLateAdmissionAndCountsIt) {
+  SimulatorConfig cfg;
+  cfg.wrr.processors = 1;
+  const auto sim = make_simulator(SchedulerKind::kWrr, cfg);
+  ASSERT_TRUE(sim->admit(task_spec(1, 4)));
+  sim->run_until(1);
+  EXPECT_FALSE(sim->admit(task_spec(1, 4)));
+  EXPECT_EQ(sim->metrics().tasks_rejected, 1u);
+}
+
+TEST(RequestApi, SpecNameReachesThePfairTask) {
+  const auto sim = make_simulator(SchedulerKind::kPfair);
+  EXPECT_TRUE(sim->admit(task_spec(1, 4, "camera")));
+  // The name is carried for observability (Perfetto tracks); admission
+  // behaviour must not depend on it.
+  EXPECT_EQ(sim->metrics().tasks_admitted, 1u);
+}
+
+}  // namespace
+}  // namespace pfair::engine

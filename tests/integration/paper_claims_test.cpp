@@ -146,7 +146,7 @@ TEST(PaperClaims, MixedModelFullLoadStress) {
   sim.add_task(make_task(3, 4, TaskKind::kIntraSporadic));  // on-time arrivals
   const TaskId leaver = sim.add_task(make_task(1, 12, TaskKind::kPeriodic));
   sim.run_until(100);
-  const Time freed = sim.request_leave(leaver);
+  const Time freed = sim.request_leave(leaver).value();
   sim.run_until(freed);
   const auto joined = sim.join(make_task(1, 12, TaskKind::kEarlyRelease));
   EXPECT_TRUE(joined.has_value());

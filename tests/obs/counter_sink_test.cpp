@@ -135,7 +135,8 @@ TEST(CounterSink, Pd2WithOverheadTimingAndLagChecksBitIdentical) {
   cfg.measure_overhead = true;
   cfg.check_lags = true;
   PfairSimulator sim(cfg);
-  for (const UniTask& t : mp_workload()) ASSERT_TRUE(sim.admit(t.execution, t.period));
+  for (const UniTask& t : mp_workload())
+    ASSERT_TRUE(sim.admit(engine::task_spec(t.execution, t.period)));
   obs::EventBus bus;
   obs::CounterSink counters;
   bus.add_sink(&counters);

@@ -57,7 +57,7 @@ ProfRun run_seeded(int shards, bool prof, bool spans, bool perfetto_out) {
 
   Rng rng(42);
   const std::vector<UniTask> tasks = generate_uni_tasks(rng, 12, 0.7 * 4.0, 64);
-  for (const UniTask& t : tasks) (void)sim.admit(t.execution, t.period);
+  for (const UniTask& t : tasks) (void)sim.admit(engine::task_spec(t.execution, t.period));
   sim.run_until(300);
   bus.flush();
 

@@ -53,8 +53,8 @@ TEST(TaskSetGen, EveryCaseIsWellFormedAndFeasible) {
 TEST(TaskSetGen, CyclesThroughProfilesByDefault) {
   const TaskSetGen gen(GenConfig{}, 5);
   const std::vector<Profile>& profiles = all_profiles();
-  ASSERT_EQ(profiles.size(), 6u);
-  for (std::uint64_t i = 0; i < 24; ++i) {
+  ASSERT_EQ(profiles.size(), 7u);
+  for (std::uint64_t i = 0; i < 28; ++i) {
     EXPECT_EQ(gen.make_case(i).profile, profiles[i % profiles.size()]) << "case " << i;
   }
 }

@@ -46,7 +46,7 @@ TEST(Dynamics, LegalLeaveThenRejoinCannotOverclaim) {
   // Orderly departure (the task stops executing now; its weight frees
   // at the rule-mandated time), then rejoin; no deadline is ever
   // missed.
-  const Time freed = sim.request_leave(a);
+  const Time freed = sim.request_leave(a).value();
   EXPECT_GE(freed, 10);
   sim.run_until(freed);
   const auto rejoin = sim.join(make_task(1, 2));
@@ -62,7 +62,7 @@ TEST(Dynamics, RequestLeaveFreesCapacityOnlyAtRuleTime) {
   const TaskId a = sim.add_task(make_task(1, 2));  // heavy (weight 1/2)
   sim.add_task(make_task(1, 4));
   sim.run_until(3);
-  const Time freed = sim.request_leave(a);
+  const Time freed = sim.request_leave(a).value();
   EXPECT_GT(freed, sim.now());
   // Until `freed`, the departing weight still counts against admission.
   EXPECT_FALSE(sim.join(make_task(1, 2)).has_value());

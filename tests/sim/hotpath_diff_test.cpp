@@ -369,7 +369,7 @@ TEST(HotpathDiff, FastForwardAutoDisablesDuringPendingDeparture) {
   const TaskId id = sim.add_task(make_task(3, 7));
   sim.add_task(make_task(1, 64));
   sim.run_until(2);
-  const Time freed = sim.request_leave(id);
+  const Time freed = sim.request_leave(id).value();
   ASSERT_GT(freed, sim.now());  // rule holds the departure open for a while
   const std::uint64_t before = sim.fast_forwarded_slots();
   sim.run_until(freed + 1);  // slot `freed` processes the switch-over
