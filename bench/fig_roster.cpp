@@ -1,0 +1,151 @@
+// Roster sweep: per-quantum PD2 against its two successor families on
+// identical workloads — BF (boundary fair: decisions only at period
+// boundaries) and RUN (reduction to uniprocessor: offline dual/pack
+// tree, online server EDF).  The figure the follow-on literature draws
+// from this paper's Sec.-4 accounting: how many scheduling decisions,
+// preemptions and migrations each optimal scheduler actually pays for
+// the same guarantee.
+//
+// Workloads use periods drawn from the divisors of 720720 so RUN's tick
+// grid (the period lcm) stays bounded and every leg admits the same
+// sets.  Every trial is verified: PD2 and BF traces through the trace
+// verifier (BF against the job-boundary exactness condition), RUN
+// through its independent segment-log verifier; any violation or miss
+// is a hard row-level error count, not a silent skip.
+//
+// Usage: fig_roster [--processors=4] [--horizon=2520] [--trials=10]
+//                   [--seed=1] [--jobs=N] [--json]
+//
+// Wall time is printed as a comment only — the JSON report stays
+// byte-identical across --jobs (the CI parity leg cmp's 1 vs 2).
+#include <cstdint>
+#include <cstdio>
+
+#include "bench/fig_common.h"
+#include "sim/bf_sim.h"
+#include "sim/run_sim.h"
+#include "sim/verifier.h"
+
+int main(int argc, char** argv) {
+  using namespace pfair;
+  using namespace pfair::bench;
+
+  engine::ExperimentHarness h("fig_roster", argc, argv);
+  const int m = static_cast<int>(h.flag("processors", 4));
+  const long long horizon = h.horizon(2520);
+  const long long sets = h.trials(10);
+
+  std::printf("# PD2 vs BF vs RUN (%d processors, same workloads, horizon %lld)\n", m,
+              horizon);
+  std::printf("# scheduling points + counts per 1000 slots\n");
+  std::printf("# %5s | %9s %9s %9s | %9s %9s | %9s %9s | %6s\n", "load", "pd2_pts",
+              "bf_pts", "run_pts", "pd2_pre", "pd2_migr", "bf_pre", "bf_migr",
+              "errors");
+
+  engine::ParallelSweep sweep(h.jobs(), h.seed(1));
+  const WallTimer wall;
+  int load_idx = 0;
+  for (const double load : {0.3, 0.5, 0.7, 0.85}) {
+    struct Trial {
+      engine::Metrics pd2, bf, run;
+      int errors = 0;  ///< misses or verifier violations on any leg
+    };
+    const std::vector<Trial> trials = sweep.run(
+        static_cast<std::uint64_t>(load_idx++), sets, [&](long long, Rng& rng) {
+          // Divisor-family periods: total weight capped at load * m over
+          // exact rationals, so all three optimal legs admit every task.
+          // The period floor keeps the profile out of the degenerate
+          // regime where every slot is a boundary and the decision-count
+          // comparison collapses to per-quantum on all legs.
+          TaskSet tasks;
+          Rational total(0);
+          const Rational cap(static_cast<std::int64_t>(load * 100.0) * m, 100);
+          for (std::size_t i = 0; i < static_cast<std::size_t>(8 * m); ++i) {
+            const Task t = random_pfair_task(rng, 64);
+            if (t.period < 8) continue;
+            const Rational w(t.execution, t.period);
+            if (total + w > cap) continue;
+            total = total + w;
+            tasks.add(t);
+          }
+          Trial out;
+
+          PfairConfig pc;
+          pc.processors = m;
+          pc.algorithm = Algorithm::kPD2;
+          pc.record_trace = true;
+          PfairSimulator pd2(pc);
+          for (TaskId i = 0; i < tasks.size(); ++i)
+            if (!pd2.admit(engine::task_spec(tasks[i].execution, tasks[i].period)))
+              ++out.errors;
+          pd2.run_until(horizon);
+          out.pd2 = pd2.metrics();
+          VerifyOptions vo;
+          vo.processors = m;
+          if (out.pd2.deadline_misses != 0 || !verify_schedule(pd2.trace(), tasks, vo).ok)
+            ++out.errors;
+
+          BfSimulator bf(tasks, BfConfig{m, true});
+          bf.run_until(horizon);
+          out.bf = bf.metrics();
+          VerifyOptions bo;
+          bo.processors = m;
+          bo.check_windows = false;
+          bo.check_lags = false;
+          bo.check_job_boundaries = true;
+          if (out.bf.deadline_misses != 0 || !verify_schedule(bf.trace(), tasks, bo).ok)
+            ++out.errors;
+
+          RunSimulator run((RunConfig{m, true}));
+          for (TaskId i = 0; i < tasks.size(); ++i)
+            if (!run.admit(engine::task_spec(tasks[i].execution, tasks[i].period)))
+              ++out.errors;
+          run.run_until(horizon);
+          out.run = run.metrics();
+          if (out.run.deadline_misses != 0 ||
+              !verify_run_segments(run.segments(), run.tasks(), run.ticks_per_slot(),
+                                   horizon, m)
+                   .ok)
+            ++out.errors;
+          return out;
+        });
+
+    RunningStats pd2_pts, bf_pts, run_pts, pd2_pre, pd2_mig, bf_pre, bf_mig, run_pre,
+        run_mig;
+    long long errors = 0;
+    const double k = 1000.0 / static_cast<double>(horizon);
+    for (const Trial& t : trials) {  // trial order: deterministic merge
+      errors += t.errors;
+      pd2_pts.add(static_cast<double>(t.pd2.scheduling_points) * k);
+      bf_pts.add(static_cast<double>(t.bf.scheduling_points) * k);
+      run_pts.add(static_cast<double>(t.run.scheduling_points) * k);
+      pd2_pre.add(static_cast<double>(t.pd2.preemptions) * k);
+      pd2_mig.add(static_cast<double>(t.pd2.migrations) * k);
+      bf_pre.add(static_cast<double>(t.bf.preemptions) * k);
+      bf_mig.add(static_cast<double>(t.bf.migrations) * k);
+      run_pre.add(static_cast<double>(t.run.preemptions) * k);
+      run_mig.add(static_cast<double>(t.run.migrations) * k);
+    }
+    std::printf("  %5.2f | %9.1f %9.1f %9.1f | %9.1f %9.1f | %9.1f %9.1f | %6lld\n",
+                load, pd2_pts.mean(), bf_pts.mean(), run_pts.mean(), pd2_pre.mean(),
+                pd2_mig.mean(), bf_pre.mean(), bf_mig.mean(), errors);
+    h.add_row()
+        .set("load", load)
+        .set("pd2_sched_points", pd2_pts)
+        .set("bf_sched_points", bf_pts)
+        .set("run_sched_points", run_pts)
+        .set("pd2_preemptions", pd2_pre)
+        .set("pd2_migrations", pd2_mig)
+        .set("bf_preemptions", bf_pre)
+        .set("bf_migrations", bf_mig)
+        .set("run_preemptions", run_pre)
+        .set("run_migrations", run_mig)
+        .set("verify_errors", errors);
+  }
+  std::printf("# expectations: PD2 decides every quantum (pts == 1000/1000 slots);\n");
+  std::printf("# BF decides only at period boundaries and RUN only at tree events,\n");
+  std::printf("# so both pts columns sit well below PD2 at every load while all\n");
+  std::printf("# three stay miss-free (errors == 0) — optimality is never traded.\n");
+  std::printf("# wall %.2fs (--jobs %d)\n", wall.seconds(), sweep.jobs());
+  return h.finish();
+}

@@ -82,4 +82,16 @@ SchedulerSpec wrr_spec(WrrConfig config) {
   return kind_spec("WRR", SchedulerKind::kWrr, std::move(sc));
 }
 
+SchedulerSpec bf_spec(BfConfig config) {
+  SimulatorConfig sc;
+  sc.bf = config;
+  return kind_spec("BF", SchedulerKind::kBf, std::move(sc));
+}
+
+SchedulerSpec run_spec(RunConfig config) {
+  SimulatorConfig sc;
+  sc.run = config;
+  return kind_spec("RUN", SchedulerKind::kRun, std::move(sc));
+}
+
 }  // namespace pfair::engine

@@ -67,5 +67,10 @@ struct CompareResult {
 [[nodiscard]] SchedulerSpec uniproc_spec(std::string name, UniSimConfig config);
 /// Weighted round-robin on quantised weights.
 [[nodiscard]] SchedulerSpec wrr_spec(WrrConfig config);
+/// Boundary-fair: optimal, decisions only at period boundaries.
+[[nodiscard]] SchedulerSpec bf_spec(BfConfig config);
+/// RUN: optimal, offline reduction tree + online server EDF.  Admission
+/// is capacity-checked, so an overutilised workload reports infeasible.
+[[nodiscard]] SchedulerSpec run_spec(RunConfig config);
 
 }  // namespace pfair::engine

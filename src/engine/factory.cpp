@@ -44,6 +44,14 @@ constexpr RegistryEntry kRegistry[] = {
      [](const SimulatorConfig& c) -> std::unique_ptr<Simulator> {
        return std::make_unique<CbsSimulator>(std::vector<UniTask>{}, c.cbs);
      }},
+    {SchedulerKind::kBf, "bf",
+     [](const SimulatorConfig& c) -> std::unique_ptr<Simulator> {
+       return std::make_unique<BfSimulator>(TaskSet{}, c.bf);
+     }},
+    {SchedulerKind::kRun, "run",
+     [](const SimulatorConfig& c) -> std::unique_ptr<Simulator> {
+       return std::make_unique<RunSimulator>(c.run);
+     }},
 };
 
 const RegistryEntry& entry(SchedulerKind kind) noexcept {
@@ -69,6 +77,17 @@ void validate(SchedulerKind kind, const SimulatorConfig& c) {
     std::ostringstream os;
     os << "make_simulator(" << entry(kind).name << "): shards must be >= 0 (got "
        << c.shards << "; 0 defers to the per-kind config)";
+    throw std::invalid_argument(os.str());
+  }
+  if (c.shards > 1 && kind != SchedulerKind::kPfair) {
+    // Only the pfair SoA slot kernel is sharded.  Accepting (and
+    // ignoring) a parallelism request here would let a sweep table
+    // silently misreport what it measured, so this is a config error on
+    // the same footing as processors < 1.
+    std::ostringstream os;
+    os << "make_simulator(" << entry(kind).name << "): shards > 1 is only "
+       << "supported for pfair (got " << c.shards
+       << "; this kind has no sharded kernel)";
     throw std::invalid_argument(os.str());
   }
   switch (kind) {
@@ -99,6 +118,12 @@ void validate(SchedulerKind kind, const SimulatorConfig& c) {
           throw std::invalid_argument(os.str());
         }
       }
+      break;
+    case SchedulerKind::kBf:
+      if (c.bf.processors < 1) reject(kind, "processors", c.bf.processors);
+      break;
+    case SchedulerKind::kRun:
+      if (c.run.processors < 1) reject(kind, "processors", c.run.processors);
       break;
   }
 }

@@ -18,8 +18,8 @@
 //   sim->run_until(1000);
 //
 // Kinds also round-trip through strings ("pfair", "partitioned",
-// "global-job", "uniproc", "wrr", "cbs") for command-line use — see
-// tools/pfair_trace's `simulate` subcommand.
+// "global-job", "uniproc", "wrr", "cbs", "bf", "run") for command-line
+// use — see tools/pfair_trace's `simulate` subcommand.
 #pragma once
 
 #include <memory>
@@ -28,8 +28,10 @@
 #include <vector>
 
 #include "engine/simulator.h"
+#include "sim/bf_sim.h"
 #include "sim/global_job_sim.h"
 #include "sim/pfair_sim.h"
+#include "sim/run_sim.h"
 #include "sim/wrr_sim.h"
 #include "uniproc/cbs_sim.h"
 #include "uniproc/partitioned_sim.h"
@@ -44,6 +46,8 @@ enum class SchedulerKind : std::uint8_t {
   kUniproc,      ///< event-driven uniprocessor EDF/RM
   kWrr,          ///< weighted round-robin on quantised weights
   kCbs,          ///< CBS servers + hard periodic tasks on one EDF processor
+  kBf,           ///< boundary-fair: optimal, decisions only at period boundaries
+  kRun,          ///< RUN: optimal, offline reduction tree + online server EDF
 };
 
 /// The registry name of a kind ("pfair", "partitioned", ...).
@@ -67,14 +71,18 @@ struct SimulatorConfig {
   UniSimConfig uniproc;
   WrrConfig wrr;
   CbsConfig cbs;
-  int shards = 0;  ///< kind-independent shard override: > 0 replaces
-                   ///< pfair.shards (the SoA slot-kernel parallelism;
-                   ///< other kinds ignore it), 0 defers to the per-kind
-                   ///< config.  Output is byte-identical for any value.
+  BfConfig bf;
+  RunConfig run;
+  int shards = 0;  ///< shard override: > 0 replaces pfair.shards (the SoA
+                   ///< slot-kernel parallelism; output is byte-identical
+                   ///< for any value), 0 or 1 defers to the per-kind
+                   ///< config.  Kinds without a sharded kernel reject
+                   ///< shards > 1 — silently ignoring a parallelism
+                   ///< request would misreport what a sweep measured.
 };
 
 /// Builds an empty simulator of `kind`; load it via Simulator::admit()
-/// (all six stacks accept admission at time 0).  Never returns nullptr;
+/// (every stack accepts admission at time 0).  Never returns nullptr;
 /// throws std::invalid_argument — with a message naming the kind, the
 /// field, and the offending value — when the kind's config section is
 /// unusable (processors/frame < 1, max_processors < 1, CBS server with

@@ -53,6 +53,13 @@ struct Metrics {
   std::uint64_t context_switches = 0;
   std::uint64_t component_switches = 0;  ///< supertask-internal EDF switches
   std::uint64_t scheduler_invocations = 0;
+  std::uint64_t scheduling_points = 0;   ///< distinct instants at which the
+                                         ///< scheduler decided: per-quantum
+                                         ///< sims one per slot (incl. fast-
+                                         ///< forwarded), BF one per period
+                                         ///< boundary, RUN one per event
+                                         ///< instant — the axis the BF/RUN
+                                         ///< papers optimise
   std::uint64_t lag_violations = 0;      ///< only when lag checking enabled
 
   // --- server accounting (CBS) ---
@@ -114,6 +121,7 @@ struct Metrics {
     context_switches += o.context_switches;
     component_switches += o.component_switches;
     scheduler_invocations += o.scheduler_invocations;
+    scheduling_points += o.scheduling_points;
     lag_violations += o.lag_violations;
     served_jobs_completed += o.served_jobs_completed;
     served_work += o.served_work;

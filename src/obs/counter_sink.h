@@ -78,6 +78,7 @@ class CounterSink : public Sink {
         break;
       case EventKind::kSchedInvoke:
         ++m.scheduler_invocations;
+        ++m.scheduling_points;
         m.sched_ns_total += e.value;
         break;
       case EventKind::kOverheadNs:

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/windows.h"
+#include "sim/bf_sim.h"
 #include "sim/pfair_sim.h"
 #include "sim/verifier.h"
 #include "uniproc/analysis.h"
@@ -311,12 +312,153 @@ OracleOutcome check_dynamic_safety(OracleContext& ctx) {
   return out;
 }
 
+/// BF is optimal: any static feasible set (the generator only emits
+/// sum wt <= M) must run miss-free, with the allocation exact at every
+/// job boundary — checked by the independent trace verifier, and
+/// cross-checked against the simulator's own miss accounting.
+OracleOutcome check_bf_optimality(OracleContext& ctx) {
+  const FuzzCase& c = ctx.fuzz_case();
+  const OracleContext::Run& run = ctx.bf_run();
+  VerifyOptions opt;
+  opt.processors = c.processors;
+  opt.check_windows = false;  // BF reorders freely inside an interval
+  opt.check_lags = false;
+  opt.check_job_boundaries = true;
+  const VerifyResult res = verify_schedule(run.trace, c.tasks, opt);
+  OracleOutcome out = from_verifier(res);
+  if (!out.violated && run.metrics.deadline_misses > 0) {
+    std::ostringstream os;
+    os << "BF reports " << run.metrics.deadline_misses
+       << " misses (first at t=" << run.metrics.first_miss_time
+       << ") on a feasible set, but the trace verifier found none";
+    out.violated = true;
+    out.detail = os.str();
+  }
+  return out;
+}
+
+/// BF vs PD2 boundary-allocation differential: at every period
+/// boundary b (a multiple of ANY task's period) the cumulative
+/// allocation of each task, under both schedulers, must track the
+/// fluid schedule wt * b within one quantum — and exactly at the
+/// task's own boundaries, where wt * b is integral.  Two independently
+/// implemented optimal schedulers agreeing with the same fluid target
+/// pins the allocation math of both.
+OracleOutcome check_bf_boundary_differential(OracleContext& ctx) {
+  const FuzzCase& c = ctx.fuzz_case();
+  const OracleContext::Run& bf = ctx.bf_run();
+  const OracleContext::Run& pd2 = ctx.pfair_run(Algorithm::kPD2);
+  const std::size_t horizon =
+      std::min(bf.trace.size(), pd2.trace.size());
+  OracleOutcome out;
+  for (TaskId id = 0; id < c.tasks.size(); ++id) {
+    const Task& probe = c.tasks[id];
+    for (Time b = probe.period; b <= static_cast<Time>(horizon);
+         b += probe.period) {
+      for (TaskId other = 0; other < c.tasks.size(); ++other) {
+        const Task& t = c.tasks[other];
+        const std::int64_t fluid_num = t.execution * b;  // wt * b, over den p
+        const struct {
+          const char* name;
+          std::int64_t alloc;
+        } runs[] = {{"BF", bf.trace.allocation(other, static_cast<std::size_t>(b))},
+                    {"PD2", pd2.trace.allocation(other, static_cast<std::size_t>(b))}};
+        for (const auto& r : runs) {
+          const std::int64_t scaled = r.alloc * t.period;
+          const bool within = scaled > fluid_num - t.period &&
+                              scaled < fluid_num + t.period;
+          const bool own = b % t.period == 0;
+          const bool exact = r.alloc * t.period == fluid_num;
+          if (within && (!own || exact)) continue;
+          std::ostringstream os;
+          os << r.name << " allocation of task " << other << " at boundary "
+             << b << " is " << r.alloc << ", fluid target " << fluid_num
+             << "/" << t.period << (own ? " (own boundary: must be exact)" : "");
+          out.violated = true;
+          out.detail = os.str();
+          return out;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// RUN is optimal and capacity-checked: it must admit every feasible
+/// static set, and the independently verified segment log must show
+/// every job served exactly within its window with no misses.
+OracleOutcome check_run_optimality(OracleContext& ctx) {
+  const FuzzCase& c = ctx.fuzz_case();
+  const OracleContext::RunRun& run = ctx.run_run();
+  OracleOutcome out;
+  if (!run.admitted_all) {
+    std::ostringstream os;
+    os << "RUN rejected " << run.metrics.tasks_rejected
+       << " of " << c.tasks.size() << " tasks of a feasible set";
+    out.violated = true;
+    out.detail = os.str();
+    return out;
+  }
+  if (run.metrics.deadline_misses > 0) {
+    std::ostringstream os;
+    os << "RUN missed " << run.metrics.deadline_misses
+       << " deadlines (first at t=" << run.metrics.first_miss_time
+       << ") on a feasible set";
+    out.violated = true;
+    out.detail = os.str();
+    return out;
+  }
+  const RunVerifyResult res = verify_run_segments(
+      run.segments, c.tasks, run.ticks, c.horizon, c.processors);
+  if (!res.ok) {
+    out.violated = true;
+    out.detail = res.first_violation;
+  }
+  return out;
+}
+
 }  // namespace
 
 const OracleContext::Run& OracleContext::pfair_run(Algorithm alg) {
   auto it = runs_.find(alg);
   if (it == runs_.end()) it = runs_.emplace(alg, replay(case_, alg)).first;
   return it->second;
+}
+
+const OracleContext::Run& OracleContext::bf_run() {
+  if (!bf_) {
+    BfConfig cfg;
+    cfg.processors = case_.processors;
+    cfg.record_trace = true;
+    BfSimulator sim(case_.tasks, cfg);
+    sim.run_until(case_.horizon);
+    auto run = std::make_unique<Run>();
+    run->trace = sim.trace();
+    run->metrics = sim.metrics();
+    run->total_tasks = case_.tasks.size();
+    bf_ = std::move(run);
+  }
+  return *bf_;
+}
+
+const OracleContext::RunRun& OracleContext::run_run() {
+  if (!run_) {
+    RunConfig cfg;
+    cfg.processors = case_.processors;
+    cfg.record_segments = true;
+    RunSimulator sim(cfg);
+    bool all = true;
+    for (const Task& t : case_.tasks.tasks())
+      all = sim.admit(engine::task_spec(t.execution, t.period)) && all;
+    if (all) sim.run_until(case_.horizon);
+    auto run = std::make_unique<RunRun>();
+    run->segments = sim.segments();
+    run->metrics = sim.metrics();
+    run->ticks = sim.ticks_per_slot();
+    run->admitted_all = all;
+    run_ = std::move(run);
+  }
+  return *run_;
 }
 
 const std::vector<Oracle>& oracle_registry() {
@@ -331,6 +473,10 @@ const std::vector<Oracle>& oracle_registry() {
       {"erfair-work-conservation", is_static_early_release,
        check_erfair_work_conservation},
       {"dynamic-safety", has_dynamics, check_dynamic_safety},
+      {"bf-optimality", is_static_periodic, check_bf_optimality},
+      {"bf-boundary-differential", is_static_periodic,
+       check_bf_boundary_differential},
+      {"run-optimality", is_static_periodic, check_run_optimality},
   };
   return registry;
 }

@@ -17,6 +17,16 @@
 //                             eligible subtask waits
 //   dynamic-safety            rule-respecting joins/leaves never cause
 //                             a miss
+//   bf-optimality             BF (boundary fair) is optimal: miss-free
+//                             with exact allocation at every job
+//                             boundary on every feasible static set
+//   bf-boundary-differential  BF and PD2 cumulative allocations both
+//                             track the fluid schedule within one
+//                             quantum at every period boundary (and
+//                             exactly at a task's own boundaries)
+//   run-optimality            RUN admits every feasible static set and
+//                             serves every job exactly (segment log
+//                             verified independently)
 //
 // Oracles are registered in a fixed-order table so campaign statistics,
 // JSON reports, and CLI listings are stable across runs and builds.
@@ -32,6 +42,7 @@
 #include "core/priority.h"
 #include "engine/metrics.h"
 #include "qa/fuzz_case.h"
+#include "sim/run_sim.h"
 #include "sim/trace.h"
 
 namespace pfair::qa {
@@ -73,9 +84,25 @@ class OracleContext {
   /// The case replayed under `alg` (trace recorded, script applied).
   const Run& pfair_run(Algorithm alg);
 
+  /// The case replayed under boundary-fair scheduling (static cases
+  /// only; BF refuses dynamics by design).
+  const Run& bf_run();
+
+  struct RunRun {
+    std::vector<RunSegment> segments;
+    engine::Metrics metrics;
+    std::int64_t ticks = 1;        ///< fine ticks per slot
+    bool admitted_all = false;     ///< RUN's capacity check took every task
+  };
+
+  /// The case replayed under RUN (static cases only).
+  const RunRun& run_run();
+
  private:
   const FuzzCase& case_;
   std::map<Algorithm, Run> runs_;
+  std::unique_ptr<Run> bf_;
+  std::unique_ptr<RunRun> run_;
 };
 
 struct Oracle {

@@ -209,6 +209,12 @@ std::optional<Decision> AdmissionController::tier0(const UniTask& t, TaskId excl
       if (config_.kind == SchedulerKind::kWrr || !config_.overhead_aware)
         return yes(0, "eq2");
       return std::nullopt;  // overhead-aware: Eq. (3) must confirm
+    case SchedulerKind::kBf:
+    case SchedulerKind::kRun:
+      // Both are optimal (every set with sum wt <= M is schedulable),
+      // so Eq. (2) is exact and Tier 0 always decides; neither has an
+      // Eq.-(3) overhead model to defer to.
+      return after <= Rational(m) ? yes(0, "eq2") : no(0, "eq2");
     case SchedulerKind::kUniproc:
       if (config_.algorithm == UniAlgorithm::kRM) {
         if (after > Rational(1)) return no(0, "utilization");
@@ -254,7 +260,9 @@ Decision AdmissionController::tier1(const UniTask& t, TaskId exclude) const {
       const bool ok = need.has_value() && *need <= m;
       return ok ? yes(1, "eq3-pd2") : no(1, "eq3-pd2");
     }
-    case SchedulerKind::kWrr: {
+    case SchedulerKind::kWrr:
+    case SchedulerKind::kBf:
+    case SchedulerKind::kRun: {
       const Rational after = total_excluding(exclude) + weight_of(t);
       return after <= Rational(m) ? yes(1, "eq2") : no(1, "eq2");
     }

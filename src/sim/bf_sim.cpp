@@ -1,0 +1,268 @@
+#include "sim/bf_sim.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/windows.h"
+#include "util/math.h"
+
+namespace pfair {
+
+namespace {
+
+/// PD2 urgency of the pending subtask (1-based index `s`) of a task,
+/// aggregated to the interval level: earlier pseudo-deadline first,
+/// then b-bit 1 before 0, then larger group deadline, then lower id.
+/// The same comparison chain the per-quantum PD2 scheduler uses — BF
+/// only changes *when* it is consulted, not *what* it prefers.
+struct OptionalRank {
+  Time deadline = 0;
+  int b = 0;
+  Time group = 0;
+  TaskId id = 0;
+
+  [[nodiscard]] bool before(const OptionalRank& o) const noexcept {
+    if (deadline != o.deadline) return deadline < o.deadline;
+    if (b != o.b) return b > o.b;
+    if (group != o.group) return group > o.group;
+    return id < o.id;
+  }
+};
+
+OptionalRank rank_of(TaskId id, const Task& t, SubtaskIndex s) {
+  OptionalRank r;
+  r.deadline = subtask_deadline(t.execution, t.period, s);
+  r.b = b_bit(t.execution, t.period, s);
+  r.group = group_deadline(t.execution, t.period, s);
+  r.id = id;
+  return r;
+}
+
+}  // namespace
+
+BfSimulator::BfSimulator(TaskSet tasks, BfConfig config)
+    : tasks_(std::move(tasks)),
+      config_(config),
+      allocated_(tasks_.size(), 0),
+      prev_proc_task_(static_cast<std::size_t>(config.processors), kNoTask),
+      cur_proc_task_(static_cast<std::size_t>(config.processors), kNoTask),
+      prev_sched_(tasks_.size(), false),
+      cur_sched_(tasks_.size(), false),
+      last_proc_(tasks_.size(), kNoProc),
+      quota_(tasks_.size(), 0) {
+  assert(config_.processors >= 1);
+}
+
+bool BfSimulator::admit(const engine::TaskSpec& spec) {
+  if (now_ > 0 || !spec.valid()) {
+    ++metrics_.tasks_rejected;
+    return false;
+  }
+  const Task t = make_task(spec.resolved_execution(), spec.resolved_period(),
+                           TaskKind::kPeriodic, spec.name);
+  tasks_.add(t);
+  allocated_.push_back(0);
+  prev_sched_.push_back(false);
+  cur_sched_.push_back(false);
+  last_proc_.push_back(kNoProc);
+  quota_.push_back(0);
+  ++metrics_.tasks_admitted;
+  return true;
+}
+
+void BfSimulator::plan_interval() {
+  const Time b = now_;
+  const std::size_t n = tasks_.size();
+  const std::int64_t m_procs = config_.processors;
+
+  // Next boundary: the smallest period multiple strictly after b.
+  Time b_next = -1;
+  for (TaskId id = 0; id < n; ++id) {
+    const Time next = (b / tasks_[id].period + 1) * tasks_[id].period;
+    if (b_next < 0 || next < b_next) b_next = next;
+  }
+  assert(b_next > b);
+  interval_begin_ = b;
+  interval_end_ = b_next;
+  const Time L = b_next - b;
+
+  // Period boundaries of individual tasks: job deadlines are checked
+  // and the next jobs released exactly here — every job deadline is a
+  // boundary, so no miss can hide between decisions.
+  for (TaskId id = 0; id < n; ++id) {
+    const Task& t = tasks_[id];
+    if (b % t.period != 0) continue;
+    if (b > 0) {
+      const std::int64_t k = b / t.period;  // job k's deadline is b
+      if (allocated_[id] < checked_mul(k, t.execution)) {
+        metrics_.record_miss(b);
+        obs::emit(bus_, obs::EventKind::kDeadlineMiss, b, id);
+      }
+    }
+    ++metrics_.jobs_released;
+    obs::emit(bus_, obs::EventKind::kJobRelease, b, id, kNoProc,
+              static_cast<double>(b + t.period));
+  }
+
+  // Mandatory units: m_i = max(0, floor(F_i)) with F_i the fluid target
+  // wt * b_next - allocated.  All per-task arithmetic stays over the
+  // task's own denominator p_i, so nothing ever needs a common period
+  // lcm.  F_i < 0 means the task holds its ceiling allocation and a
+  // short interval ends before the fluid schedule catches up: it gets
+  // (and may take) nothing.
+  std::int64_t mandatory_total = 0;
+  eligible_.clear();
+  for (TaskId id = 0; id < n; ++id) {
+    const Task& t = tasks_[id];
+    const std::int64_t f_num =
+        checked_mul(t.execution, b_next) - checked_mul(allocated_[id], t.period);
+    std::int64_t m = std::max<std::int64_t>(0, floor_div(f_num, t.period));
+    if (m > L) m = L;  // defensive: only reachable after a prior overload
+    quota_[id] = m;
+    mandatory_total += m;
+    if (f_num > 0 && f_num % t.period != 0 && m < L) eligible_.push_back(id);
+  }
+
+  const std::int64_t capacity = checked_mul(m_procs, L);
+  if (mandatory_total > capacity) {
+    // Overloaded interval (sum wt > M, or an earlier overload's debt):
+    // serve mandatory units in PD2 urgency order until capacity runs
+    // out; the shortfall surfaces as boundary deadline misses above.
+    std::vector<TaskId> order;
+    for (TaskId id = 0; id < n; ++id)
+      if (quota_[id] > 0) order.push_back(id);
+    std::sort(order.begin(), order.end(), [&](TaskId a, TaskId bb) {
+      return rank_of(a, tasks_[a], allocated_[a] + 1)
+          .before(rank_of(bb, tasks_[bb], allocated_[bb] + 1));
+    });
+    std::int64_t left = capacity;
+    std::vector<std::int64_t> want(n, 0);
+    for (TaskId id = 0; id < n; ++id) std::swap(want[id], quota_[id]);
+    for (const TaskId id : order) {
+      const std::int64_t take = std::min(want[id], left);
+      quota_[id] = take;
+      left -= take;
+    }
+  } else {
+    // Optional units: hand the RC = M*L - sum m_i leftover quanta to
+    // eligible tasks by the urgency of the first subtask *after* the
+    // mandatory batch (the one the extra quantum would serve).
+    std::int64_t rc = capacity - mandatory_total;
+    if (rc > 0 && !eligible_.empty()) {
+      std::sort(eligible_.begin(), eligible_.end(), [&](TaskId a, TaskId bb) {
+        return rank_of(a, tasks_[a], allocated_[a] + quota_[a] + 1)
+            .before(rank_of(bb, tasks_[bb], allocated_[bb] + quota_[bb] + 1));
+      });
+      for (const TaskId id : eligible_) {
+        if (rc == 0) break;
+        ++quota_[id];
+        --rc;
+      }
+    }
+  }
+
+  // McNaughton wrap-around layout: tasks in id order fill processor 0
+  // slot by slot, overflow wraps onto the next processor.  Each task's
+  // quanta stay contiguous (split across at most two processors), so an
+  // interval causes at most M-1 mid-job splits — the decision-point
+  // economy BF exists for.
+  layout_.assign(static_cast<std::size_t>(L),
+                 std::vector<TaskId>(static_cast<std::size_t>(m_procs), kNoTask));
+  std::size_t proc = 0;
+  std::size_t offset = 0;
+  for (TaskId id = 0; id < n; ++id) {
+    for (std::int64_t q = 0; q < quota_[id]; ++q) {
+      assert(proc < static_cast<std::size_t>(m_procs));
+      layout_[offset][proc] = id;
+      if (++offset == static_cast<std::size_t>(L)) {
+        offset = 0;
+        ++proc;
+      }
+    }
+  }
+
+  ++metrics_.scheduler_invocations;
+  ++metrics_.scheduling_points;
+  obs::emit(bus_, obs::EventKind::kSchedInvoke, b);
+}
+
+void BfSimulator::emit_slot() {
+  const Time s = now_;
+  const std::size_t m = static_cast<std::size_t>(config_.processors);
+  const std::vector<TaskId>& row = layout_[static_cast<std::size_t>(s - interval_begin_)];
+
+  obs::emit(bus_, obs::EventKind::kSlotBegin, s, kNoTask, kNoProc,
+            static_cast<double>(config_.processors));
+  if (config_.record_trace) trace_.begin_slot(m);
+  std::fill(cur_sched_.begin(), cur_sched_.end(), false);
+  std::fill(cur_proc_task_.begin(), cur_proc_task_.end(), kNoTask);
+  int served = 0;
+  for (std::size_t proc = 0; proc < m; ++proc) {
+    const TaskId id = row[proc];
+    if (id == kNoTask) continue;
+    const Task& t = tasks_[id];
+    if (config_.record_trace) trace_.record(static_cast<ProcId>(proc), id);
+    cur_sched_[id] = true;
+    cur_proc_task_[proc] = id;
+    ++allocated_[id];
+    ++served;
+    obs::emit(bus_, obs::EventKind::kDispatch, s, id, static_cast<ProcId>(proc),
+              -1.0);  // interval batching has no per-quantum release to measure from
+    if (prev_proc_task_[proc] != id) {
+      ++metrics_.context_switches;
+      obs::emit(bus_, obs::EventKind::kContextSwitch, s, id, static_cast<ProcId>(proc));
+    }
+    if (last_proc_[id] != kNoProc && last_proc_[id] != static_cast<ProcId>(proc)) {
+      ++metrics_.migrations;
+      obs::emit(bus_, obs::EventKind::kMigration, s, id, static_cast<ProcId>(proc),
+                static_cast<double>(last_proc_[id]));
+    }
+    last_proc_[id] = static_cast<ProcId>(proc);
+    if (allocated_[id] % t.execution == 0) {
+      // Job k = allocated/e just finished; released at (k-1)*p.
+      const std::int64_t k = allocated_[id] / t.execution;
+      const double response =
+          static_cast<double>(s + 1 - checked_mul(k - 1, t.period));
+      ++metrics_.jobs_completed;
+      metrics_.response_time.add(response);
+      obs::emit(bus_, obs::EventKind::kJobComplete, s, id, static_cast<ProcId>(proc),
+                response);
+    }
+  }
+  // Sec.-4 preemption rule: scheduled in s-1, current job incomplete,
+  // not scheduled in s.
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (prev_sched_[id] && !cur_sched_[id] && allocated_[id] % tasks_[id].execution != 0) {
+      ++metrics_.preemptions;
+      obs::emit(bus_, obs::EventKind::kPreemption, s, id, kNoProc, -1.0);
+    }
+  }
+  std::swap(prev_sched_, cur_sched_);
+  std::swap(prev_proc_task_, cur_proc_task_);
+  ++metrics_.slots;
+  metrics_.busy_quanta += static_cast<std::uint64_t>(served);
+  metrics_.idle_quanta += static_cast<std::uint64_t>(config_.processors - served);
+  obs::emit(bus_, obs::EventKind::kSlotEnd, s, kNoTask, kNoProc,
+            static_cast<double>(served));
+  ++now_;
+}
+
+void BfSimulator::run_until(Time until) {
+  while (now_ < until) {
+    if (tasks_.empty()) {
+      // No tasks, no boundaries: the whole range is idle.
+      const Time count = until - now_;
+      const std::size_t m = static_cast<std::size_t>(config_.processors);
+      if (config_.record_trace) trace_.idle_slots(m, static_cast<std::size_t>(count));
+      metrics_.slots += static_cast<std::uint64_t>(count);
+      metrics_.idle_quanta += static_cast<std::uint64_t>(count) * m;
+      now_ = until;
+      break;
+    }
+    if (now_ == interval_end_) plan_interval();
+    const Time stop = std::min(until, interval_end_);
+    while (now_ < stop) emit_slot();
+  }
+}
+
+}  // namespace pfair

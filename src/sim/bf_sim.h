@@ -1,0 +1,106 @@
+// Boundary-fair (BF) scheduling [Zhu, Mossé, Melhem, RTSS'03].
+//
+// BF keeps Pfair's optimality (any set with sum wt(T) <= M is
+// schedulable) while making scheduling decisions only at *period
+// boundaries* — the distinct multiples of any task's period — instead
+// of at every quantum.  At each boundary b_k the scheduler computes,
+// per task, the integer allocation for the whole interval
+// [b_k, b_{k+1}) at once:
+//
+//   F_i  = wt(T_i) * b_{k+1} - allocated_i      (the fluid target)
+//   m_i  = max(0, floor(F_i))                   (mandatory units)
+//   +1 optional unit iff frac(F_i) > 0, F_i > 0 and m_i < L
+//
+// granting the RC = M*L - sum m_i leftover units to eligible tasks in
+// PD2 urgency order of their pending subtask (earliest pseudo-deadline,
+// then b-bit, then group deadline, then id — the same comparison the
+// per-quantum scheduler uses, aggregated per interval).  Keeping every
+// cumulative allocation in {floor, ceil} of the fluid weight * time
+// makes the allocation *exact* at each task's own period boundaries
+// (wt * k * p = k * e is integral there), so every job receives exactly
+// e quanta between release and deadline: no deadline is ever missed.
+//
+// Within an interval the chosen x_i quanta are laid out with
+// McNaughton's wrap-around rule (fill processor 0 slot by slot, wrap
+// the overflow onto the next processor), which is valid whenever
+// x_i <= L and splits at most M-1 tasks per interval — this is where
+// BF's preemption/migration savings over per-quantum Pfair come from.
+//
+// Determinism: integer arithmetic only (per-task rationals e*b'/p never
+// leave int64), id-ordered tie-breaks, id-ordered McNaughton layout.
+// The same admitted set always produces byte-identical traces/metrics.
+#pragma once
+
+#include <vector>
+
+#include "core/task.h"
+#include "engine/metrics.h"
+#include "engine/simulator.h"
+#include "obs/bus.h"
+#include "sim/trace.h"
+
+namespace pfair {
+
+struct BfConfig {
+  int processors = 1;
+  bool record_trace = true;  ///< keep the full per-slot allocation trace
+};
+
+class BfSimulator : public engine::Simulator {
+ public:
+  explicit BfSimulator(TaskSet tasks = {}, BfConfig config = {});
+
+  /// Admission is only possible before the first slot runs: the
+  /// boundary set and the fluid targets are fixed at start.  Dynamic
+  /// join/leave/reweight inherit the rejecting defaults
+  /// (can_dynamic() = false), so refusals are well-defined, not UB.
+  bool admit(const engine::TaskSpec& spec) override;
+  using engine::Simulator::admit;
+
+  void run_until(Time until) override;
+
+  [[nodiscard]] Time now() const noexcept override { return now_; }
+  [[nodiscard]] const engine::Metrics& metrics() const noexcept override {
+    return metrics_;
+  }
+  [[nodiscard]] const ScheduleTrace& trace() const noexcept { return trace_; }
+  [[nodiscard]] std::int64_t allocated(TaskId id) const { return allocated_[id]; }
+  [[nodiscard]] const TaskSet& tasks() const noexcept { return tasks_; }
+
+  void attach_observer(obs::EventBus* bus) override { bus_ = bus; }
+
+ private:
+  /// Computes the boundary interval starting at now_ (which must be a
+  /// boundary): releases jobs, checks deadlines, allocates mandatory +
+  /// optional units, lays the interval out (McNaughton).
+  void plan_interval();
+  /// Emits one laid-out slot (trace, obs events, Sec.-4 accounting).
+  void emit_slot();
+
+  TaskSet tasks_;
+  BfConfig config_;
+  Time now_ = 0;
+  std::vector<std::int64_t> allocated_;  ///< cumulative quanta per task
+
+  // Current interval [interval_begin_, interval_end_), laid out as
+  // layout_[slot - interval_begin_][proc] = task (kNoTask = idle).
+  Time interval_begin_ = 0;
+  Time interval_end_ = 0;
+  std::vector<std::vector<TaskId>> layout_;
+
+  ScheduleTrace trace_;
+  engine::Metrics metrics_;
+  obs::EventBus* bus_ = nullptr;  ///< borrowed; nullptr = observation off
+
+  // Scratch for the Sec.-4 event accounting, reused every slot.
+  std::vector<TaskId> prev_proc_task_;
+  std::vector<TaskId> cur_proc_task_;
+  std::vector<bool> prev_sched_;
+  std::vector<bool> cur_sched_;
+  std::vector<ProcId> last_proc_;
+  // Per-interval allocation scratch.
+  std::vector<std::int64_t> quota_;     ///< x_i for the current interval
+  std::vector<TaskId> eligible_;        ///< optional-unit candidates
+};
+
+}  // namespace pfair

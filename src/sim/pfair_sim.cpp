@@ -584,6 +584,7 @@ void PfairSimulator::simulate_slot() {
 
     const double sched_ns = timer_.stop(metrics_);
     ++metrics_.scheduler_invocations;
+    ++metrics_.scheduling_points;
     obs::emit(bus_, obs::EventKind::kSchedInvoke, t, kNoTask, kNoProc, sched_ns);
   }
 
@@ -802,6 +803,7 @@ void PfairSimulator::account_idle_slots(Time count) {
   metrics_.slots += static_cast<std::uint64_t>(count);
   metrics_.idle_quanta += static_cast<std::uint64_t>(count) * m;
   metrics_.scheduler_invocations += static_cast<std::uint64_t>(count);
+  metrics_.scheduling_points += static_cast<std::uint64_t>(count);
   metrics_.fast_forwarded_slots += static_cast<std::uint64_t>(count);
   if (config_.record_trace) trace_.idle_slots(m, static_cast<std::size_t>(count));
   // What one simulated idle slot would leave behind for the next slot's

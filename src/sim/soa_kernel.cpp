@@ -227,6 +227,7 @@ void PfairSimulator::soa_schedule(Time t) {
 
   const double sched_ns = timer_.stop(metrics_);
   ++metrics_.scheduler_invocations;
+  ++metrics_.scheduling_points;
   obs::emit(bus_, obs::EventKind::kSchedInvoke, t, kNoTask, kNoProc, sched_ns);
 }
 

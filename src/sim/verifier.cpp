@@ -114,9 +114,21 @@ VerifyResult verify_schedule(const ScheduleTrace& trace, const TaskSet& tasks,
       ++allocated[id];
     }
 
-    // Lag bounds at time t+1.
+    // Lag bounds / boundary exactness at time t+1.
     for (TaskId id = 0; id < n; ++id) {
       const Task& task = tasks[id];
+      if (options.check_job_boundaries &&
+          (static_cast<Time>(t) + 1) % task.period == 0) {
+        const std::int64_t k = (static_cast<Time>(t) + 1) / task.period;
+        const std::int64_t expect = k * task.execution;
+        if (allocated[id] != expect) {
+          std::ostringstream os;
+          os << ", boundary " << t + 1 << ": allocated " << allocated[id]
+             << ", fluid requires exactly " << expect;
+          res.fail(describe("allocation not exact at period boundary", t, id) +
+                   os.str() + render_excerpt(trace, n, t));
+        }
+      }
       if (options.check_lags) {
         if (!lag_within_pfair_bounds(task.execution, task.period, static_cast<Time>(t) + 1,
                                      allocated[id])) {

@@ -34,6 +34,14 @@ struct VerifyOptions {
   bool check_windows = true;   ///< Pfair windows (disable for ERfair traces)
   bool check_lags = true;      ///< strict (-1, 1) lag bounds
   bool check_upper_lag_only = false;  ///< ERfair: only lag < 1 (deadlines)
+  /// Job-boundary exactness (for boundary-fair traces, which need not
+  /// honour subtask windows *within* an interval): cumulative allocation
+  /// at every period multiple k*p covered by the trace must equal k*e
+  /// exactly.  Exactness at both ends of every job window [k*p, (k+1)*p)
+  /// means each job receives exactly e quanta between release and
+  /// deadline — a valid job-level schedule — so this is the complete
+  /// correctness condition for BF, not a sampling of it.
+  bool check_job_boundaries = false;
 };
 
 struct VerifyResult {

@@ -121,6 +121,7 @@ void WrrSimulator::run_until(Time until) {
     std::swap(prev_proc_task_, cur_proc_task_);
     ++metrics_.slots;
     ++metrics_.scheduler_invocations;
+    ++metrics_.scheduling_points;
     obs::emit(bus_, obs::EventKind::kSchedInvoke, now_);
     metrics_.busy_quanta += static_cast<std::uint64_t>(served);
     metrics_.idle_quanta += static_cast<std::uint64_t>(config_.processors - served);

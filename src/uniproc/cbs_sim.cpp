@@ -90,6 +90,7 @@ void CbsSimulator::run_until(Time until) {
   while (now_ < until) {
     arrivals_and_releases(now_);
     ++metrics_.scheduler_invocations;
+    ++metrics_.scheduling_points;
     obs::emit(bus_, obs::EventKind::kSchedInvoke, now_);
 
     // EDF over hard jobs and active servers (small systems: scans).

@@ -108,6 +108,7 @@ void UniprocSimulator::invoke_scheduler(Time t) {
 
   const double sched_ns = timer_.stop(metrics_);
   ++metrics_.scheduler_invocations;
+  ++metrics_.scheduling_points;
   obs::emit(bus_, obs::EventKind::kSchedInvoke, t, kNoTask, proc_, sched_ns);
 }
 

@@ -110,6 +110,33 @@ TEST(Factory, RejectsDegenerateCbsServer) {
       "make_simulator(cbs): server 0 must have budget >= 1 and period >= 1 (got Q=0, T=4)");
 }
 
+TEST(Factory, RejectsBadBfAndRunConfigs) {
+  SimulatorConfig config;
+  config.bf.processors = 0;
+  expect_rejected(SchedulerKind::kBf, config,
+                  "make_simulator(bf): processors must be >= 1 (got 0)");
+  config.bf.processors = 1;
+  config.run.processors = -3;
+  expect_rejected(SchedulerKind::kRun, config,
+                  "make_simulator(run): processors must be >= 1 (got -3)");
+}
+
+TEST(Factory, RejectsShardOverrideForKindsWithoutShardedKernel) {
+  // Sharding is a pfair-kernel concept; silently ignoring the override
+  // elsewhere would let a sweep believe it measured a sharded run.
+  SimulatorConfig config;
+  config.shards = 4;
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    if (kind == SchedulerKind::kPfair) continue;
+    const std::string want =
+        std::string("make_simulator(") + to_string(kind) +
+        "): shards > 1 is only supported for pfair (got 4; this kind has no sharded kernel)";
+    expect_rejected(kind, config, want);
+  }
+  // The pfair row still accepts the very same override.
+  EXPECT_NE(make_simulator(SchedulerKind::kPfair, config), nullptr);
+}
+
 TEST(Factory, ValidationOnlyReadsTheRequestedKindsSection) {
   // A zero in an unused column must not poison other kinds: the sweep
   // table mistake the validation exists to catch, inverted.

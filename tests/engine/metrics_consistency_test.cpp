@@ -118,16 +118,19 @@ TEST(EngineMetrics, MergeSumsCountersAndKeepsEarliestMiss) {
   engine::Metrics a;
   a.busy_quanta = 3;
   a.fast_forwarded_slots = 11;
+  a.scheduling_points = 9;
   a.record_miss(10);
   a.response_time.add(2.0);
   engine::Metrics b;
   b.busy_quanta = 4;
   b.fast_forwarded_slots = 5;
+  b.scheduling_points = 6;
   b.record_miss(7);
   b.response_time.add(4.0);
   a.merge(b);
   EXPECT_EQ(a.busy_quanta, 7u);
   EXPECT_EQ(a.fast_forwarded_slots, 16u);  // sum semantics (work skipped)
+  EXPECT_EQ(a.scheduling_points, 15u);     // invocation work also sums
   EXPECT_EQ(a.deadline_misses, 2u);
   EXPECT_EQ(a.first_miss_time, 7);
   EXPECT_EQ(a.response_time.count(), 2u);

@@ -235,6 +235,12 @@ TEST(Factory, EverySimulatorMatchesDirectConstruction) {
       case SchedulerKind::kCbs:
         direct = std::make_unique<CbsSimulator>(std::vector<UniTask>{}, cfg.cbs);
         break;
+      case SchedulerKind::kBf:
+        direct = std::make_unique<BfSimulator>(TaskSet{}, cfg.bf);
+        break;
+      case SchedulerKind::kRun:
+        direct = std::make_unique<RunSimulator>(cfg.run);
+        break;
     }
     for (const UniTask& t : tasks) {
       const bool a = via_factory->admit(task_spec(t.execution, t.period));

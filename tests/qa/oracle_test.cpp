@@ -34,6 +34,7 @@ TEST(OracleRegistry, FixedOrderAndNames) {
       "window-containment",  "lag-bounds",          "quantum-capacity",
       "verifier-agreement",  "optimal-differential", "partitioned-lopez",
       "erfair-deadline",     "erfair-work-conservation", "dynamic-safety",
+      "bf-optimality",       "bf-boundary-differential", "run-optimality",
   };
   ASSERT_EQ(registry.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
@@ -78,6 +79,10 @@ TEST(Oracles, ReportsCoverEveryRegisteredOracle) {
   EXPECT_TRUE(reports[0].applied);   // window-containment
   EXPECT_TRUE(reports[2].applied);   // quantum-capacity
   EXPECT_FALSE(reports[8].applied);  // dynamic-safety
+  // The successor-scheduler oracles are static-only and must apply here.
+  EXPECT_TRUE(reports[9].applied);   // bf-optimality
+  EXPECT_TRUE(reports[10].applied);  // bf-boundary-differential
+  EXPECT_TRUE(reports[11].applied);  // run-optimality
 }
 
 TEST(Oracles, InvalidCaseYieldsSyntheticValidationViolation) {

@@ -41,6 +41,25 @@ TEST(Admission, PfairEqTwoIsExactAtTheBoundary) {
   EXPECT_STREQ(over.reason, "eq2");
 }
 
+TEST(Admission, BfAndRunDecideExactlyAtEqTwo) {
+  // BF and RUN are optimal, so Eq. (2) is exact for them too — Tier 0
+  // always decides, with no Eq.-(3) overhead deduction in the way.
+  for (const SchedulerKind kind : {SchedulerKind::kBf, SchedulerKind::kRun}) {
+    AdmissionController gate(config_for(kind, 2));
+    for (TaskId id = 0; id < 4; ++id) {
+      const Decision d = gate.decide_join(UniTask{1, 2});
+      EXPECT_TRUE(d.admit) << to_string(kind) << " task " << id;
+      EXPECT_EQ(d.tier, 0);
+      EXPECT_STREQ(d.reason, "eq2");
+      gate.commit(id, UniTask{1, 2});
+    }
+    const Decision over = gate.decide_join(UniTask{1, 1000000});
+    EXPECT_FALSE(over.admit) << to_string(kind);
+    EXPECT_EQ(over.tier, 0);
+    EXPECT_STREQ(over.reason, "eq2");
+  }
+}
+
 TEST(Admission, InvalidTaskIsRejectedBeforeAnyTier) {
   AdmissionController gate(config_for(SchedulerKind::kPfair, 2));
   const Decision d = gate.decide_join(UniTask{5, 3});
