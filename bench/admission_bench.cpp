@@ -4,18 +4,37 @@
 // Drives one deterministic generated request stream (serve/request.h)
 // through an in-process serve::Daemon per scheduler kind and reports
 // the decision mix — admits/rejects/errors and the deciding tiers —
-// plus the decision-latency histogram.  Wall-clock throughput is
-// printed to stdout for humans but deliberately kept OUT of the JSON
-// report: every recorded field is a pure function of (seed, count,
-// load, kind), so two runs of this bench produce byte-identical
-// BENCH_admission.json files (CI cmp's them) and pfair_perf can diff
-// against the committed baseline without wall-time noise.
+// plus the decision-latency histogram.  Wall-clock throughput and the
+// Tier-2 memo hit rate are printed to stdout for humans but
+// deliberately kept OUT of the JSON report: every recorded field is a
+// pure function of the flags, so two runs of this bench produce
+// byte-identical BENCH_admission.json files (CI cmp's them) and
+// pfair_perf can diff against the committed baseline without wall-time
+// noise.
 //
 // Usage: admission_bench [--requests=5000] [--seed=42] [--load=150]
-//                        [--processors=4] [--advance=1] [--json]
+//                        [--processors=4] [--advance=1]
+//                        [--residents=0] [--batch=1] [--jobs=1]
+//                        [--kind=all] [--json]
 //
 // --load is offered load in percent of capacity (150 = half again more
 // than fits, so the reject paths get real traffic).
+//
+// Scale axes (the ISSUE-10 high-throughput work):
+//   --residents=N  commits N ultra-light ballast tasks into the gate
+//                  before the measured stream (DaemonConfig.residents),
+//                  so decisions run against an N-task committed set.
+//                  Pair with --advance=0 at large N: the ballast lives
+//                  only in the gate, and the point is admission
+//                  throughput, not slot-kernel throughput.
+//   --batch=K      rewrites the stream into {"op":"batch"} lines of K
+//                  sub-requests (serve::batch_requests); the batch
+//                  lines themselves carry the grouping, so the daemon
+//                  serves with its default pipeline depth of 1.
+//   --jobs=J       Tier-2 memo prewarm workers.
+// Decisions are byte-identical for every (batch, jobs) setting and the
+// JSON rows count sub-requests, so the recorded report is invariant
+// across the batching axes — only the stdout throughput moves.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -35,16 +54,22 @@ int main(int argc, char** argv) {
   const double load = static_cast<double>(h.flag("load", 150)) / 100.0;
   const int m = static_cast<int>(h.flag("processors", 4));
   const auto advance = static_cast<Time>(h.flag("advance", 1));
+  const auto residents = static_cast<std::size_t>(h.flag("residents", 0));
+  const auto batch = static_cast<std::size_t>(h.flag("batch", 1));
+  const int jobs = static_cast<int>(h.flag("jobs", 1));
+  const std::string only_kind = h.flag_string("kind", "all");
 
   serve::GenConfig gc;
   gc.count = n_requests;
   gc.seed = seed;
   gc.load = load;
   gc.processors = m;
-  const std::string requests = serve::generate_requests(gc);
+  std::string requests = serve::generate_requests(gc);
+  if (batch > 1) requests = serve::batch_requests(requests, batch);
 
-  std::printf("# admission gate throughput (%zu requests, load %.0f%%, m=%d)\n",
-              n_requests, load * 100.0, m);
+  std::printf("# admission gate throughput (%zu requests, load %.0f%%, m=%d, "
+              "residents=%zu, batch=%zu, jobs=%d)\n",
+              n_requests, load * 100.0, m, residents, batch, jobs);
   std::printf("# %-11s | %8s %8s %7s | %7s %7s %7s %7s | %10s | %8s %8s\n", "kind",
               "admits", "rejects", "errors", "tier0", "tier1", "tier2", "approx",
               "committed", "p50_ns", "p99_ns");
@@ -52,22 +77,27 @@ int main(int argc, char** argv) {
   for (const engine::SchedulerKind kind :
        {engine::SchedulerKind::kPfair, engine::SchedulerKind::kPartitioned,
         engine::SchedulerKind::kGlobalJob, engine::SchedulerKind::kUniproc}) {
+    if (only_kind != "all" && only_kind != engine::to_string(kind)) continue;
     serve::DaemonConfig dc;
     dc.kind = kind;
     dc.processors = m;
     dc.advance_per_request = advance;
+    dc.residents = residents;
+    dc.jobs = jobs;
     serve::Daemon daemon(dc);
 
     std::istringstream in(requests);
     std::ostringstream decisions;
     const auto start = std::chrono::steady_clock::now();
-    const std::uint64_t handled = daemon.serve(in, decisions);
+    (void)daemon.serve(in, decisions);
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
     const serve::DaemonStats& s = daemon.stats();
+    const std::uint64_t hits = daemon.controller().memo_hits();
+    const std::uint64_t misses = daemon.controller().memo_misses();
     std::printf("# %-11s | %8llu %8llu %7llu | %7llu %7llu %7llu %7llu | %10zu | "
-                "%8.0f %8.0f   (%.0f decisions/sec)\n",
+                "%8.0f %8.0f   (%.0f decisions/sec, memo %llu/%llu = %.0f%% hits)\n",
                 engine::to_string(kind), static_cast<unsigned long long>(s.admits),
                 static_cast<unsigned long long>(s.rejects),
                 static_cast<unsigned long long>(s.errors),
@@ -76,12 +106,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.tier2),
                 static_cast<unsigned long long>(s.approx), daemon.controller().committed(),
                 s.latency_ns.p50(), s.latency_ns.p99(),
-                secs > 0.0 ? static_cast<double>(handled) / secs : 0.0);
+                secs > 0.0 ? static_cast<double>(s.requests) / secs : 0.0,
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(hits + misses),
+                hits + misses > 0
+                    ? 100.0 * static_cast<double>(hits) / static_cast<double>(hits + misses)
+                    : 0.0);
 
-    // Deterministic fields only: no wall time, no latency numbers.
+    // Deterministic fields only: no wall time, no latency numbers, no
+    // memo counters (prewarm shifts hit/miss splits across jobs
+    // settings without changing any decision).  "requests" counts
+    // sub-requests, so these rows are invariant across --batch/--jobs.
     h.add_row()
         .set("kind", std::string(engine::to_string(kind)))
-        .set("requests", static_cast<long long>(handled))
+        .set("requests", static_cast<long long>(s.requests))
         .set("admits", static_cast<long long>(s.admits))
         .set("rejects", static_cast<long long>(s.rejects))
         .set("errors", static_cast<long long>(s.errors))

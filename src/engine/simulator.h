@@ -87,17 +87,6 @@ class Simulator {
   /// call increments Metrics::tasks_admitted or tasks_rejected.
   virtual bool admit(const TaskSpec& spec) = 0;
 
-  /// Deprecated positional spelling of admit(); delegates to the
-  /// TaskSpec overload.  One-PR migration shim — call sites should
-  /// write admit(task_spec(e, p)) or a braced TaskSpec.
-  [[deprecated("use admit(const TaskSpec&)")]] bool admit(std::int64_t execution,
-                                                          std::int64_t period) {
-    TaskSpec s;
-    s.execution = execution;
-    s.period = period;
-    return admit(s);
-  }
-
   // --- dynamic task protocol -----------------------------------------
   // Default implementations reject: only schedulers whose admission
   // story survives mid-run task-system changes (Pfair, Sec. 5.2)

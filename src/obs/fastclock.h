@@ -1,0 +1,29 @@
+// Cheap monotonic timestamps for hot-path latency accounting.
+//
+// The serving daemon stamps every decision twice; on virtualized CI
+// hosts a std::chrono::steady_clock read costs hundreds of
+// nanoseconds — comparable to the decision itself after the ISSUE-10
+// throughput work.  approx_now_ns() reads the TSC instead (x86-64,
+// constant-rate on every host this repo targets) and rescales it to
+// nanoseconds against a one-time steady_clock calibration, falling
+// back to steady_clock on other architectures or when calibration
+// fails.
+//
+// The clock is for *observability deltas* (latency histograms, the
+// metrics registry), never for decision logic: decisions are pure
+// functions of the request history by the serve-layer determinism
+// contract, and nothing wall-clock may leak into them.  Accuracy is
+// calibration-limited (~0.1% of the measured interval), far below
+// histogram bucket width.
+#pragma once
+
+#include <cstdint>
+
+namespace pfair::obs {
+
+/// Monotonic nanoseconds since an arbitrary process-local origin.
+/// First call pays a ~2 ms calibration spin; every later call is a
+/// TSC read.  Thread-safe.
+[[nodiscard]] std::uint64_t approx_now_ns() noexcept;
+
+}  // namespace pfair::obs

@@ -1,6 +1,8 @@
 #include "obs/json.h"
 
+#include <cassert>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -174,25 +176,29 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
-void dump_string(std::string& out, const std::string& s) {
+void dump_string(std::string& out, std::string_view s) {
   out += '"';
-  for (const char c : s) {
+  // Append maximal clean runs in bulk; escapes are rare in practice.
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c != '"' && c != '\\' && static_cast<unsigned char>(c) >= 0x20) continue;
+    out.append(s.data() + run, i - run);
+    run = i + 1;
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+      default: {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      }
     }
   }
+  out.append(s.data() + run, s.size() - run);
   out += '"';
 }
 
@@ -244,5 +250,54 @@ std::string Value::dump() const {
 }
 
 std::optional<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+ObjectWriter::ObjectWriter(std::string& out) : out_(out) { out_ += '{'; }
+
+void ObjectWriter::begin(std::string_view key) {
+#ifndef NDEBUG
+  assert(!finished_);
+  // Strictly ascending keys keep the output byte-identical to a
+  // dump()ed std::map Object holding the same members.
+  assert(first_ || last_key_ < key);
+  last_key_.assign(key);
+#endif
+  if (!first_) out_ += ',';
+  first_ = false;
+  dump_string(out_, key);
+  out_ += ':';
+}
+
+ObjectWriter& ObjectWriter::field_bool(std::string_view key, bool v) {
+  begin(key);
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+ObjectWriter& ObjectWriter::field_int(std::string_view key, std::int64_t v) {
+  // %.17g of an integral double uses plain fixed notation up to 1e17,
+  // and every int64 with |v| <= 2^53 ~ 9.0e15 round-trips exactly, so
+  // the fast integer rendering matches dump() byte for byte.
+  assert(v <= (std::int64_t{1} << 53) && v >= -(std::int64_t{1} << 53));
+  begin(key);
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  out_.append(buf, end);
+  return *this;
+}
+
+ObjectWriter& ObjectWriter::field_str(std::string_view key, std::string_view v) {
+  begin(key);
+  dump_string(out_, v);
+  return *this;
+}
+
+void ObjectWriter::finish() {
+#ifndef NDEBUG
+  assert(!finished_);
+  finished_ = true;
+#endif
+  out_ += '}';
+}
 
 }  // namespace pfair::obs::json

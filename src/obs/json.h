@@ -10,6 +10,7 @@
 // are doubles).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -78,5 +79,41 @@ class Value {
 /// Parses one JSON document; std::nullopt on any syntax error or
 /// trailing garbage.
 [[nodiscard]] std::optional<Value> parse(std::string_view text);
+
+/// Streaming writer for one flat JSON object on the serving hot path.
+///
+/// Appends members straight into a caller-owned string and produces
+/// bytes identical to building an Object (std::map) with the same
+/// members and dump()ing it — PROVIDED members are appended in
+/// strictly ascending key order, which debug builds assert (std::map
+/// iteration *is* sorted order, so the equivalence is structural).
+/// pfaird answers every decision line through this instead of paying
+/// a tree of Value nodes plus their string allocations per line.
+class ObjectWriter {
+ public:
+  /// Opens the object: appends '{' to `out`, which must outlive the
+  /// writer.  finish() closes it.
+  explicit ObjectWriter(std::string& out);
+
+  ObjectWriter& field_bool(std::string_view key, bool v);
+  /// Integer member, byte-identical to dump()'s %.17g rendering of the
+  /// same integral double; |v| must stay within the exactly-
+  /// representable 2^53 (debug-asserted).
+  ObjectWriter& field_int(std::string_view key, std::int64_t v);
+  ObjectWriter& field_str(std::string_view key, std::string_view v);
+
+  /// Closes the object.  No fields may follow.
+  void finish();
+
+ private:
+  void begin(std::string_view key);
+
+  std::string& out_;
+  bool first_ = true;
+#ifndef NDEBUG
+  std::string last_key_;
+  bool finished_ = false;
+#endif
+};
 
 }  // namespace pfair::obs::json

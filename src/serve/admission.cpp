@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
+#include "engine/parallel.h"
 #include "overhead/inflation.h"
-#include "serve/exact_gedf.h"
 #include "uniproc/analysis.h"
 
 namespace pfair::serve {
@@ -24,9 +25,17 @@ using engine::SchedulerKind;
   return Decision{false, tier, false, reason, 0};
 }
 
+/// Only the kinds whose Tier-0 bounds take order statistics (GFB's
+/// u_max, Lopez's beta) pay for the per-shard weight multisets.
+[[nodiscard]] bool needs_weight_multiset(SchedulerKind kind) noexcept {
+  return kind == SchedulerKind::kPartitioned || kind == SchedulerKind::kGlobalJob;
+}
+
 }  // namespace
 
-AdmissionController::AdmissionController(AdmissionConfig config) : config_(config) {
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config),
+      mirror_(config.mirror_shards, needs_weight_multiset(config.kind)) {
   if (config_.processors < 1) config_.processors = 1;
 }
 
@@ -61,116 +70,42 @@ std::vector<OhTask> AdmissionController::oh_workload(const UniTask& extra,
   // abstract time units the benches already treat as microseconds.
   const double scale = config_.kind == SchedulerKind::kPfair ? config_.overhead.quantum_us : 1.0;
   const double delay = config_.overhead_aware ? config_.cache_delay_us : 0.0;
+  const std::vector<UniTask> tasks = mirror_.workload_with(extra, exclude);
   std::vector<OhTask> out;
-  out.reserve(tasks_.size() + 1);
-  const auto push = [&](const UniTask& t) {
+  out.reserve(tasks.size());
+  for (const UniTask& t : tasks)
     out.push_back(OhTask{static_cast<double>(t.execution) * scale,
                          static_cast<double>(t.period) * scale, delay});
-  };
-  for (const auto& [id, t] : tasks_) {
-    if (id == exclude) continue;
-    push(t);
-  }
-  push(extra);
   return out;
-}
-
-std::vector<UniTask> AdmissionController::workload_with(const UniTask& extra,
-                                                        TaskId exclude) const {
-  std::vector<UniTask> out;
-  out.reserve(tasks_.size() + 1);
-  for (const auto& [id, t] : tasks_) {
-    if (id == exclude) continue;
-    out.push_back(t);
-  }
-  out.push_back(extra);
-  return out;
-}
-
-Rational AdmissionController::total_excluding(TaskId exclude) const {
-  if (exclude == kNoTask) return total_;
-  const auto it = tasks_.find(exclude);
-  if (it == tasks_.end()) return total_;
-  return total_ - weight_of(it->second);
-}
-
-Rational AdmissionController::u_max_with(const Rational& candidate, TaskId exclude) const {
-  Rational best = candidate;
-  Rational excluded_weight(-1);
-  if (exclude != kNoTask) {
-    const auto it = tasks_.find(exclude);
-    if (it != tasks_.end()) excluded_weight = weight_of(it->second);
-  }
-  // weights_ is sorted ascending; walk from the top and take the first
-  // entry that survives the exclusion.
-  for (auto it = weights_.rbegin(); it != weights_.rend(); ++it) {
-    int count = it->second;
-    if (it->first == excluded_weight) --count;
-    if (count > 0) {
-      if (best < it->first) best = it->first;
-      break;
-    }
-  }
-  return best;
-}
-
-std::size_t AdmissionController::count_excluding(TaskId exclude) const {
-  if (exclude != kNoTask && tasks_.count(exclude) > 0) return tasks_.size() - 1;
-  return tasks_.size();
-}
-
-void AdmissionController::add_weight(const UniTask& t) {
-  const Rational w = weight_of(t);
-  total_ += w;
-  ++weights_[w];
-}
-
-void AdmissionController::remove_weight(const UniTask& t) {
-  const Rational w = weight_of(t);
-  total_ -= w;
-  const auto it = weights_.find(w);
-  if (it != weights_.end() && --it->second == 0) weights_.erase(it);
 }
 
 void AdmissionController::commit(TaskId id, const UniTask& t) {
-  const auto it = tasks_.find(id);
-  if (it != tasks_.end()) remove_weight(it->second);
-  tasks_[id] = t;
-  add_weight(t);
+  mirror_.upsert(id, t);
 }
 
 void AdmissionController::schedule_release(TaskId id, Time at) {
-  pending_.push_back(PendingChange{at, id, true, UniTask{}});
+  pending_.push(PendingChange{at, id, pending_seq_++, true, UniTask{}});
 }
 
 void AdmissionController::schedule_reweight(TaskId id, const UniTask& t, Time at) {
-  pending_.push_back(PendingChange{at, id, false, t});
+  pending_.push(PendingChange{at, id, pending_seq_++, false, t});
 }
 
 void AdmissionController::advance_to(Time now) {
-  if (pending_.empty()) return;
-  // Apply in (time, id) order so replays are deterministic no matter
-  // the order requests arrived within one batch.
-  std::stable_sort(pending_.begin(), pending_.end(),
-                   [](const PendingChange& a, const PendingChange& b) {
-                     if (a.at != b.at) return a.at < b.at;
-                     return a.id < b.id;
-                   });
-  std::size_t applied = 0;
-  for (const PendingChange& c : pending_) {
-    if (c.at > now) break;
-    ++applied;
-    const auto it = tasks_.find(c.id);
-    if (it == tasks_.end()) continue;  // task already gone
-    remove_weight(it->second);
+  // The heap pops in (time, id, submission) order — the exact order the
+  // PR-8 stable sort applied changes in — but pays O(log k) per due
+  // change instead of re-sorting the whole queue on every advance.
+  while (!pending_.empty() && pending_.top().at <= now) {
+    const PendingChange c = pending_.top();
+    pending_.pop();
+    const UniTask* cur = mirror_.find(c.id);
+    if (cur == nullptr) continue;  // task already gone
     if (c.remove) {
-      tasks_.erase(it);
+      mirror_.erase(c.id);
     } else {
-      it->second = c.task;
-      add_weight(c.task);
+      mirror_.upsert(c.id, c.task);
     }
   }
-  pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(applied));
 }
 
 Decision AdmissionController::decide_join(const UniTask& t) const {
@@ -178,7 +113,7 @@ Decision AdmissionController::decide_join(const UniTask& t) const {
 }
 
 Decision AdmissionController::decide_reweight(TaskId id, const UniTask& t) const {
-  if (tasks_.count(id) == 0) return no(0, "unknown-task");
+  if (mirror_.find(id) == nullptr) return no(0, "unknown-task");
   return decide(t, id);
 }
 
@@ -198,7 +133,7 @@ std::optional<Decision> AdmissionController::tier0(const UniTask& t, TaskId excl
   if (!t.valid()) return no(0, "invalid");
   const Rational w = weight_of(t);
   const int m = gate_processors();
-  const Rational after = total_excluding(exclude) + w;
+  const Rational after = mirror_.total_excluding(exclude) + w;
   switch (config_.kind) {
     case SchedulerKind::kPfair:
     case SchedulerKind::kWrr:
@@ -219,7 +154,7 @@ std::optional<Decision> AdmissionController::tier0(const UniTask& t, TaskId excl
       if (config_.algorithm == UniAlgorithm::kRM) {
         if (after > Rational(1)) return no(0, "utilization");
         if (!config_.overhead_aware &&
-            after.to_double() <= rm_utilization_bound(count_excluding(exclude) + 1))
+            after.to_double() <= rm_utilization_bound(mirror_.count_excluding(exclude) + 1))
           return yes(0, "ll-bound");
         return std::nullopt;  // between LL and 1: exact RTA decides
       }
@@ -232,7 +167,7 @@ std::optional<Decision> AdmissionController::tier0(const UniTask& t, TaskId excl
     case SchedulerKind::kPartitioned: {
       if (after > Rational(m)) return no(0, "utilization");
       if (config_.overhead_aware) return std::nullopt;  // packing must confirm
-      const Rational u_max = u_max_with(w, exclude);
+      const Rational u_max = mirror_.u_max_with(w, exclude);
       const std::int64_t beta = std::max<std::int64_t>(1, u_max.den() / u_max.num());
       if (after <= lopez_edf_ff_bound(m, beta)) return yes(0, "lopez");
       return std::nullopt;  // above the bound: try the actual packing
@@ -240,7 +175,7 @@ std::optional<Decision> AdmissionController::tier0(const UniTask& t, TaskId excl
     case SchedulerKind::kGlobalJob: {
       if (after > Rational(m)) return no(0, "utilization");
       if (config_.algorithm == UniAlgorithm::kEDF && !config_.overhead_aware) {
-        const Rational u_max = u_max_with(w, exclude);
+        const Rational u_max = mirror_.u_max_with(w, exclude);
         if (after <= Rational(m) - Rational(m - 1) * u_max) return yes(0, "gfb");
       }
       return std::nullopt;  // Dhall territory: exact test decides
@@ -263,7 +198,7 @@ Decision AdmissionController::tier1(const UniTask& t, TaskId exclude) const {
     case SchedulerKind::kWrr:
     case SchedulerKind::kBf:
     case SchedulerKind::kRun: {
-      const Rational after = total_excluding(exclude) + weight_of(t);
+      const Rational after = mirror_.total_excluding(exclude) + weight_of(t);
       return after <= Rational(m) ? yes(1, "eq2") : no(1, "eq2");
     }
     case SchedulerKind::kUniproc:
@@ -321,34 +256,114 @@ Decision AdmissionController::tier1(const UniTask& t, TaskId exclude) const {
   return no(1, "no-bound");
 }
 
-std::optional<Decision> AdmissionController::tier2(const UniTask& t, TaskId exclude) const {
-  if (!t.valid() || config_.exact_budget == 0) return std::nullopt;
-  switch (config_.kind) {
-    case SchedulerKind::kGlobalJob: {
-      const GedfResult r = exact_global_schedulable(workload_with(t, exclude),
-                                                    gate_processors(), config_.algorithm,
-                                                    config_.exact_budget);
-      if (r.verdict == GedfVerdict::kBudgetExceeded) {
-        // Out of budget before reaching H: fall back to Tier 1's
-        // answer, marked approximate (ISSUE contract).
-        Decision d = tier1(t, exclude);
-        d.approx = true;
-        d.exact_events = r.events;
-        return d;
-      }
-      Decision d = r.verdict == GedfVerdict::kSchedulable ? yes(2, "exact-gedf")
-                                                          : no(2, "exact-gedf");
-      d.exact_events = r.events;
+bool AdmissionController::tier2_applies() const noexcept {
+  return config_.kind == SchedulerKind::kGlobalJob ||
+         (config_.kind == SchedulerKind::kUniproc &&
+          config_.algorithm == UniAlgorithm::kRM);
+}
+
+AdmissionController::CachedExact AdmissionController::tier2_compute(
+    const UniTask& t, TaskId exclude) const {
+  CachedExact e;
+  if (config_.kind == SchedulerKind::kGlobalJob) {
+    e.gedf = exact_global_schedulable(mirror_.workload_with(t, exclude),
+                                      gate_processors(), config_.algorithm,
+                                      config_.exact_budget);
+  } else {
+    e.rm_ok = rm_schedulable_exact(mirror_.workload_with(t, exclude));
+  }
+  return e;
+}
+
+AdmissionController::CachedExact AdmissionController::tier2_cached(
+    const UniTask& t, TaskId exclude) const {
+  if (config_.memo_capacity == 0) {
+    ++memo_misses_;
+    return tier2_compute(t, exclude);
+  }
+  // The exact tests are pure functions of the judged multiset (the
+  // workload is canonical in (period, execution) order), so the
+  // mirror's multiset fingerprint keys them completely: a hit returns
+  // the bit-identical GedfResult a cold run would have produced.
+  const MirrorFingerprint fp = mirror_.fingerprint_with(t, exclude);
+  const auto it = memo_.find(fp);
+  if (it != memo_.end()) {
+    ++memo_hits_;
+    return it->second;
+  }
+  ++memo_misses_;
+  const CachedExact e = tier2_compute(t, exclude);
+  if (memo_.size() >= config_.memo_capacity) memo_.clear();
+  memo_.emplace(fp, e);
+  return e;
+}
+
+Decision AdmissionController::tier2_decision(const CachedExact& e, const UniTask& t,
+                                             TaskId exclude) const {
+  if (config_.kind == SchedulerKind::kGlobalJob) {
+    if (e.gedf.verdict == GedfVerdict::kBudgetExceeded) {
+      // Out of budget before reaching H: fall back to Tier 1's answer,
+      // marked approximate (ISSUE contract).
+      Decision d = tier1(t, exclude);
+      d.approx = true;
+      d.exact_events = e.gedf.events;
       return d;
     }
-    case SchedulerKind::kUniproc:
-      if (config_.algorithm == UniAlgorithm::kRM) {
-        const bool ok = rm_schedulable_exact(workload_with(t, exclude));
-        return ok ? yes(2, "rm-exact") : no(2, "rm-exact");
+    Decision d = e.gedf.verdict == GedfVerdict::kSchedulable ? yes(2, "exact-gedf")
+                                                             : no(2, "exact-gedf");
+    d.exact_events = e.gedf.events;
+    return d;
+  }
+  return e.rm_ok ? yes(2, "rm-exact") : no(2, "rm-exact");
+}
+
+std::optional<Decision> AdmissionController::tier2(const UniTask& t, TaskId exclude) const {
+  if (!t.valid() || config_.exact_budget == 0 || !tier2_applies()) return std::nullopt;
+  return tier2_decision(tier2_cached(t, exclude), t, exclude);
+}
+
+void AdmissionController::prewarm_tier2(
+    const std::vector<std::pair<UniTask, TaskId>>& candidates,
+    engine::ThreadPool* pool) const {
+  if (config_.memo_capacity == 0 || config_.exact_budget == 0 || !tier2_applies())
+    return;
+  struct Job {
+    MirrorFingerprint fp;
+    UniTask task;
+    TaskId exclude = kNoTask;
+    CachedExact out;
+  };
+  std::vector<Job> jobs;
+  for (const auto& [t, exclude] : candidates) {
+    if (!t.valid()) continue;
+    // decide_reweight answers "unknown-task" before Tier 2.
+    if (exclude != kNoTask && mirror_.find(exclude) == nullptr) continue;
+    if (tier0(t, exclude).has_value()) continue;
+    if (tier1(t, exclude).admit) continue;
+    const MirrorFingerprint fp = mirror_.fingerprint_with(t, exclude);
+    if (memo_.find(fp) != memo_.end()) continue;
+    bool dup = false;
+    for (const Job& j : jobs)
+      if (j.fp == fp) {
+        dup = true;
+        break;
       }
-      return std::nullopt;
-    default:
-      return std::nullopt;
+    if (dup) continue;
+    jobs.push_back(Job{fp, t, exclude, CachedExact{}});
+  }
+  if (jobs.empty()) return;
+  if (pool == nullptr || jobs.size() == 1) {
+    for (Job& j : jobs) j.out = tier2_compute(j.task, j.exclude);
+  } else {
+    // Workers read the mirror (const) and write disjoint slots; the
+    // memo itself is only touched below, after the pool drains.
+    for (Job& j : jobs)
+      pool->submit([this, &j] { j.out = tier2_compute(j.task, j.exclude); });
+    pool->wait();
+  }
+  for (Job& j : jobs) {
+    if (memo_.size() >= config_.memo_capacity) memo_.clear();
+    memo_.emplace(j.fp, j.out);
   }
 }
 

@@ -3,8 +3,8 @@
 // Every join (and reweight) request is decided by the cheapest test
 // that can give a definitive answer for the scheduler being served:
 //
-//   Tier 0 — O(1)/O(log n) utilization arithmetic: the exact Eq.-(2)
-//            bound for Pfair (sum of weights <= M, exact because PD2 is
+//   Tier 0 — O(1) utilization arithmetic: the exact Eq.-(2) bound for
+//            Pfair (sum of weights <= M, exact because PD2 is
 //            optimal), the Lopez et al. (beta*M + 1)/(beta + 1) bound
 //            for partitioned EDF-FF, the GFB density bound for global
 //            EDF, U <= 1 for uniprocessor EDF, the Liu-Layland bound
@@ -19,26 +19,49 @@
 //            budget runs out, the gate answers with Tier 1's verdict
 //            marked `approx`.
 //
-// The controller mirrors the admitted task set (exact Rational totals,
-// weight multiset for u_max) instead of reaching into the simulator, so
-// decisions are pure functions of the request history — a recorded
-// request log replays to byte-identical decisions on any host.
-// Departures free capacity at the time the scheduler's leave rules
-// dictate: the daemon schedules a pending release and the controller
-// applies it when the clock reaches it.
+// The controller mirrors the admitted task set in a sharded flat
+// structure (serve/task_mirror.h) instead of reaching into the
+// simulator, so decisions are pure functions of the request history —
+// a recorded request log replays to byte-identical decisions on any
+// host.  The mirror keeps ΣU, the committed count, and the per-class
+// aggregates cached, so Tier 0 is O(1) and commits are O(1) amortized
+// at millions of residents.  Departures free capacity at the time the
+// scheduler's leave rules dictate: the daemon schedules a pending
+// release (a min-heap keyed (time, id, seq) — the same apply order the
+// PR-8 sort produced, without re-sorting the queue every advance) and
+// the controller applies it when the clock reaches it.
+//
+// Incremental Tier 2.  The exact tests are pure functions of the
+// judged task *multiset* (the mirror canonicalizes every workload to
+// (period, execution) order), so the controller memoizes their
+// verdicts keyed on the mirror's O(1) multiset fingerprint.  A join,
+// leave, or reweight moves the fingerprint by one add/subtract, so the
+// storm pattern — decide, commit, decide the same rate again —
+// and batch warming (prewarm_tier2) hit the memo instead of
+// re-simulating the hyperperiod.  Hits are *exact*: the cached
+// GedfResult is bit-identical to what a cold run would return
+// (verdict, events, and the budget-exceeded fallback all replay the
+// same), so decision logs cannot tell a hit from a miss.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/factory.h"
 #include "overhead/inflation.h"  // OhTask
 #include "overhead/params.h"
+#include "serve/exact_gedf.h"
+#include "serve/task_mirror.h"
 #include "uniproc/uni_task.h"
 #include "util/rational.h"
 #include "util/types.h"
+
+namespace pfair::engine {
+class ThreadPool;
+}  // namespace pfair::engine
 
 namespace pfair::serve {
 
@@ -50,6 +73,8 @@ struct AdmissionConfig {
   OverheadParams overhead;      ///< Eq.-(3) inputs when overhead_aware
   double cache_delay_us = 33.3; ///< D(T) charged to every task (paper mean)
   std::uint64_t exact_budget = 1u << 20;  ///< Tier-2 event budget (0 = Tier 2 off)
+  int mirror_shards = 16;       ///< task-mirror shard count (power of two)
+  std::size_t memo_capacity = 1u << 16;  ///< Tier-2 memo entries (0 = memo off)
 };
 
 struct Decision {
@@ -69,7 +94,7 @@ class AdmissionController {
   void advance_to(Time now);
 
   /// Decides admission of a task of rate t on top of the committed set.
-  /// Pure: does not change the mirror.
+  /// Pure in the mirror (only the Tier-2 memo and its counters mutate).
   [[nodiscard]] Decision decide_join(const UniTask& t) const;
 
   /// Decides a reweight of committed task `id` to rate t: the old
@@ -88,9 +113,23 @@ class AdmissionController {
   /// reweight, where the exchange happens at the switch-over slot).
   void schedule_reweight(TaskId id, const UniTask& t, Time at);
 
-  [[nodiscard]] Rational total_weight() const noexcept { return total_; }
-  [[nodiscard]] std::size_t committed() const noexcept { return tasks_.size(); }
+  /// Speculatively evaluates the Tier-2 exact test for each candidate
+  /// against the *current* mirror and fills the memo, fanning the
+  /// independent simulations across `pool` (inline when null).  Workers
+  /// only read const state and write preallocated slots; the memo
+  /// inserts happen on the calling thread after the pool drains.
+  /// Candidates whose decision would never reach Tier 2 (invalid,
+  /// Tier 0 decides, Tier 1 admits) are skipped.  Purely a cache
+  /// warmer: decisions and logs are identical with or without it.
+  void prewarm_tier2(const std::vector<std::pair<UniTask, TaskId>>& candidates,
+                     engine::ThreadPool* pool) const;
+
+  [[nodiscard]] Rational total_weight() const noexcept { return mirror_.total(); }
+  [[nodiscard]] std::size_t committed() const noexcept { return mirror_.size(); }
   [[nodiscard]] const AdmissionConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const TaskMirror& mirror() const noexcept { return mirror_; }
+  [[nodiscard]] std::uint64_t memo_hits() const noexcept { return memo_hits_; }
+  [[nodiscard]] std::uint64_t memo_misses() const noexcept { return memo_misses_; }
 
   // --- per-tier probes (tests and the daemon's tier accounting) ---
   /// Tier-0 answer, or no value when the O(1) bounds cannot decide.
@@ -105,8 +144,28 @@ class AdmissionController {
   struct PendingChange {
     Time at = 0;
     TaskId id = kNoTask;
-    bool remove = true;   ///< false = reweight to `task`
+    std::uint64_t seq = 0;  ///< submission order: the (at, id) tie-break
+    bool remove = true;     ///< false = reweight to `task`
     UniTask task;
+  };
+  struct PendingAfter {
+    [[nodiscard]] bool operator()(const PendingChange& a,
+                                  const PendingChange& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      if (a.id != b.id) return a.id > b.id;
+      return a.seq > b.seq;
+    }
+  };
+  /// Memoized Tier-2 verdict for one task multiset.  Exactly one of
+  /// the two members is meaningful per controller (kind is fixed).
+  struct CachedExact {
+    GedfResult gedf;     ///< global EDF/RM simulation result
+    bool rm_ok = false;  ///< uniprocessor RM response-time verdict
+  };
+  struct FingerprintHash {
+    [[nodiscard]] std::size_t operator()(const MirrorFingerprint& fp) const noexcept {
+      return static_cast<std::size_t>(fp.lo ^ (fp.hi * 0x9E3779B97F4A7C15ull));
+    }
   };
 
   [[nodiscard]] Decision decide(const UniTask& t, TaskId exclude) const;
@@ -115,26 +174,29 @@ class AdmissionController {
   /// Eq.-(3) inputs for Tier 1: the configured overheads, or identity
   /// inflation (all-zero costs) when overheads are off.
   [[nodiscard]] OverheadParams tier1_params() const;
-  /// Committed rates with `exclude` dropped and the would-be task
-  /// `extra` folded in — the workload the tier tests actually judge.
-  [[nodiscard]] std::vector<UniTask> workload_with(const UniTask& extra,
-                                                   TaskId exclude) const;
   /// Same workload in Eq.-(3) microsecond units (quantum-scaled for
   /// Pfair; cache delay zeroed when overheads are off).
   [[nodiscard]] std::vector<OhTask> oh_workload(const UniTask& extra, TaskId exclude) const;
-  [[nodiscard]] Rational total_excluding(TaskId exclude) const;
-  /// Largest per-task utilization once `exclude` is dropped and
-  /// `candidate` joins (GFB's u_max, Lopez's 1/beta).
-  [[nodiscard]] Rational u_max_with(const Rational& candidate, TaskId exclude) const;
-  [[nodiscard]] std::size_t count_excluding(TaskId exclude) const;
-  void add_weight(const UniTask& t);
-  void remove_weight(const UniTask& t);
+  /// True when this (kind, algorithm) has a Tier-2 exact test at all.
+  [[nodiscard]] bool tier2_applies() const noexcept;
+  /// The exact Tier-2 computation for one candidate, memo-free.  Pure;
+  /// safe to call concurrently from prewarm workers.
+  [[nodiscard]] CachedExact tier2_compute(const UniTask& t, TaskId exclude) const;
+  /// Memo lookup + fill around tier2_compute.
+  [[nodiscard]] CachedExact tier2_cached(const UniTask& t, TaskId exclude) const;
+  [[nodiscard]] Decision tier2_decision(const CachedExact& e, const UniTask& t,
+                                        TaskId exclude) const;
 
   AdmissionConfig config_;
-  std::map<TaskId, UniTask> tasks_;    ///< committed, by simulator id
-  Rational total_ = Rational(0);       ///< exact committed utilization
-  std::map<Rational, int> weights_;    ///< multiset for u_max (GFB, Lopez beta)
-  std::vector<PendingChange> pending_; ///< sorted by time on apply
+  TaskMirror mirror_;
+  std::priority_queue<PendingChange, std::vector<PendingChange>, PendingAfter> pending_;
+  std::uint64_t pending_seq_ = 0;
+  // The memo is a cache, not state: decisions are byte-identical with
+  // it on, off, or cleared at any point, so mutating it from const
+  // decide paths keeps the "pure function of request history" contract.
+  mutable std::unordered_map<MirrorFingerprint, CachedExact, FingerprintHash> memo_;
+  mutable std::uint64_t memo_hits_ = 0;
+  mutable std::uint64_t memo_misses_ = 0;
 };
 
 }  // namespace pfair::serve

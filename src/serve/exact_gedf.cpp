@@ -1,7 +1,9 @@
 #include "serve/exact_gedf.h"
 
 #include <algorithm>
-#include <limits>
+#include <queue>
+#include <set>
+#include <utility>
 
 #include "util/math.h"
 
@@ -40,28 +42,38 @@ GedfResult exact_global_schedulable(const std::vector<UniTask>& tasks, int m,
   // Per-task job state.  Implicit deadlines mean at most one live job
   // per task — a live predecessor at its release IS the miss that ends
   // the test, so no job queue is needed.
-  std::vector<Time> next_release(n, 0);
-  std::vector<Time> deadline(n, 0);
+  //
+  // Two ordered structures replace the per-event O(n) scans the first
+  // cut of this test paid (the Tier-2 hot path at large n):
+  //
+  //   - `releases`, a min-heap of (next release, task): pops due
+  //     releases in (time, index) order — the same order the old
+  //     index sweep visited them, so the *first* miss found is the
+  //     same one;
+  //   - `live`, a set ordered by (priority key, index) — deadline for
+  //     EDF, period for RM, ties by task index, matching
+  //     GlobalJobSimulator::higher_priority exactly — whose first
+  //     min(m, |live|) elements ARE the running set, no nth_element.
+  //
+  // Event count, verdicts, and miss times are unchanged: the loop
+  // structure (releases, H check, budget, one event per running-set
+  // epoch) is identical, only the per-event cost drops from O(n) to
+  // O((releases + completions) log n + m).
+  using Rel = std::pair<Time, std::uint32_t>;
+  std::priority_queue<Rel, std::vector<Rel>, std::greater<Rel>> releases;
   std::vector<std::int64_t> remaining(n, 0);
-  std::vector<std::size_t> live;
-  live.reserve(n);
-
-  // Priority: matches GlobalJobSimulator::higher_priority exactly.
-  const auto higher = [&](std::size_t a, std::size_t b) {
-    if (algorithm == UniAlgorithm::kEDF) {
-      if (deadline[a] != deadline[b]) return deadline[a] < deadline[b];
-    } else {
-      if (tasks[a].period != tasks[b].period) return tasks[a].period < tasks[b].period;
-    }
-    return a < b;
-  };
+  std::set<std::pair<Time, std::uint32_t>> live;  // (EDF deadline | RM period, index)
+  for (std::size_t i = 0; i < n; ++i)
+    releases.push({Time{0}, static_cast<std::uint32_t>(i)});
+  const bool edf = algorithm == UniAlgorithm::kEDF;
 
   Time t = 0;
   while (true) {
     // Releases due now; a live predecessor has missed its deadline
     // (deadline == this release under implicit deadlines).
-    for (std::size_t i = 0; i < n; ++i) {
-      if (next_release[i] != t) continue;
+    while (!releases.empty() && releases.top().first == t) {
+      const std::uint32_t i = releases.top().second;
+      releases.pop();
       if (remaining[i] > 0) {
         out.verdict = GedfVerdict::kUnschedulable;
         out.first_miss = t;
@@ -69,8 +81,8 @@ GedfResult exact_global_schedulable(const std::vector<UniTask>& tasks, int m,
         return out;
       }
       remaining[i] = tasks[i].execution;
-      deadline[i] = t + tasks[i].period;
-      next_release[i] = t + tasks[i].period;
+      live.insert({edf ? t + tasks[i].period : tasks[i].period, i});
+      releases.push({t + tasks[i].period, i});
     }
     // A clean pass through t == H means every job released in [0, H)
     // completed by its deadline; the state at H equals the state at 0,
@@ -89,20 +101,21 @@ GedfResult exact_global_schedulable(const std::vector<UniTask>& tasks, int m,
 
     // The running set is constant until the next release or the first
     // completion among the m highest-priority live jobs.
-    live.clear();
-    for (std::size_t i = 0; i < n; ++i)
-      if (remaining[i] > 0) live.push_back(i);
     const std::size_t run = std::min(live.size(), static_cast<std::size_t>(m));
-    if (run < live.size())
-      std::nth_element(live.begin(), live.begin() + static_cast<std::ptrdiff_t>(run),
-                       live.end(), higher);
-
-    Time next_event = std::numeric_limits<Time>::max();
-    for (std::size_t i = 0; i < n; ++i) next_event = std::min(next_event, next_release[i]);
-    Time delta = next_event - t;
-    for (std::size_t k = 0; k < run; ++k)
-      delta = std::min<Time>(delta, remaining[live[k]]);
-    for (std::size_t k = 0; k < run; ++k) remaining[live[k]] -= delta;
+    Time delta = releases.top().first - t;
+    auto it = live.begin();
+    for (std::size_t k = 0; k < run; ++k, ++it)
+      delta = std::min<Time>(delta, remaining[it->second]);
+    it = live.begin();
+    for (std::size_t k = 0; k < run; ++k) {
+      const std::uint32_t i = it->second;
+      remaining[i] -= delta;
+      if (remaining[i] == 0) {
+        it = live.erase(it);
+      } else {
+        ++it;
+      }
+    }
     t += delta;
   }
 }

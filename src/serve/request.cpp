@@ -1,6 +1,7 @@
 #include "serve/request.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <vector>
 
@@ -39,30 +40,54 @@ const char* to_string(RequestOp op) noexcept {
     case RequestOp::kReweight: return "reweight";
     case RequestOp::kQuery: return "query";
     case RequestOp::kAdvance: return "advance";
+    case RequestOp::kBatch: return "batch";
   }
   return "unknown";
 }
 
-std::optional<Request> parse_request(std::string_view line, std::string* error) {
-  const std::optional<obs::json::Value> doc = obs::json::parse(line);
-  if (!doc.has_value() || !doc->is_object()) {
+namespace {
+
+/// Parses one request object.  `allow_batch` is off for the elements
+/// of a batch: batches never nest (a nested batch is "bad-field").
+std::optional<Request> parse_request_value(const obs::json::Value& doc,
+                                           std::string* error, bool allow_batch) {
+  if (!doc.is_object()) {
     fail(error, "bad-json");
     return std::nullopt;
   }
-  const std::string op = doc->string_or("op", "");
+  const std::string op = doc.string_or("op", "");
   Request r;
+  if (op == "batch") {
+    if (!allow_batch) {
+      fail(error, "bad-field");
+      return std::nullopt;
+    }
+    r.op = RequestOp::kBatch;
+    const obs::json::Value* reqs = doc.find("requests");
+    if (reqs == nullptr || !reqs->is_array() || reqs->as_array().empty()) {
+      fail(error, "bad-field");
+      return std::nullopt;
+    }
+    r.batch.reserve(reqs->as_array().size());
+    for (const obs::json::Value& sub : reqs->as_array()) {
+      std::optional<Request> parsed = parse_request_value(sub, error, false);
+      if (!parsed.has_value()) return std::nullopt;  // error already set
+      r.batch.push_back(std::move(*parsed));
+    }
+    return r;
+  }
   if (op == "join" || op == "reweight") {
     r.op = op == "join" ? RequestOp::kJoin : RequestOp::kReweight;
-    if (!member_int(*doc, "execution", &r.execution) ||
-        !member_int(*doc, "period", &r.period)) {
+    if (!member_int(doc, "execution", &r.execution) ||
+        !member_int(doc, "period", &r.period)) {
       fail(error, "bad-field");
       return std::nullopt;
     }
     if (r.op == RequestOp::kJoin) {
-      r.name = doc->string_or("name", "");
+      r.name = doc.string_or("name", "");
     } else {
       std::int64_t id = 0;
-      if (!member_int(*doc, "task", &id) || id < 0 || id >= kNoTask) {
+      if (!member_int(doc, "task", &id) || id < 0 || id >= kNoTask) {
         fail(error, "bad-field");
         return std::nullopt;
       }
@@ -73,7 +98,7 @@ std::optional<Request> parse_request(std::string_view line, std::string* error) 
   if (op == "leave") {
     r.op = RequestOp::kLeave;
     std::int64_t id = 0;
-    if (!member_int(*doc, "task", &id) || id < 0 || id >= kNoTask) {
+    if (!member_int(doc, "task", &id) || id < 0 || id >= kNoTask) {
       fail(error, "bad-field");
       return std::nullopt;
     }
@@ -86,7 +111,7 @@ std::optional<Request> parse_request(std::string_view line, std::string* error) 
   }
   if (op == "advance") {
     r.op = RequestOp::kAdvance;
-    if (!member_int(*doc, "to", &r.to) || r.to < 0) {
+    if (!member_int(doc, "to", &r.to) || r.to < 0) {
       fail(error, "bad-field");
       return std::nullopt;
     }
@@ -96,7 +121,216 @@ std::optional<Request> parse_request(std::string_view line, std::string* error) 
   return std::nullopt;
 }
 
-std::string dump_request(const Request& r) {
+/// One member scanned off the fast path: a key plus a string view, a
+/// number, or a bool (null members carry no payload).
+struct FlatField {
+  enum class Kind : std::uint8_t { kString, kNumber, kTrue, kFalse, kNull };
+  std::string_view key;
+  std::string_view str;
+  double num = 0.0;
+  Kind kind = Kind::kNull;
+};
+
+/// Scans a *flat* JSON object — string keys, string/number/bool/null
+/// members, no escapes, no nesting — into `out`.  Returns false on
+/// anything outside that shape (including every malformed line), in
+/// which case the caller falls back to the full obs::json parser; the
+/// fast path therefore accepts a strict subset of what the DOM parser
+/// accepts and never changes how errors classify.
+bool scan_flat(std::string_view s, std::vector<FlatField>& out) {
+  out.clear();
+  std::size_t i = 0;
+  const auto ws = [&] {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'))
+      ++i;
+  };
+  const auto scan_string = [&](std::string_view* v) {
+    if (i >= s.size() || s[i] != '"') return false;
+    const std::size_t start = ++i;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (c == '"') {
+        *v = s.substr(start, i - start);
+        ++i;
+        return true;
+      }
+      if (c == '\\' || static_cast<unsigned char>(c) < 0x20) return false;  // slow path
+      ++i;
+    }
+    return false;
+  };
+  ws();
+  if (i >= s.size() || s[i] != '{') return false;
+  ++i;
+  ws();
+  if (i < s.size() && s[i] == '}') {
+    ++i;
+    ws();
+    return i == s.size();
+  }
+  while (true) {
+    FlatField f;
+    ws();
+    if (!scan_string(&f.key)) return false;
+    ws();
+    if (i >= s.size() || s[i] != ':') return false;
+    ++i;
+    ws();
+    if (i >= s.size()) return false;
+    const char c = s[i];
+    if (c == '"') {
+      if (!scan_string(&f.str)) return false;
+      f.kind = FlatField::Kind::kString;
+    } else if (c == 't' && s.substr(i, 4) == "true") {
+      i += 4;
+      f.kind = FlatField::Kind::kTrue;
+    } else if (c == 'f' && s.substr(i, 5) == "false") {
+      i += 5;
+      f.kind = FlatField::Kind::kFalse;
+    } else if (c == 'n' && s.substr(i, 4) == "null") {
+      i += 4;
+      f.kind = FlatField::Kind::kNull;
+    } else if (c == '-' || (c >= '0' && c <= '9')) {
+      const std::size_t start = i;
+      if (c == '-') ++i;
+      while (i < s.size() &&
+             ((s[i] >= '0' && s[i] <= '9') || s[i] == '.' || s[i] == 'e' ||
+              s[i] == 'E' || s[i] == '+' || s[i] == '-'))
+        ++i;
+      if (i == start) return false;
+      // Correctly rounded like the DOM parser's strtod; any token it
+      // parses only partially (e.g. "1.") bails to the slow path, which
+      // reaches the same verdict.
+      const auto [end, ec] =
+          std::from_chars(s.data() + start, s.data() + i, f.num,
+                          std::chars_format::general);
+      if (ec != std::errc{} || end != s.data() + i) return false;
+      f.kind = FlatField::Kind::kNumber;
+    } else {
+      return false;  // nested object/array or garbage: slow path decides
+    }
+    out.push_back(f);
+    ws();
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      ws();
+      return i == s.size();
+    }
+    return false;
+  }
+}
+
+/// Interprets scanned fields with exactly parse_request_value's rules
+/// (last duplicate wins, unknown keys ignored, non-string op/name
+/// treated as absent, to_int range checks).
+std::optional<Request> request_from_flat(const std::vector<FlatField>& fields,
+                                         std::string* error) {
+  std::string_view op;
+  bool have_exec = false, have_period = false, have_task = false, have_to = false;
+  std::int64_t exec = 0, period = 0, task_raw = 0, to = 0;
+  std::string_view name;
+  const auto as_int = [](const FlatField& f, bool* ok, std::int64_t* v) {
+    if (f.kind != FlatField::Kind::kNumber || f.num != std::floor(f.num) ||
+        f.num < -9.0e15 || f.num > 9.0e15) {
+      *ok = false;
+      return;
+    }
+    *ok = true;
+    *v = static_cast<std::int64_t>(f.num);
+  };
+  for (const FlatField& f : fields) {
+    if (f.key == "op") {
+      op = f.kind == FlatField::Kind::kString ? f.str : std::string_view{};
+    } else if (f.key == "execution") {
+      as_int(f, &have_exec, &exec);
+    } else if (f.key == "period") {
+      as_int(f, &have_period, &period);
+    } else if (f.key == "task") {
+      as_int(f, &have_task, &task_raw);
+    } else if (f.key == "to") {
+      as_int(f, &have_to, &to);
+    } else if (f.key == "name") {
+      name = f.kind == FlatField::Kind::kString ? f.str : std::string_view{};
+    }
+  }
+  Request r;
+  if (op == "join" || op == "reweight") {
+    r.op = op == "join" ? RequestOp::kJoin : RequestOp::kReweight;
+    if (!have_exec || !have_period) {
+      fail(error, "bad-field");
+      return std::nullopt;
+    }
+    r.execution = exec;
+    r.period = period;
+    if (r.op == RequestOp::kJoin) {
+      r.name = std::string(name);
+    } else {
+      if (!have_task || task_raw < 0 || task_raw >= kNoTask) {
+        fail(error, "bad-field");
+        return std::nullopt;
+      }
+      r.task = static_cast<TaskId>(task_raw);
+    }
+    return r;
+  }
+  if (op == "leave") {
+    r.op = RequestOp::kLeave;
+    if (!have_task || task_raw < 0 || task_raw >= kNoTask) {
+      fail(error, "bad-field");
+      return std::nullopt;
+    }
+    r.task = static_cast<TaskId>(task_raw);
+    return r;
+  }
+  if (op == "query") {
+    r.op = RequestOp::kQuery;
+    return r;
+  }
+  if (op == "advance") {
+    r.op = RequestOp::kAdvance;
+    if (!have_to || to < 0) {
+      fail(error, "bad-field");
+      return std::nullopt;
+    }
+    r.to = to;
+    return r;
+  }
+  fail(error, "bad-op");
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(std::string_view line, std::string* error) {
+  // Hot path: the daemon parses one line per decision, and nearly all
+  // of them are flat objects this scanner handles without building a
+  // DOM.  "batch" lines carry a nested array, so they (and anything
+  // else unusual) take the full parser below.
+  thread_local std::vector<FlatField> fields;
+  if (scan_flat(line, fields)) {
+    bool is_batch = false;
+    for (const FlatField& f : fields)
+      if (f.key == "op" && f.kind == FlatField::Kind::kString && f.str == "batch")
+        is_batch = true;
+    if (!is_batch) return request_from_flat(fields, error);
+    // A flat "batch" has no parseable "requests" array; let the DOM
+    // parser produce the authoritative bad-field/bad-json verdict.
+  }
+  const std::optional<obs::json::Value> doc = obs::json::parse(line);
+  if (!doc.has_value()) {
+    fail(error, "bad-json");
+    return std::nullopt;
+  }
+  return parse_request_value(*doc, error, true);
+}
+
+namespace {
+
+[[nodiscard]] obs::json::Object request_object(const Request& r) {
   obs::json::Object o;
   o["op"] = obs::json::Value(std::string(to_string(r.op)));
   switch (r.op) {
@@ -118,8 +352,57 @@ std::string dump_request(const Request& r) {
     case RequestOp::kAdvance:
       o["to"] = obs::json::Value(static_cast<double>(r.to));
       break;
+    case RequestOp::kBatch: {
+      obs::json::Array subs;
+      subs.reserve(r.batch.size());
+      for (const Request& sub : r.batch)
+        subs.push_back(obs::json::Value(request_object(sub)));
+      o["requests"] = obs::json::Value(std::move(subs));
+      break;
+    }
   }
-  return obs::json::Value(std::move(o)).dump();
+  return o;
+}
+
+}  // namespace
+
+std::string dump_request(const Request& r) {
+  return obs::json::Value(request_object(r)).dump();
+}
+
+std::string batch_requests(std::string_view jsonl, std::size_t size) {
+  if (size < 2) return std::string(jsonl);
+  std::string out;
+  out.reserve(jsonl.size() + jsonl.size() / 16);
+  Request group;
+  group.op = RequestOp::kBatch;
+  const auto flush = [&] {
+    if (group.batch.empty()) return;
+    out += dump_request(group);
+    out += '\n';
+    group.batch.clear();
+  };
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    const std::size_t nl = jsonl.find('\n', pos);
+    const std::string_view line =
+        jsonl.substr(pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = nl == std::string_view::npos ? jsonl.size() : nl + 1;
+    if (line.empty()) continue;
+    const std::optional<Request> r = parse_request(line);
+    if (!r.has_value() || r->op == RequestOp::kBatch) {
+      // Unparseable or already batched: keep the line as-is so the
+      // daemon still answers it (its error reply is part of the log).
+      flush();
+      out += line;
+      out += '\n';
+      continue;
+    }
+    group.batch.push_back(*r);
+    if (group.batch.size() >= size) flush();
+  }
+  flush();
+  return out;
 }
 
 std::string generate_requests(const GenConfig& config) {

@@ -1,18 +1,24 @@
 // The pfaird request protocol: streaming JSONL, one request per line.
 //
-// Five operations cover the dynamic-task API the daemon fronts:
+// Six operations cover the dynamic-task API the daemon fronts:
 //
 //   {"op":"join","execution":3,"period":10}        optional "name","weight"
 //   {"op":"leave","task":2}
 //   {"op":"reweight","task":2,"execution":1,"period":5}
 //   {"op":"query"}
 //   {"op":"advance","to":400}
+//   {"op":"batch","requests":[{...},{...}]}
 //
 // "advance" moves the served simulator's clock (the daemon also
 // advances by --advance slots per request, so a pure request stream
-// exercises the dynamic rules without wall-clock coupling).  Numbers
-// follow obs::json (doubles); values outside the int64 task-parameter
-// range fail parsing rather than truncate.
+// exercises the dynamic rules without wall-clock coupling).  "batch"
+// carries a non-empty array of the other five (batches do not nest);
+// the daemon answers with one decision line per sub-request, in
+// request order, byte-identical to the lines the sub-requests would
+// have produced arriving individually — batching changes latency and
+// lets the gate prewarm its Tier-2 memo in parallel, never answers.
+// Numbers follow obs::json (doubles); values outside the int64
+// task-parameter range fail parsing rather than truncate.
 //
 // Requests parse into a flat Request struct, and dump back to the same
 // canonical line (obs::json sorted-key form) — the generator, the
@@ -24,12 +30,13 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/types.h"
 
 namespace pfair::serve {
 
-enum class RequestOp : std::uint8_t { kJoin, kLeave, kReweight, kQuery, kAdvance };
+enum class RequestOp : std::uint8_t { kJoin, kLeave, kReweight, kQuery, kAdvance, kBatch };
 
 [[nodiscard]] const char* to_string(RequestOp op) noexcept;
 
@@ -40,6 +47,7 @@ struct Request {
   TaskId task = kNoTask;       ///< leave/reweight target
   Time to = 0;                 ///< advance target
   std::string name;            ///< join only, optional
+  std::vector<Request> batch;  ///< batch sub-requests (non-empty, never nested)
 };
 
 /// Parses one JSONL request line.  On failure returns nullopt and, when
@@ -51,6 +59,13 @@ struct Request {
 /// Canonical JSONL form of `r` (sorted keys, no trailing newline).
 /// parse_request(dump_request(r)) round-trips exactly.
 [[nodiscard]] std::string dump_request(const Request& r);
+
+/// Rewrites a JSONL request stream into batch lines of up to `size`
+/// sub-requests each, in order (the client-side spelling of pfaird's
+/// --batch pipelining; tests and benches wrap streams with it).  Lines
+/// that fail to parse or are already batches pass through unchanged,
+/// flushing the group built so far.  `size` < 2 returns the input.
+[[nodiscard]] std::string batch_requests(std::string_view jsonl, std::size_t size);
 
 /// Deterministic request-stream generator for benches and the CI smoke
 /// test: a seeded mix of joins (task weights drawn so the stream hovers

@@ -1,0 +1,208 @@
+#include "serve/task_mirror.h"
+
+#include <algorithm>
+
+namespace pfair::serve {
+
+namespace {
+
+constexpr std::size_t kInitialSlots = 16;
+
+/// splitmix64 finalizer — full avalanche over 64 bits.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] constexpr int clamp_shards(int shards) noexcept {
+  if (shards < 1) return 1;
+  if (shards > 256) return 256;
+  int p = 1;
+  while (p < shards) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t mirror_mix_lo(std::int64_t execution, std::int64_t period) noexcept {
+  return mix64(mix64(static_cast<std::uint64_t>(execution)) ^
+               mix64(static_cast<std::uint64_t>(period) ^ 0xD6E8FEB86659FD93ull));
+}
+
+std::uint64_t mirror_mix_hi(std::int64_t execution, std::int64_t period) noexcept {
+  return mix64(mix64(static_cast<std::uint64_t>(execution) ^ 0xA24BAED4963EE407ull) ^
+               mix64(static_cast<std::uint64_t>(period) ^ 0x9FB21C651E98DF25ull));
+}
+
+TaskMirror::TaskMirror(int shards, bool track_weights)
+    : shards_(static_cast<std::size_t>(clamp_shards(shards))),
+      shard_mask_(static_cast<TaskId>(clamp_shards(shards) - 1)),
+      track_weights_(track_weights) {}
+
+std::size_t TaskMirror::probe(const Shard& s, TaskId id) noexcept {
+  const std::size_t mask = s.slots.size() - 1;
+  std::size_t i =
+      static_cast<std::size_t>(mix64(static_cast<std::uint64_t>(id))) & mask;
+  std::size_t insert = s.slots.size();  // sentinel: no tombstone seen
+  for (;;) {
+    const Slot& slot = s.slots[i];
+    if (slot.id == kEmpty) return insert != s.slots.size() ? insert : i;
+    if (slot.id == kTombstone) {
+      if (insert == s.slots.size()) insert = i;
+    } else if (slot.id == id) {
+      return i;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void TaskMirror::grow(Shard& s) {
+  std::vector<Slot> old = std::move(s.slots);
+  const std::size_t cap = std::max(kInitialSlots, old.size() * 2);
+  s.slots.assign(cap, Slot{});
+  s.used = s.size;  // tombstones do not survive the rehash
+  for (const Slot& slot : old) {
+    if (slot.id == kEmpty || slot.id == kTombstone) continue;
+    s.slots[probe(s, slot.id)] = slot;
+  }
+}
+
+const UniTask* TaskMirror::find(TaskId id) const noexcept {
+  if (id >= kTombstone) return nullptr;
+  const Shard& s = shard_for(id);
+  if (s.slots.empty()) return nullptr;
+  const Slot& slot = s.slots[probe(s, id)];
+  return slot.id == id ? &slot.task : nullptr;
+}
+
+void TaskMirror::add_aggregates(const UniTask& t) {
+  total_ += Rational(t.execution, t.period);
+  fp_lo_ += mirror_mix_lo(t.execution, t.period);
+  fp_hi_ += mirror_mix_hi(t.execution, t.period);
+  ++classes_[{t.period, t.execution}];
+}
+
+void TaskMirror::remove_aggregates(const UniTask& t) {
+  total_ -= Rational(t.execution, t.period);
+  fp_lo_ -= mirror_mix_lo(t.execution, t.period);
+  fp_hi_ -= mirror_mix_hi(t.execution, t.period);
+  const auto it = classes_.find({t.period, t.execution});
+  if (it != classes_.end() && --it->second == 0) classes_.erase(it);
+}
+
+void TaskMirror::upsert(TaskId id, const UniTask& t) {
+  if (id >= kTombstone) return;
+  Shard& s = shard_for(id);
+  // Keep the live+tombstone occupancy under 7/8 so probe chains stay
+  // short; growing rehashes live entries only.
+  if (s.slots.empty() || (s.used + 1) * 8 > s.slots.size() * 7) grow(s);
+  const std::size_t i = probe(s, id);
+  Slot& slot = s.slots[i];
+  if (slot.id == id) {
+    remove_aggregates(slot.task);
+    if (track_weights_) {
+      const Rational w(slot.task.execution, slot.task.period);
+      const auto it = s.weights.find(w);
+      if (it != s.weights.end() && --it->second == 0) s.weights.erase(it);
+    }
+  } else {
+    if (slot.id == kEmpty) ++s.used;
+    slot.id = id;
+    ++s.size;
+    ++size_;
+  }
+  slot.task = t;
+  add_aggregates(t);
+  if (track_weights_) ++s.weights[Rational(t.execution, t.period)];
+}
+
+bool TaskMirror::erase(TaskId id) {
+  if (id >= kTombstone) return false;
+  Shard& s = shard_for(id);
+  if (s.slots.empty()) return false;
+  const std::size_t i = probe(s, id);
+  Slot& slot = s.slots[i];
+  if (slot.id != id) return false;
+  remove_aggregates(slot.task);
+  if (track_weights_) {
+    const Rational w(slot.task.execution, slot.task.period);
+    const auto it = s.weights.find(w);
+    if (it != s.weights.end() && --it->second == 0) s.weights.erase(it);
+  }
+  slot.id = kTombstone;  // `used` keeps counting it until the next grow
+  --s.size;
+  --size_;
+  return true;
+}
+
+Rational TaskMirror::total_excluding(TaskId exclude) const {
+  if (exclude == kNoTask) return total_;
+  const UniTask* t = find(exclude);
+  if (t == nullptr) return total_;
+  return total_ - Rational(t->execution, t->period);
+}
+
+std::size_t TaskMirror::count_excluding(TaskId exclude) const {
+  if (exclude != kNoTask && find(exclude) != nullptr) return size_ - 1;
+  return size_;
+}
+
+Rational TaskMirror::u_max_with(const Rational& candidate, TaskId exclude) const {
+  Rational best = candidate;
+  const UniTask* ex = exclude == kNoTask ? nullptr : find(exclude);
+  const Rational exw = ex ? Rational(ex->execution, ex->period) : Rational(-1);
+  const std::size_t exshard = ex ? (exclude & shard_mask_) : shards_.size();
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    auto it = shards_[k].weights.rbegin();
+    const auto rend = shards_[k].weights.rend();
+    // The excluded task hides one instance of its weight in its shard.
+    if (k == exshard && it != rend && it->first == exw && it->second == 1) ++it;
+    if (it != rend && best < it->first) best = it->first;
+  }
+  return best;
+}
+
+MirrorFingerprint TaskMirror::fingerprint_with(const UniTask& extra,
+                                               TaskId exclude) const {
+  MirrorFingerprint fp{fp_lo_, fp_hi_};
+  if (extra.valid()) {
+    fp.lo += mirror_mix_lo(extra.execution, extra.period);
+    fp.hi += mirror_mix_hi(extra.execution, extra.period);
+  }
+  if (const UniTask* ex = exclude == kNoTask ? nullptr : find(exclude)) {
+    fp.lo -= mirror_mix_lo(ex->execution, ex->period);
+    fp.hi -= mirror_mix_hi(ex->execution, ex->period);
+  }
+  return fp;
+}
+
+std::vector<UniTask> TaskMirror::workload_with(const UniTask& extra,
+                                               TaskId exclude) const {
+  std::vector<UniTask> out;
+  out.reserve(size_ + 1);
+  const UniTask* ex = exclude == kNoTask ? nullptr : find(exclude);
+  const bool has_extra = extra.valid();
+  const std::pair<std::int64_t, std::int64_t> xkey{extra.period, extra.execution};
+  bool extra_emitted = false;
+  for (const auto& [key, count] : classes_) {
+    std::int64_t c = count;
+    if (ex && key.first == ex->period && key.second == ex->execution) --c;
+    if (has_extra && !extra_emitted) {
+      if (xkey == key) {
+        ++c;
+        extra_emitted = true;
+      } else if (xkey < key) {
+        out.push_back(extra);
+        extra_emitted = true;
+      }
+    }
+    for (std::int64_t i = 0; i < c; ++i)
+      out.push_back(UniTask{key.second, key.first});
+  }
+  if (has_extra && !extra_emitted) out.push_back(extra);
+  return out;
+}
+
+}  // namespace pfair::serve

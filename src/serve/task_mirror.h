@@ -1,0 +1,159 @@
+// Sharded flat mirror of the committed task set — the data structure
+// behind the admission gate's Tier-0 arithmetic at millions of
+// resident tasks.
+//
+// PR 8's AdmissionController mirrored the task set in a
+// std::map<TaskId, UniTask> plus a global std::map<Rational, int>
+// weight multiset: every decide/commit paid pointer-chasing O(log n)
+// node walks, and the mirror was the serving-path analogue of the AoS
+// task state PR 6 removed from the kernel.  This mirror replaces both
+// with S independent shards (shard = id & (S-1); daemon ids are dense,
+// so the spread is uniform by construction), each holding
+//
+//   - an open-addressing id -> (execution, period) table (power-of-two
+//     capacity, linear probing, tombstoned erase, amortised-O(1)
+//     upsert/find/erase),
+//   - a per-shard weight multiset for the order statistics Tier 0
+//     needs (u_max for GFB, Lopez's beta) — engaged only for the
+//     scheduler kinds that ask (partitioned, global EDF), so the
+//     common Pfair path never touches it,
+//
+// plus O(1) cached global aggregates maintained on every mutation:
+// exact Rational ΣU, the committed count, a canonical
+// (period, execution) -> count class map (the tier-1/2 workloads and
+// the per-class Tier-0 aggregates), and a 128-bit *multiset
+// fingerprint* — two independent commutative hash sums over the
+// committed (execution, period) pairs.  The fingerprint is the
+// warm-start rule of the incremental Tier-2 layer: a single-task
+// join/leave/reweight moves it by one O(1) add/subtract, never a
+// rehash of the set, so adjacent request states key into the exact
+// verdict memo (admission.h) without touching the n resident tasks.
+//
+// u_max is answered as the max over the S per-shard multiset maxima —
+// O(S) with S a small constant — and the canonical workload expansion
+// is O(n + d) over the d distinct classes, paid only on the Tier-2
+// slow path (memo miss).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "uniproc/uni_task.h"
+#include "util/rational.h"
+#include "util/types.h"
+
+namespace pfair::serve {
+
+/// Order-independent 128-bit hash of the committed task multiset.
+/// Equal multisets have equal fingerprints by construction; distinct
+/// multisets collide with probability ~2^-128 per pair (two
+/// independent splitmix-style mixers summed mod 2^64).
+struct MirrorFingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  [[nodiscard]] bool operator==(const MirrorFingerprint& o) const noexcept {
+    return lo == o.lo && hi == o.hi;
+  }
+};
+
+class TaskMirror {
+ public:
+  /// `shards` is clamped to a power of two in [1, 256].  `track_weights`
+  /// engages the per-shard weight multisets (only the kinds whose
+  /// Tier-0 bounds take order statistics pay for them).
+  explicit TaskMirror(int shards = 16, bool track_weights = true);
+
+  /// O(1) expected lookup; nullptr when absent.
+  [[nodiscard]] const UniTask* find(TaskId id) const noexcept;
+
+  /// Inserts or replaces `id`; all cached aggregates follow.  O(1)
+  /// amortised (table growth) + O(log d) class/weight bookkeeping over
+  /// the d distinct weights in the shard.
+  void upsert(TaskId id, const UniTask& t);
+
+  /// Removes `id`; false when absent.
+  bool erase(TaskId id);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const Rational& total() const noexcept { return total_; }
+  [[nodiscard]] int shards() const noexcept { return static_cast<int>(shards_.size()); }
+
+  /// ΣU with `exclude` dropped (kNoTask or unknown ids excluded
+  /// nothing).  O(1).
+  [[nodiscard]] Rational total_excluding(TaskId exclude) const;
+
+  /// Committed count with `exclude` dropped.  O(1).
+  [[nodiscard]] std::size_t count_excluding(TaskId exclude) const;
+
+  /// Largest per-task utilization once `exclude` is dropped and
+  /// `candidate` joins.  O(shards).  Requires track_weights.
+  [[nodiscard]] Rational u_max_with(const Rational& candidate, TaskId exclude) const;
+
+  /// Fingerprint of committed ∪ {extra} − {exclude}: the O(1)
+  /// single-task delta rule.  `extra` may be invalid-by-sentinel
+  /// (period 0) to fingerprint the committed set itself.
+  [[nodiscard]] MirrorFingerprint fingerprint_with(const UniTask& extra,
+                                                   TaskId exclude) const;
+
+  /// The same set expanded in canonical (period, execution) order —
+  /// the workload vector every Tier-1/2 test judges, deterministic in
+  /// the multiset alone (never in arrival order).  O(n + d).
+  [[nodiscard]] std::vector<UniTask> workload_with(const UniTask& extra,
+                                                   TaskId exclude) const;
+
+  /// Canonical (period, execution) -> count classes of the committed
+  /// set (the per-class Tier-0 aggregates).
+  [[nodiscard]] const std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t>&
+  classes() const noexcept {
+    return classes_;
+  }
+
+ private:
+  struct Slot {
+    TaskId id = kEmpty;
+    UniTask task;
+  };
+  struct Shard {
+    std::vector<Slot> slots;     ///< power-of-two open-addressing table
+    std::size_t size = 0;        ///< live entries
+    std::size_t used = 0;        ///< live + tombstones (resize trigger)
+    std::map<Rational, std::int64_t> weights;  ///< multiset, iff track_weights
+  };
+
+  static constexpr TaskId kEmpty = kNoTask;            // 0xffffffff
+  static constexpr TaskId kTombstone = kNoTask - 1;    // 0xfffffffe
+
+  [[nodiscard]] Shard& shard_for(TaskId id) noexcept {
+    return shards_[id & shard_mask_];
+  }
+  [[nodiscard]] const Shard& shard_for(TaskId id) const noexcept {
+    return shards_[id & shard_mask_];
+  }
+  /// Index of `id` in `s.slots`, or the insertion point (first
+  /// tombstone on the probe path, else first empty).
+  [[nodiscard]] static std::size_t probe(const Shard& s, TaskId id) noexcept;
+  static void grow(Shard& s);
+  void add_aggregates(const UniTask& t);
+  void remove_aggregates(const UniTask& t);
+
+  std::vector<Shard> shards_;
+  TaskId shard_mask_ = 0;
+  bool track_weights_ = true;
+  std::size_t size_ = 0;
+  Rational total_ = Rational(0);
+  std::uint64_t fp_lo_ = 0;
+  std::uint64_t fp_hi_ = 0;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> classes_;
+};
+
+/// The two independent per-task mixers the fingerprint sums (exposed
+/// for the O(1) with-candidate deltas in fingerprint_with and tests).
+[[nodiscard]] std::uint64_t mirror_mix_lo(std::int64_t execution,
+                                          std::int64_t period) noexcept;
+[[nodiscard]] std::uint64_t mirror_mix_hi(std::int64_t execution,
+                                          std::int64_t period) noexcept;
+
+}  // namespace pfair::serve

@@ -1,7 +1,7 @@
 // Conformance of the redesigned dynamic-task request API across every
-// factory kind: TaskSpec admission, the deprecated (execution, period)
-// shim, capability probing, reject bookkeeping, and the dynamic
-// entry points (join / leave / reweight) where supported.
+// factory kind: TaskSpec admission, capability probing, reject
+// bookkeeping, and the dynamic entry points (join / leave / reweight)
+// where supported.
 #include "engine/simulator.h"
 
 #include <gtest/gtest.h>
@@ -53,26 +53,6 @@ TEST(RequestApi, EveryKindRejectsAnInvalidSpecAndCountsIt) {
     EXPECT_EQ(sim->metrics().tasks_rejected, 2u) << to_string(kind);
   }
 }
-
-// The one-PR deprecation shim must behave exactly like the TaskSpec
-// overload it delegates to.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(RequestApi, DeprecatedShimMatchesTaskSpecOverload) {
-  for (const SchedulerKind kind : all_scheduler_kinds()) {
-    const auto via_shim = make_simulator(kind);
-    const auto via_spec = make_simulator(kind);
-    EXPECT_EQ(via_shim->admit(2, 5), via_spec->admit(task_spec(2, 5)))
-        << to_string(kind);
-    EXPECT_EQ(via_shim->admit(0, 5), via_spec->admit(task_spec(0, 5)))
-        << to_string(kind);
-    EXPECT_EQ(via_shim->metrics().tasks_admitted, via_spec->metrics().tasks_admitted)
-        << to_string(kind);
-    EXPECT_EQ(via_shim->metrics().tasks_rejected, via_spec->metrics().tasks_rejected)
-        << to_string(kind);
-  }
-}
-#pragma GCC diagnostic pop
 
 TEST(RequestApi, OnlyPfairReportsDynamicCapability) {
   for (const SchedulerKind kind : all_scheduler_kinds()) {

@@ -1,0 +1,375 @@
+// The high-throughput admission machinery: the sharded TaskMirror and
+// its multiset fingerprint, the incremental Tier-2 memo (byte-equal
+// decisions with the cache on or off), batch decision parity across
+// pipeline and jobs settings, the fast-path request parser against the
+// DOM parser, and ObjectWriter against the dumped-Object form it
+// replaces on the serving hot path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "serve/admission.h"
+#include "serve/daemon.h"
+#include "serve/request.h"
+#include "serve/task_mirror.h"
+#include "util/rng.h"
+
+namespace pfair::serve {
+namespace {
+
+// --- TaskMirror -----------------------------------------------------
+
+TEST(TaskMirror, MatchesAReferenceMapUnderChurn) {
+  for (const int shards : {1, 4, 16}) {
+    TaskMirror mirror(shards);
+    std::map<TaskId, UniTask> ref;
+    Rng rng(7);
+    for (int step = 0; step < 4000; ++step) {
+      const auto id = static_cast<TaskId>(rng.uniform_int(0, 300));
+      if (rng.uniform_int(0, 2) != 0) {
+        const UniTask t{rng.uniform_int(1, 9), rng.uniform_int(10, 40)};
+        mirror.upsert(id, t);
+        ref[id] = t;
+      } else {
+        EXPECT_EQ(mirror.erase(id), ref.erase(id) > 0) << "shards=" << shards;
+      }
+    }
+    EXPECT_EQ(mirror.size(), ref.size()) << "shards=" << shards;
+    Rational total(0);
+    for (const auto& [id, t] : ref) {
+      total = total + Rational(t.execution, t.period);
+      const UniTask* found = mirror.find(id);
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(found->execution, t.execution);
+      EXPECT_EQ(found->period, t.period);
+    }
+    EXPECT_EQ(mirror.total(), total) << "shards=" << shards;
+    EXPECT_EQ(mirror.find(static_cast<TaskId>(999)), nullptr);
+  }
+}
+
+TEST(TaskMirror, TombstonedSlotsAreReusedAcrossInsertEraseCycles) {
+  TaskMirror mirror(1);
+  // Hammer one shard with insert/erase cycles over a small id range:
+  // every erase leaves a tombstone on the probe path that the next
+  // upsert of the same id must reclaim instead of growing forever.
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    for (TaskId id = 0; id < 8; ++id) mirror.upsert(id, UniTask{1, 4 + id});
+    for (TaskId id = 0; id < 8; ++id) EXPECT_TRUE(mirror.erase(id));
+  }
+  EXPECT_EQ(mirror.size(), 0u);
+  EXPECT_EQ(mirror.total(), Rational(0));
+  mirror.upsert(3, UniTask{1, 2});
+  ASSERT_NE(mirror.find(3), nullptr);
+  EXPECT_EQ(mirror.total(), Rational(1, 2));
+}
+
+TEST(TaskMirror, FingerprintDependsOnTheMultisetNotArrivalOrder) {
+  const UniTask kNull{0, 0};  // sentinel: fingerprint the set itself
+  TaskMirror forward(16);
+  TaskMirror backward(4);
+  std::vector<UniTask> tasks;
+  for (int i = 0; i < 40; ++i) tasks.push_back(UniTask{1 + i % 5, 10 + i % 7});
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    forward.upsert(static_cast<TaskId>(i), tasks[i]);
+    const std::size_t j = tasks.size() - 1 - i;
+    backward.upsert(static_cast<TaskId>(j), tasks[j]);
+  }
+  // Same multiset, different insertion order AND different shard
+  // geometry: the fingerprint is a commutative sum over tasks.
+  EXPECT_EQ(forward.fingerprint_with(kNull, kNoTask),
+            backward.fingerprint_with(kNull, kNoTask));
+
+  // Ids do not feed the fingerprint — two ids swapping tasks is a no-op.
+  TaskMirror swapped(16);
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    swapped.upsert(static_cast<TaskId>((i + 1) % tasks.size()), tasks[i]);
+  EXPECT_EQ(forward.fingerprint_with(kNull, kNoTask),
+            swapped.fingerprint_with(kNull, kNoTask));
+
+  // Distinct multisets must not collide (40 vs 39 tasks).
+  TaskMirror shorter(16);
+  for (std::size_t i = 0; i + 1 < tasks.size(); ++i)
+    shorter.upsert(static_cast<TaskId>(i), tasks[i]);
+  EXPECT_FALSE(forward.fingerprint_with(kNull, kNoTask) ==
+               shorter.fingerprint_with(kNull, kNoTask));
+}
+
+TEST(TaskMirror, FingerprintWithMatchesTheActualMutation) {
+  const UniTask kNull{0, 0};
+  TaskMirror mirror(16);
+  for (TaskId id = 0; id < 10; ++id) mirror.upsert(id, UniTask{1 + id % 3, 8 + id});
+  const UniTask extra{2, 11};
+
+  // Predicted join fingerprint == fingerprint after really joining.
+  const MirrorFingerprint predicted_join = mirror.fingerprint_with(extra, kNoTask);
+  TaskMirror joined = mirror;
+  joined.upsert(100, extra);
+  EXPECT_EQ(predicted_join, joined.fingerprint_with(kNull, kNoTask));
+
+  // Predicted reweight fingerprint == fingerprint after erase+insert.
+  const MirrorFingerprint predicted_rw = mirror.fingerprint_with(extra, 4);
+  TaskMirror reweighted = mirror;
+  reweighted.erase(4);
+  reweighted.upsert(4, extra);
+  EXPECT_EQ(predicted_rw, reweighted.fingerprint_with(kNull, kNoTask));
+
+  // Leave/undo: erasing a task returns the fingerprint to its old value.
+  const MirrorFingerprint before = mirror.fingerprint_with(kNull, kNoTask);
+  mirror.upsert(200, extra);
+  mirror.erase(200);
+  EXPECT_EQ(before, mirror.fingerprint_with(kNull, kNoTask));
+}
+
+TEST(TaskMirror, WorkloadIsCanonicalInPeriodThenExecution) {
+  TaskMirror a(16);
+  TaskMirror b(16);
+  const std::vector<UniTask> tasks = {{3, 20}, {1, 5}, {2, 20}, {1, 5}, {4, 9}};
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    a.upsert(static_cast<TaskId>(i), tasks[i]);
+    b.upsert(static_cast<TaskId>(i), tasks[tasks.size() - 1 - i]);
+  }
+  const std::vector<UniTask> wa = a.workload_with(UniTask{0, 0}, kNoTask);
+  const std::vector<UniTask> wb = b.workload_with(UniTask{0, 0}, kNoTask);
+  ASSERT_EQ(wa.size(), tasks.size());
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(wa[i].period, wb[i].period);
+    EXPECT_EQ(wa[i].execution, wb[i].execution);
+    if (i > 0) {
+      EXPECT_LE(std::make_pair(wa[i - 1].period, wa[i - 1].execution),
+                std::make_pair(wa[i].period, wa[i].execution));
+    }
+  }
+}
+
+TEST(TaskMirror, ExclusionAggregatesDropExactlyOneTask) {
+  TaskMirror mirror(16, /*track_weights=*/true);
+  mirror.upsert(0, UniTask{1, 2});   // weight 1/2
+  mirror.upsert(1, UniTask{3, 4});   // weight 3/4
+  mirror.upsert(2, UniTask{1, 10});  // weight 1/10
+  EXPECT_EQ(mirror.total_excluding(1), Rational(1, 2) + Rational(1, 10));
+  EXPECT_EQ(mirror.count_excluding(1), 2u);
+  EXPECT_EQ(mirror.total_excluding(kNoTask), mirror.total());
+  EXPECT_EQ(mirror.total_excluding(static_cast<TaskId>(77)), mirror.total());
+  // Dropping the current max exposes the runner-up against a light
+  // candidate; a heavy candidate wins outright.
+  EXPECT_EQ(mirror.u_max_with(Rational(1, 100), 1), Rational(1, 2));
+  EXPECT_EQ(mirror.u_max_with(Rational(9, 10), kNoTask), Rational(9, 10));
+}
+
+// --- Tier-2 memoization ---------------------------------------------
+
+AdmissionConfig gedf_config(std::size_t memo_capacity) {
+  AdmissionConfig c;
+  c.kind = engine::SchedulerKind::kGlobalJob;
+  c.processors = 2;
+  c.exact_budget = 1u << 14;  // small: keep the exact sims test-fast
+  c.memo_capacity = memo_capacity;
+  return c;
+}
+
+TEST(TierTwoMemo, RepeatDecisionsHitAndStayIdentical) {
+  AdmissionController gate(gedf_config(1u << 10));
+  // Dhall-style set: heavy task + light tasks passes Tier 0/1 checks
+  // narrowly enough to force the exact test.
+  gate.commit(0, UniTask{9, 10});
+  gate.commit(1, UniTask{1, 10});
+  const UniTask cand{5, 7};
+  const Decision cold = gate.decide_join(cand);
+  const std::uint64_t misses_after_cold = gate.memo_misses();
+  const Decision warm = gate.decide_join(cand);
+  EXPECT_GT(gate.memo_hits(), 0u);
+  EXPECT_EQ(gate.memo_misses(), misses_after_cold);  // no recompute
+  EXPECT_EQ(cold.admit, warm.admit);
+  EXPECT_EQ(cold.tier, warm.tier);
+  EXPECT_EQ(cold.approx, warm.approx);
+  EXPECT_EQ(cold.exact_events, warm.exact_events);
+  EXPECT_STREQ(cold.reason, warm.reason);
+}
+
+DaemonConfig storm_config(std::size_t memo_capacity, std::size_t batch, int jobs) {
+  DaemonConfig c;
+  c.kind = engine::SchedulerKind::kGlobalJob;
+  c.processors = 2;
+  c.exact_budget = 1u << 14;
+  c.memo_capacity = memo_capacity;
+  c.batch = batch;
+  c.jobs = jobs;
+  c.measure_latency = false;
+  return c;
+}
+
+std::string serve_string(Daemon& d, const std::string& requests) {
+  std::istringstream in(requests);
+  std::ostringstream out;
+  d.serve(in, out);
+  return out.str();
+}
+
+std::string storm_stream() {
+  GenConfig gc;
+  gc.count = 400;
+  gc.seed = 1234;
+  gc.load = 1.8;
+  gc.processors = 2;
+  return generate_requests(gc);
+}
+
+TEST(TierTwoMemo, SeededStormIsByteEqualWithTheMemoOff) {
+  const std::string requests = storm_stream();
+  Daemon with_memo(storm_config(1u << 12, 1, 1));
+  Daemon without_memo(storm_config(0, 1, 1));
+  const std::string a = serve_string(with_memo, requests);
+  const std::string b = serve_string(without_memo, requests);
+  EXPECT_EQ(a, b);
+  // The memo must actually have been exercised, not vacuously equal.
+  EXPECT_GT(with_memo.controller().memo_hits(), 0u);
+  EXPECT_EQ(without_memo.controller().memo_hits(), 0u);
+}
+
+TEST(Batching, PipelineAndJobsNeverChangeTheDecisionLog) {
+  const std::string requests = storm_stream();
+  Daemon sequential(storm_config(1u << 12, 1, 1));
+  const std::string baseline = serve_string(sequential, requests);
+  for (const std::size_t batch : {std::size_t{8}, std::size_t{64}}) {
+    for (const int jobs : {1, 3}) {
+      Daemon d(storm_config(1u << 12, batch, jobs));
+      EXPECT_EQ(serve_string(d, requests), baseline)
+          << "batch=" << batch << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Batching, BatchLinesAnswerLikeTheirSubRequestsArrivingAlone) {
+  const std::string requests = storm_stream();
+  Daemon plain(storm_config(1u << 12, 1, 1));
+  const std::string baseline = serve_string(plain, requests);
+  for (const std::size_t size : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+    Daemon d(storm_config(1u << 12, 1, 2));
+    EXPECT_EQ(serve_string(d, batch_requests(requests, size)), baseline)
+        << "size=" << size;
+  }
+}
+
+// --- request parsing (fast path vs DOM) -----------------------------
+
+TEST(RequestParse, FastAndSlowSpellingsAgree) {
+  // Each pair is the same request spelled flat (fast-path eligible) and
+  // with whitespace/escapes/duplicates that force or exercise the DOM
+  // fallback.  dump_request canonicalizes, so equality of dumps is
+  // equality of parses.
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {R"({"op":"join","execution":2,"period":10})",
+       R"(  { "op" : "join" , "execution" : 2 , "period" : 10 }  )"},
+      {R"({"op":"join","execution":2,"period":10})",
+       R"({"op":"join","execution":2,"period":10})"},
+      {R"({"op":"join","execution":3,"period":10})",
+       R"({"op":"join","execution":1,"execution":3,"period":10})"},  // last wins
+      {R"({"op":"join","execution":2,"period":100})",
+       R"({"op":"join","execution":2,"period":1e2})"},
+      {R"({"op":"join","execution":2,"period":4,"ignored":true})",
+       R"({"op":"join","execution":2.0,"period":4,"unknown":[1,{"x":2}]})"},
+      {R"({"op":"leave","task":3})", R"({"op":"leave","task":3,"name":7})"},
+      {R"({"op":"advance","to":40})", R"({"op":"advance","to":40.0})"},
+  };
+  for (const auto& [flat, slow] : pairs) {
+    const std::optional<Request> a = parse_request(flat);
+    const std::optional<Request> b = parse_request(slow);
+    ASSERT_TRUE(a.has_value()) << flat;
+    ASSERT_TRUE(b.has_value()) << slow;
+    EXPECT_EQ(dump_request(*a), dump_request(*b)) << slow;
+  }
+}
+
+TEST(RequestParse, ErrorTokensMatchAcrossParserPaths) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"not json at all", "bad-json"},
+      {R"({"op":"join","execution":2,"period":10} trailing)", "bad-json"},
+      {R"({"op":"frobnicate"})", "bad-op"},
+      {R"({"op":42})", "bad-op"},
+      {R"({"op":"join","execution":1})", "bad-field"},
+      {R"({"op":"join","execution":1.5,"period":10})", "bad-field"},
+      {R"({"op":"join","execution":1,"period":1e19})", "bad-field"},
+      {R"({"op":"leave","task":-1})", "bad-field"},
+      {R"({"op":"leave"})", "bad-field"},
+  };
+  for (const auto& [line, want] : cases) {
+    std::string error;
+    EXPECT_FALSE(parse_request(line, &error).has_value()) << line;
+    EXPECT_EQ(error, want) << line;
+  }
+}
+
+TEST(RequestParse, BatchesCarrySubRequestsAndNeverNest) {
+  const std::string requests =
+      "{\"op\":\"join\",\"execution\":1,\"period\":4}\n"
+      "{\"op\":\"query\"}\n"
+      "{\"op\":\"advance\",\"to\":8}\n";
+  const std::string batched = batch_requests(requests, 3);
+  EXPECT_EQ(std::count(batched.begin(), batched.end(), '\n'), 1);
+  const std::optional<Request> b =
+      parse_request(batched.substr(0, batched.find('\n')));
+  ASSERT_TRUE(b.has_value());
+  ASSERT_EQ(b->op, RequestOp::kBatch);
+  ASSERT_EQ(b->batch.size(), 3u);
+  EXPECT_EQ(b->batch[0].op, RequestOp::kJoin);
+  EXPECT_EQ(b->batch[2].to, 8);
+
+  std::string error;
+  const std::string nested =
+      R"({"op":"batch","requests":[{"op":"batch","requests":[{"op":"query"}]}]})";
+  EXPECT_FALSE(parse_request(nested, &error).has_value());
+  EXPECT_EQ(error, "bad-field");
+  EXPECT_FALSE(parse_request(R"({"op":"batch","requests":[]})").has_value());
+}
+
+TEST(RequestParse, DumpRoundTripsEveryGeneratedLine) {
+  GenConfig gc;
+  gc.count = 300;
+  gc.seed = 5;
+  std::istringstream in(generate_requests(gc));
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::optional<Request> r = parse_request(line);
+    ASSERT_TRUE(r.has_value()) << line;
+    EXPECT_EQ(dump_request(*r), line);
+  }
+}
+
+// --- ObjectWriter ---------------------------------------------------
+
+TEST(ObjectWriter, MatchesTheDumpedObjectForm) {
+  using obs::json::Object;
+  using obs::json::Value;
+  Object o;
+  o.emplace("admit", Value(true));
+  o.emplace("events", Value(static_cast<double>(std::int64_t{1} << 53)));
+  o.emplace("op", Value(std::string("join")));
+  o.emplace("reason", Value(std::string("quote\"slash\\tab\tctl\x01")));
+  o.emplace("seq", Value(-42.0));
+  o.emplace("zero", Value(0.0));
+
+  std::string streamed;
+  obs::json::ObjectWriter w(streamed);
+  w.field_bool("admit", true)
+      .field_int("events", std::int64_t{1} << 53)
+      .field_str("op", "join")
+      .field_str("reason", "quote\"slash\\tab\tctl\x01")
+      .field_int("seq", -42)
+      .field_int("zero", 0);
+  w.finish();
+  EXPECT_EQ(streamed, Value(o).dump());
+
+  std::string empty;
+  obs::json::ObjectWriter e(empty);
+  e.finish();
+  EXPECT_EQ(empty, Value(Object{}).dump());
+}
+
+}  // namespace
+}  // namespace pfair::serve

@@ -20,10 +20,21 @@
 //   --exact-budget=N     Tier-2 event budget (0 disables Tier 2)
 //   --overhead           Tier 1 uses Eq.-(3) inflation (paper defaults)
 //   --cache-delay=US     D(T) per task when --overhead (default 33.3)
+//   --batch=N            pipeline input lines in groups of N: each
+//                        group prewarms the Tier-2 memo before being
+//                        answered in order (output byte-identical to
+//                        --batch=1)
+//   --jobs=N             memo-prewarm ThreadPool workers (default 1)
+//   --memo-capacity=N    Tier-2 verdict memo entries (0 disables;
+//                        default 65536)
+//   --shards=N           admission task-mirror shards (default 16)
 //   --registry=FILE      write the MetricsRegistry snapshot (serve.*
-//                        counters, serve.decision p50/p95/p99) to FILE
+//                        counters, serve.decision p50/p95/p99,
+//                        serve.tier2_memo_hits, serve.batch_size) to FILE
 //   --gen-requests=N     generate a deterministic request stream to
 //                        --output instead of serving
+//   --batch-requests=N   with --gen-requests: wrap the stream into
+//                        {"op":"batch"} lines of N sub-requests
 //   --seed=N --load=PCT --max-period=N   generator parameters
 //
 // Determinism: decision lines carry the simulator clock, never
@@ -34,6 +45,7 @@
 //
 // Exit status: 0 on success, 1 on bad usage or unreadable/unwritable
 // files.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -53,9 +65,10 @@ int usage() {
       "usage: pfaird --scheduler=KIND [--processors=N] [--algorithm=edf|rm]\n"
       "              [--input=FILE|-] [--output=FILE|-] [--advance=N]\n"
       "              [--exact-budget=N] [--overhead] [--cache-delay=US]\n"
+      "              [--batch=N] [--jobs=N] [--memo-capacity=N] [--shards=N]\n"
       "              [--registry=FILE]\n"
       "       pfaird --gen-requests=N [--seed=N] [--load=PCT] [--processors=N]\n"
-      "              [--max-period=N] [--output=FILE|-]\n");
+      "              [--max-period=N] [--batch-requests=N] [--output=FILE|-]\n");
   return 1;
 }
 
@@ -114,7 +127,10 @@ int main(int argc, char** argv) {
     gc.load = static_cast<double>(flag(argc, argv, "load", 150)) / 100.0;
     gc.processors = static_cast<int>(flag(argc, argv, "processors", 4));
     gc.max_period = flag(argc, argv, "max-period", 40);
-    *out << pfair::serve::generate_requests(gc);
+    std::string stream = pfair::serve::generate_requests(gc);
+    if (const long long bs = flag(argc, argv, "batch-requests", 0); bs > 1)
+      stream = pfair::serve::batch_requests(stream, static_cast<std::size_t>(bs));
+    *out << stream;
     out->flush();
     return 0;
   }
@@ -146,6 +162,11 @@ int main(int argc, char** argv) {
   dc.cache_delay_us = double_flag(argc, argv, "cache-delay", 33.3);
   dc.exact_budget = static_cast<std::uint64_t>(flag(argc, argv, "exact-budget", 1 << 20));
   dc.advance_per_request = static_cast<pfair::Time>(flag(argc, argv, "advance", 0));
+  dc.batch = static_cast<std::size_t>(std::max(1LL, flag(argc, argv, "batch", 1)));
+  dc.jobs = static_cast<int>(std::max(1LL, flag(argc, argv, "jobs", 1)));
+  dc.memo_capacity =
+      static_cast<std::size_t>(std::max(0LL, flag(argc, argv, "memo-capacity", 1 << 16)));
+  dc.mirror_shards = static_cast<int>(std::max(1LL, flag(argc, argv, "shards", 16)));
 
   const char* input_path = string_flag(argc, argv, "input");
   std::ifstream in_file;
@@ -176,20 +197,26 @@ int main(int argc, char** argv) {
   }
 
   const pfair::serve::DaemonStats& s = daemon.stats();
+  const pfair::serve::AdmissionController& gate = daemon.controller();
+  // Rate over *requests* (batch sub-requests included), not input lines.
+  (void)handled;
   std::fprintf(stderr,
                "# pfaird %s m=%d: %llu requests in %.3fs (%.0f/sec): "
                "%llu admits, %llu rejects, %llu errors; tiers %llu/%llu/%llu "
-               "(%llu approx); decision p50=%.0fns p99=%.0fns\n",
+               "(%llu approx); memo %llu hits / %llu misses; "
+               "decision p50=%.0fns p95=%.0fns p99=%.0fns\n",
                pfair::engine::to_string(*kind), dc.processors,
-               static_cast<unsigned long long>(handled), secs,
-               secs > 0.0 ? static_cast<double>(handled) / secs : 0.0,
+               static_cast<unsigned long long>(s.requests), secs,
+               secs > 0.0 ? static_cast<double>(s.requests) / secs : 0.0,
                static_cast<unsigned long long>(s.admits),
                static_cast<unsigned long long>(s.rejects),
                static_cast<unsigned long long>(s.errors),
                static_cast<unsigned long long>(s.tier0),
                static_cast<unsigned long long>(s.tier1),
                static_cast<unsigned long long>(s.tier2),
-               static_cast<unsigned long long>(s.approx), s.latency_ns.p50(),
-               s.latency_ns.p99());
+               static_cast<unsigned long long>(s.approx),
+               static_cast<unsigned long long>(gate.memo_hits()),
+               static_cast<unsigned long long>(gate.memo_misses()),
+               s.latency_ns.p50(), s.latency_ns.p95(), s.latency_ns.p99());
   return 0;
 }
